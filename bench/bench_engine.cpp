@@ -1,0 +1,90 @@
+// Microbenchmarks of the simulation engine itself (conventional
+// google-benchmark usage — loops, real timing). These bound the cost of
+// the figure reproductions: event throughput determines how much virtual
+// time a sweep can cover.
+#include <benchmark/benchmark.h>
+
+#include "experiments/paper.h"
+#include "simcore/event_queue.h"
+#include "simcore/histogram.h"
+#include "simcore/rng.h"
+#include "simcore/simulator.h"
+
+using namespace asman;
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::uint64_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      q.schedule(sim::Cycles{(i * 2654435761u) % 1000000},
+                 [&fired] { ++fired; });
+    while (!q.empty()) q.pop_and_run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(10'000);
+    for (std::size_t i = 0; i < 10'000; ++i)
+      ids.push_back(q.schedule(sim::Cycles{i}, [] {}));
+    for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+    while (!q.empty()) q.pop_and_run();
+  }
+  state.SetItemsProcessed(10'000 * state.iterations());
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void BM_RngU64(benchmark::State& state) {
+  sim::Rng rng(42);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc ^= rng.next_u64();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngU64);
+
+void BM_RngNormal(benchmark::State& state) {
+  sim::Rng rng(42);
+  double acc = 0;
+  for (auto _ : state) acc += rng.normal(0.0, 1.0);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  sim::Log2Histogram h;
+  sim::Rng rng(7);
+  for (auto _ : state) h.add(sim::Cycles{rng.next_below(1u << 26)});
+  benchmark::DoNotOptimize(h.total());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramAdd);
+
+// End-to-end simulator throughput: a short LU run; items = events.
+void BM_FullSimulation(benchmark::State& state) {
+  namespace ex = asman::experiments;
+  for (auto _ : state) {
+    ex::Scenario sc = ex::single_vm_scenario(
+        core::SchedulerKind::kCredit, 128,
+        ex::npb_factory(workloads::NpbBenchmark::kFT));
+    ex::RunResult r = ex::run_scenario(sc);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(r.events) + state.items_processed());
+    benchmark::DoNotOptimize(r.elapsed_seconds);
+  }
+}
+BENCHMARK(BM_FullSimulation)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,17 @@
+#include "bench_util.h"
+
+namespace asman::bench {
+
+int run_bench_main(int argc, char** argv, Sweep& sweep,
+                   const std::string& prefix, const Annotator& annotate,
+                   const std::function<void(const Sweep&)>& print_tables) {
+  benchmark::Initialize(&argc, argv);
+  sweep.execute();
+  sweep.register_benchmarks(prefix, annotate);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_tables(sweep);
+  return 0;
+}
+
+}  // namespace asman::bench

@@ -1,0 +1,113 @@
+// Shared plumbing for the figure-reproduction bench binaries.
+//
+// Every bench binary reproduces one figure of the paper: it declares a
+// sweep of scenarios (scheduler x online rate x workload), executes them in
+// parallel on a thread pool (each simulation is single-threaded and
+// deterministic), registers one google-benchmark entry per point whose
+// manual time is the measured simulation wall time and whose counters carry
+// the paper metrics, and finally prints the paper-style table.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments/paper.h"
+#include "experiments/runner.h"
+#include "experiments/tables.h"
+#include "simcore/thread_pool.h"
+
+namespace asman::bench {
+
+namespace ex = asman::experiments;
+
+struct PointResult {
+  ex::RunResult run;
+  double wall_seconds{0};
+};
+
+/// Annotates one google-benchmark entry with counters for a point.
+using Annotator =
+    std::function<void(const PointResult&, benchmark::State&)>;
+
+class Sweep {
+ public:
+  void add(std::string label, ex::Scenario scenario) {
+    labels_.push_back(label);
+    scenarios_.emplace(std::move(label), std::move(scenario));
+  }
+
+  bool contains(const std::string& label) const {
+    return scenarios_.count(label) != 0;
+  }
+
+  /// Run every scenario (parallel) and memoize results.
+  void execute() {
+    std::vector<std::string> todo;
+    for (const auto& l : labels_)
+      if (!results_.count(l)) todo.push_back(l);
+    std::fprintf(stderr, "[sweep] running %zu simulations...\n", todo.size());
+    sim::ThreadPool pool;
+    std::vector<PointResult> out(todo.size());
+    pool.parallel_for(todo.size(), [&](std::size_t i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      ex::RunResult r = ex::run_scenario(scenarios_.at(todo[i]));
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      out[i] = PointResult{std::move(r), dt.count()};
+    });
+    for (std::size_t i = 0; i < todo.size(); ++i)
+      results_.emplace(todo[i], std::move(out[i]));
+    std::fprintf(stderr, "[sweep] done.\n");
+  }
+
+  const PointResult& get(const std::string& label) const {
+    return results_.at(label);
+  }
+
+  /// One google-benchmark entry per point; manual time = simulation wall
+  /// time, counters = paper metrics chosen by `annotate`.
+  void register_benchmarks(const std::string& prefix,
+                           Annotator annotate) const {
+    for (const auto& l : labels_) {
+      const PointResult* pr = &results_.at(l);
+      benchmark::RegisterBenchmark(
+          (prefix + "/" + l).c_str(),
+          [pr, annotate](benchmark::State& state) {
+            for (auto _ : state) {
+              state.SetIterationTime(pr->wall_seconds);
+            }
+            annotate(*pr, state);
+          })
+          ->UseManualTime()
+          ->Iterations(1);
+    }
+  }
+
+ private:
+  std::vector<std::string> labels_;
+  std::map<std::string, ex::Scenario> scenarios_;
+  std::map<std::string, PointResult> results_;
+};
+
+/// Canonical single-VM label "SCHED/rateNN".
+inline std::string rate_label(core::SchedulerKind k, double rate) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s/rate%.1f", core::to_string(k),
+                rate * 100.0);
+  return buf;
+}
+
+/// Standard bench entry point: execute sweep, emit tables, then hand over
+/// to google-benchmark.
+int run_bench_main(int argc, char** argv, Sweep& sweep,
+                   const std::string& prefix, const Annotator& annotate,
+                   const std::function<void(const Sweep&)>& print_tables);
+
+}  // namespace asman::bench

@@ -1,0 +1,77 @@
+// Figure 8: detailed spinlock waiting times under ASMan (compare Fig 2).
+//
+// Same setup as fig02 but with the Adaptive Scheduler + Monitoring Module.
+// Expected shape: the over-threshold tail largely disappears — a few
+// residual spikes remain (the first over-threshold wait of each locality,
+// which is what *triggers* coscheduling), but far fewer than under Credit.
+#include "bench_util.h"
+
+using namespace asman;
+using namespace asman::bench;
+
+namespace {
+
+constexpr core::SchedulerKind kScheds[] = {core::SchedulerKind::kCredit,
+                                           core::SchedulerKind::kAsman};
+
+Sweep build_sweep() {
+  Sweep s;
+  for (core::SchedulerKind k : kScheds) {
+    for (const ex::RatePoint& rp : ex::kRatePoints) {
+      ex::Scenario sc = ex::single_vm_scenario(
+          k, rp.weight, ex::npb_factory(workloads::NpbBenchmark::kLU));
+      sc.keep_wait_samples = true;
+      s.add(rate_label(k, rp.rate), std::move(sc));
+    }
+  }
+  return s;
+}
+
+void annotate(const PointResult& pr, benchmark::State& st) {
+  const ex::VmResult& v1 = pr.run.vm("V1");
+  st.counters["gt_2e20"] =
+      static_cast<double>(v1.stats.spin_waits.count_above(20));
+  st.counters["max_log2"] =
+      static_cast<double>(sim::log2_floor(v1.stats.spin_waits.max_value()));
+  st.counters["adjusting_events"] =
+      static_cast<double>(v1.adjusting_events);
+}
+
+void print_tables(const Sweep& s) {
+  for (const ex::RatePoint& rp : ex::kRatePoints) {
+    const ex::VmResult& a =
+        s.get(rate_label(core::SchedulerKind::kAsman, rp.rate)).run.vm("V1");
+    std::printf(
+        "\n== Figure 8: spinlock wait distribution, ASMan @ %s online rate "
+        "(waits > 2^10: %llu, max 2^%u, adjusting events: %llu) ==\n%s",
+        ex::fmt_pct(rp.rate).c_str(),
+        static_cast<unsigned long long>(a.stats.spin_waits.count_above(10)),
+        sim::log2_floor(a.stats.spin_waits.max_value()),
+        static_cast<unsigned long long>(a.adjusting_events),
+        a.stats.spin_waits.render(10, 28).c_str());
+  }
+  std::printf(
+      "\n== Over-threshold (>2^20) wait counts: Credit vs ASMan ==\n");
+  ex::TextTable t({"online rate", "Credit", "ASMan", "reduction"});
+  for (const ex::RatePoint& rp : ex::kRatePoints) {
+    const auto cc =
+        s.get(rate_label(core::SchedulerKind::kCredit, rp.rate))
+            .run.vm("V1")
+            .stats.spin_waits.count_above(20);
+    const auto aa = s.get(rate_label(core::SchedulerKind::kAsman, rp.rate))
+                        .run.vm("V1")
+                        .stats.spin_waits.count_above(20);
+    t.add_row({ex::fmt_pct(rp.rate), std::to_string(cc), std::to_string(aa),
+               cc > 0 ? ex::fmt_pct(1.0 - static_cast<double>(aa) /
+                                              static_cast<double>(cc))
+                      : std::string("-")});
+  }
+  std::printf("%s", t.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Sweep sweep = build_sweep();
+  return run_bench_main(argc, argv, sweep, "fig08", annotate, print_tables);
+}

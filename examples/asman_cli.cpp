@@ -1,0 +1,165 @@
+// General-purpose scenario runner: compose the paper's building blocks
+// from the command line without writing code.
+//
+//   asman_cli [--sched credit|asman|asman-hw|con]
+//             [--weight N]            V1's weight (dom0 fixed at 256)
+//             [--bench BT|CG|EP|FT|MG|SP|LU|jbb|gcc|bzip2|kernbench|sempp]
+//             [--warehouses N]        for --bench jbb
+//             [--seed N] [--horizon SECONDS]
+//             [--relaxed]             VMware-style relaxed gangs
+//             [--delta N]             over-threshold exponent (default 20)
+//             [--samples]             keep raw spinlock wait samples
+//
+// Prints a one-screen report: run time, online rate, spinlock wait
+// histogram, VCRD activity and scheduler counters.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "experiments/paper.h"
+#include "experiments/tables.h"
+#include "workloads/kernbench.h"
+#include "workloads/npb.h"
+#include "workloads/synthetic.h"
+
+using namespace asman;
+namespace ex = asman::experiments;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--sched credit|asman|asman-hw|con] [--weight N]\n"
+               "          [--bench BT|CG|EP|FT|MG|SP|LU|jbb|gcc|bzip2|kernbench|sempp] [--warehouses N]\n"
+               "          [--seed N] [--horizon S] [--relaxed] [--delta N] "
+               "[--samples]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::SchedulerKind sched = core::SchedulerKind::kAsman;
+  std::uint32_t weight = 32;
+  std::string bench = "LU";
+  std::uint32_t warehouses = 4;
+  std::uint64_t seed = 1;
+  double horizon = 180.0;
+  bool relaxed = false;
+  unsigned delta = 20;
+  bool samples = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--sched") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      if (!std::strcmp(v, "credit")) sched = core::SchedulerKind::kCredit;
+      else if (!std::strcmp(v, "asman")) sched = core::SchedulerKind::kAsman;
+      else if (!std::strcmp(v, "asman-hw"))
+        sched = core::SchedulerKind::kAsmanHw;
+      else if (!std::strcmp(v, "con")) sched = core::SchedulerKind::kCon;
+      else return usage(argv[0]);
+    } else if (a == "--weight") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      weight = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (a == "--bench") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      bench = v;
+    } else if (a == "--warehouses") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      warehouses = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--horizon") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      horizon = std::atof(v);
+    } else if (a == "--relaxed") {
+      relaxed = true;
+    } else if (a == "--delta") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      delta = static_cast<unsigned>(std::atoi(v));
+    } else if (a == "--samples") {
+      samples = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  ex::WorkloadFactory wl;
+  if (bench == "jbb") {
+    wl = ex::specjbb_factory(warehouses);
+  } else if (bench == "gcc") {
+    wl = ex::gcc_factory();
+  } else if (bench == "bzip2") {
+    wl = ex::bzip2_factory();
+  } else if (bench == "kernbench") {
+    wl = [](sim::Simulator& s2, std::uint64_t sd) {
+      return std::make_unique<workloads::KernbenchWorkload>(
+          s2, workloads::KernbenchParams{}, sd);
+    };
+  } else if (bench == "sempp") {
+    wl = [](sim::Simulator&, std::uint64_t s) {
+      return std::make_unique<workloads::SemaphorePingPongWorkload>(
+          2, 4000, sim::kDefaultClock.from_us(300), s);
+    };
+  } else {
+    wl = ex::npb_factory(workloads::npb_from_name(bench));
+  }
+
+  ex::Scenario sc = ex::single_vm_scenario(sched, weight, std::move(wl), seed);
+  sc.horizon = sim::kDefaultClock.from_seconds_f(horizon);
+  sc.keep_wait_samples = samples;
+  sc.monitor.delta_exp = delta;
+  if (relaxed) sc.strictness = vmm::Hypervisor::Strictness::kRelaxed;
+
+  const ex::RunResult r = ex::run_scenario(sc);
+  const ex::VmResult& v1 = r.vm("V1");
+
+  std::printf("%s | %s | weight %u (nominal rate %s) | seed %llu%s\n\n",
+              core::to_string(sched), bench.c_str(), weight,
+              ex::fmt_pct(8.0 * (static_cast<double>(weight) /
+                                 (256.0 + weight)) /
+                          4.0)
+                  .c_str(),
+              static_cast<unsigned long long>(seed),
+              relaxed ? " | relaxed gangs" : "");
+  ex::TextTable t({"metric", "value"});
+  t.add_row({"run time (s)", ex::fmt_f(v1.runtime_seconds)});
+  t.add_row({"finished", v1.finished ? "yes" : "no (horizon)"});
+  t.add_row({"observed online rate", ex::fmt_pct(v1.observed_online_rate)});
+  t.add_row({"work units", std::to_string(v1.work_units)});
+  t.add_row({"spin waits > 2^10",
+             std::to_string(v1.stats.spin_waits.count_above(10))});
+  t.add_row({"spin waits > 2^20",
+             std::to_string(v1.stats.spin_waits.count_above(20))});
+  t.add_row({"max spin wait (log2)",
+             std::to_string(sim::log2_floor(v1.stats.spin_waits.max_value()))});
+  t.add_row({"max sem wait (log2)",
+             std::to_string(sim::log2_floor(v1.stats.sem_waits.max_value()))});
+  t.add_row({"VCRD windows", std::to_string(v1.vcrd_transitions)});
+  t.add_row({"VCRD HIGH time", ex::fmt_pct(v1.vcrd_high_fraction)});
+  t.add_row({"adjusting events", std::to_string(v1.adjusting_events)});
+  t.add_row({"cosched launches", std::to_string(r.cosched_events)});
+  t.add_row({"IPIs", std::to_string(r.ipi_sent)});
+  t.add_row({"VCPU migrations", std::to_string(r.migrations)});
+  t.add_row({"simulated events", std::to_string(r.events)});
+  std::printf("%s", t.str().c_str());
+  if (samples) {
+    std::printf("\nspinlock wait histogram (log2 cycles):\n%s",
+                v1.stats.spin_waits.render(10, 28).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Internal diagnostic probe (not part of the public example set): dumps
+// guest/scheduler counters for one LU run at a given online rate.
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiments/paper.h"
+
+using namespace asman;
+namespace ex = asman::experiments;
+
+int main(int argc, char** argv) {
+  const std::uint32_t weight =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 32;
+  const int sched = argc > 2 ? std::atoi(argv[2]) : 0;
+  const core::SchedulerKind kind = sched == 0   ? core::SchedulerKind::kCredit
+                                   : sched == 1 ? core::SchedulerKind::kAsman
+                                                : core::SchedulerKind::kCon;
+  ex::Scenario sc = ex::single_vm_scenario(
+      kind, weight, ex::npb_factory(workloads::NpbBenchmark::kLU));
+  sc.keep_wait_samples = true;
+  ex::RunResult r = ex::run_scenario(sc);
+  const ex::VmResult& v = r.vm("V1");
+  const auto& s = v.stats;
+  std::printf("runtime=%.2fs online=%.3f events=%llu\n", v.runtime_seconds,
+              v.observed_online_rate,
+              static_cast<unsigned long long>(r.events));
+  std::printf(
+      "spin: acq=%llu contended=%llu >2^10=%llu >2^15=%llu >2^20=%llu "
+      ">2^24=%llu max=2^%u\n",
+      static_cast<unsigned long long>(s.spin_acquisitions),
+      static_cast<unsigned long long>(s.spin_contended),
+      static_cast<unsigned long long>(s.spin_waits.count_above(10)),
+      static_cast<unsigned long long>(s.spin_waits.count_above(15)),
+      static_cast<unsigned long long>(s.spin_waits.count_above(20)),
+      static_cast<unsigned long long>(s.spin_waits.count_above(24)),
+      sim::log2_floor(s.spin_waits.max_value()));
+  std::printf(
+      "futex: waits=%llu wakes=%llu barriers=%llu kernel_sleeps=%llu "
+      "ticks=%llu ctx=%llu\n",
+      static_cast<unsigned long long>(s.futex_waits),
+      static_cast<unsigned long long>(s.futex_wakes),
+      static_cast<unsigned long long>(s.barrier_arrivals),
+      static_cast<unsigned long long>(s.barrier_kernel_sleeps),
+      static_cast<unsigned long long>(s.ticks),
+      static_cast<unsigned long long>(s.context_switches));
+  std::printf(
+      "sched: migrations=%llu cosched=%llu ipi=%llu vmm_ctx=%llu idle=%.3f "
+      "vcrd_hi=%llu high_frac=%.3f overthr=%llu adj=%llu\n",
+      static_cast<unsigned long long>(r.migrations),
+      static_cast<unsigned long long>(r.cosched_events),
+      static_cast<unsigned long long>(r.ipi_sent),
+      static_cast<unsigned long long>(r.context_switches),
+      r.idle_fraction, static_cast<unsigned long long>(v.vcrd_transitions),
+      v.vcrd_high_fraction,
+      static_cast<unsigned long long>(v.over_threshold_events),
+      static_cast<unsigned long long>(v.adjusting_events));
+  return 0;
+}

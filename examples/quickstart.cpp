@@ -1,0 +1,60 @@
+// Quickstart: the paper's headline experiment in ~40 lines of API use.
+//
+// Runs the LU benchmark (the paper's primary victim workload) in a 4-VCPU
+// VM whose VCPU online rate is capped at 22.2 % (an EC2-small-like
+// entitlement), under the stock Xen Credit scheduler and under ASMan, and
+// prints run time, spinlock wait distribution and coscheduling activity.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "experiments/paper.h"
+#include "experiments/tables.h"
+
+using namespace asman;
+
+int main() {
+  using experiments::RunResult;
+  namespace ex = asman::experiments;
+
+  std::printf("LU (4 threads) in V1 @ 22.2%% VCPU online rate\n\n");
+
+  experiments::TextTable table({"scheduler", "run time (s)",
+                                "waits >2^20", "VCRD windows",
+                                "cosched events", "online rate"});
+
+  for (core::SchedulerKind k :
+       {core::SchedulerKind::kCredit, core::SchedulerKind::kAsman,
+        core::SchedulerKind::kAsmanHw, core::SchedulerKind::kCon}) {
+    ex::Scenario sc = ex::single_vm_scenario(
+        k, /*v1_weight=*/32,
+        ex::npb_factory(workloads::NpbBenchmark::kLU));
+    sc.keep_wait_samples = true;
+    RunResult r = ex::run_scenario(sc);
+    const ex::VmResult& v1 = r.vm("V1");
+    table.add_row({core::to_string(k),
+                   ex::fmt_f(v1.runtime_seconds, 2),
+                   std::to_string(v1.stats.spin_waits.count_above(20)),
+                   std::to_string(v1.vcrd_transitions),
+                   std::to_string(r.cosched_events),
+                   ex::fmt_pct(v1.observed_online_rate)});
+
+    if (k == core::SchedulerKind::kCredit ||
+        k == core::SchedulerKind::kAsman) {
+      std::printf("%s spinlock wait histogram (log2 cycles):\n%s\n",
+                  core::to_string(k),
+                  v1.stats.spin_waits.render(10, 28).c_str());
+    }
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Expected shape (paper Figs 1, 7, 8): under Credit the capped VM\n"
+      "suffers lock-holder preemption - many waits above 2^20 cycles and a\n"
+      "run time far beyond the 1/rate slowdown; ASMan detects them, raises\n"
+      "the VCRD and coschedules the VCPUs, collapsing the wait tail.\n"
+      "ASMan-HW gets most of that win with zero guest modification (VCRD\n"
+      "inferred from PV yield rates); CON (static gangs) is the upper\n"
+      "bound for a purely concurrent VM but taxes mixed tenants more.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Umbrella header for the ASMan reproduction library.
+//
+// Typical use:
+//
+//   sim::Simulator s;
+//   hw::MachineConfig mach;                       // 8 PCPUs @ 2.33 GHz
+//   auto hv = core::make_scheduler(core::SchedulerKind::kAsman, s, mach,
+//                                  vmm::SchedMode::kNonWorkConserving);
+//   auto vm = hv->create_vm("V1", /*weight=*/256, /*vcpus=*/4);
+//   guest::GuestKernel g(s, *hv, vm, {.n_vcpus = 4});
+//   core::MonitoringModule mon(s, *hv, vm, {});
+//   g.set_observer(&mon);
+//   hv->attach_guest(vm, &g);
+//   ... spawn workload threads (src/workloads) ...
+//   hv->start();
+//   s.run_until(mach.clock().from_seconds_f(30.0));
+//
+// Higher-level scenario plumbing lives in src/experiments.
+#pragma once
+
+#include "core/learning.h"
+#include "core/monitor.h"
+#include "core/schedulers.h"
+#include "guest/guest_kernel.h"
+#include "guest/program.h"
+#include "hw/machine.h"
+#include "simcore/simulator.h"
+#include "vmm/hypervisor.h"

@@ -1,0 +1,71 @@
+#include "core/hw_monitor.h"
+
+namespace asman::core {
+
+HwAdaptiveScheduler::HwAdaptiveScheduler(sim::Simulator& simulation,
+                                         const hw::MachineConfig& machine,
+                                         vmm::SchedMode mode,
+                                         sim::Trace* trace, std::uint64_t seed,
+                                         HwMonitorOptions options)
+    : Hypervisor(simulation, machine, mode, trace, seed), opt_(options) {}
+
+void HwAdaptiveScheduler::vcpu_yield_hint(vmm::VmId vm_id, std::uint32_t) {
+  ++total_hints_;
+  if (window_yields_.size() < num_vms()) {
+    window_yields_.resize(num_vms(), 0);
+    quiet_windows_.resize(num_vms(), 0);
+  }
+  ++window_yields_[vm_id];
+  if (!eval_armed_) {
+    eval_armed_ = true;
+    sim_.after(opt_.window, [this] { evaluate(); });
+  }
+}
+
+void HwAdaptiveScheduler::evaluate() {
+  ++evaluations_;
+  const double window_ms =
+      static_cast<double>(opt_.window.v) /
+      (static_cast<double>(machine().freq_hz) / 1e3);
+  for (vmm::VmId id = 0; id < window_yields_.size(); ++id) {
+    const double rate =
+        static_cast<double>(window_yields_[id]) / window_ms;
+    window_yields_[id] = 0;
+    const bool high = vm(id).vcrd == vmm::Vcrd::kHigh;
+    if (!high && rate >= opt_.high_yields_per_ms) {
+      quiet_windows_[id] = 0;
+      do_vcrd_op(id, vmm::Vcrd::kHigh);
+    } else if (high) {
+      if (rate <= opt_.low_yields_per_ms) {
+        if (++quiet_windows_[id] >= opt_.low_windows_to_drop) {
+          quiet_windows_[id] = 0;
+          do_vcrd_op(id, vmm::Vcrd::kLow);
+        }
+      } else {
+        quiet_windows_[id] = 0;
+      }
+    }
+  }
+  bool any_high = false;
+  for (vmm::VmId id = 0; id < num_vms(); ++id)
+    if (vm(id).vcrd == vmm::Vcrd::kHigh) any_high = true;
+  // Keep evaluating while anything is HIGH (the drop side needs windows
+  // even when the guest stops yielding); otherwise re-arm lazily on the
+  // next yield hint.
+  if (any_high) {
+    sim_.after(opt_.window, [this] { evaluate(); });
+  } else {
+    eval_armed_ = false;
+  }
+}
+
+void HwAdaptiveScheduler::on_vcrd_changed(vmm::Vm& v, vmm::Vcrd previous) {
+  if (previous == vmm::Vcrd::kLow && v.vcrd == vmm::Vcrd::kHigh)
+    relocate_vm(v);
+}
+
+void HwAdaptiveScheduler::on_accounting(vmm::Vm& v) {
+  if (v.vcrd == vmm::Vcrd::kHigh) relocate_vm(v);
+}
+
+}  // namespace asman::core

@@ -1,0 +1,69 @@
+// Out-of-VM VCRD inference (the paper's §7 future work, implemented).
+//
+// ASMan's Monitoring Module lives inside the guest kernel, which requires
+// modifying it. The paper closes by asking whether the VCRD can be
+// monitored from *outside* the VM. It can: stock paravirtual kernels
+// already emit SCHEDOP_yield hypercalls from their sched_yield path — the
+// exact path spin-wait loops hammer — so the VMM can observe a VM's yield
+// *rate* without touching the guest. A concurrent workload stuck in
+// virtualization-disrupted synchronization yields at kHz rates; compute
+// phases and throughput workloads barely yield at all.
+//
+// HwAdaptiveScheduler drives the VCRD from that signal: a sliding
+// per-window yield-rate estimate with hysteresis raises the VM to HIGH
+// when the rate crosses `high_yields_per_ms` and drops it after
+// `low_windows_to_drop` consecutive quiet windows. Everything downstream
+// (relocation, Algorithm-4 gangs, co-start/co-stop, credit pooling) is
+// shared with the in-guest ASMan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vmm/hypervisor.h"
+
+namespace asman::core {
+
+struct HwMonitorOptions {
+  /// Evaluation window.
+  sim::Cycles window{sim::kDefaultClock.from_ms(10)};
+  /// Raise VCRD to HIGH when a VM's yield rate crosses this.
+  double high_yields_per_ms{3.0};
+  /// Candidate for dropping when the rate falls below this.
+  double low_yields_per_ms{0.8};
+  /// Consecutive quiet windows before HIGH -> LOW (hysteresis).
+  std::uint32_t low_windows_to_drop{3};
+};
+
+class HwAdaptiveScheduler final : public vmm::Hypervisor {
+ public:
+  HwAdaptiveScheduler(sim::Simulator& simulation,
+                      const hw::MachineConfig& machine, vmm::SchedMode mode,
+                      sim::Trace* trace = nullptr, std::uint64_t seed = 0x5EED,
+                      HwMonitorOptions options = {});
+
+  /// PV yield notification — the whole out-of-VM signal.
+  void vcpu_yield_hint(vmm::VmId vm, std::uint32_t vidx) override;
+
+  std::uint64_t yield_hints() const { return total_hints_; }
+  std::uint64_t evaluations() const { return evaluations_; }
+
+ protected:
+  bool wants_cosched(const vmm::Vm& v) const override {
+    return v.vcrd == vmm::Vcrd::kHigh;
+  }
+  void on_vcrd_changed(vmm::Vm& v, vmm::Vcrd previous) override;
+  void on_accounting(vmm::Vm& v) override;
+
+ private:
+  void evaluate();
+
+  HwMonitorOptions opt_;
+  std::vector<std::uint64_t> window_yields_;  // per VM, current window
+  std::vector<std::uint32_t> quiet_windows_;  // per VM, consecutive
+  bool eval_armed_{false};
+  std::uint64_t total_hints_{0};
+  std::uint64_t evaluations_{0};
+};
+
+}  // namespace asman::core

@@ -1,0 +1,89 @@
+// The modified Roth-Erev learning algorithm (paper Algorithms 1 and 2).
+//
+// At each VCRD adjusting event the Monitoring Module must estimate the
+// lasting time x_{i+1} of the locality of synchronization that is just
+// beginning, i.e. how long the VM's VCPUs should stay coscheduled. The
+// paper adapts the Roth-Erev reinforcement-learning scheme [20]: a
+// propensity q_x is kept for each of N candidate durations; after every
+// interval the propensities decay with recency parameter r and are
+// reinforced by an update function U(x, x_i, i, N, e) that distinguishes
+//
+//   * under-coscheduling  (z_i - x_i <= Delta): the next over-threshold
+//     spinlock arrived essentially immediately after the window closed, so
+//     every duration larger than x_i is reinforced with (1 - e);
+//   * otherwise the chosen duration x_i is reinforced proportionally to
+//     (z_i - x_i) / (z_{i-1} - x_{i-1}), the relative growth of the slack;
+//
+// all other candidates receive the experimentation share q_x(i) * e/(N-1).
+// The first two adjusting events select probabilistically in proportion to
+// propensity; later events select the argmax (Algorithm 1 line 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/rng.h"
+#include "simcore/time.h"
+
+namespace asman::core {
+
+using sim::Cycles;
+
+struct LearningConfig {
+  /// Number of candidate durations (N in the paper).
+  std::uint32_t num_candidates{20};
+  /// Candidate k (0-based) estimates a duration of (k+1) * unit.
+  Cycles unit{sim::kDefaultClock.from_ms(30)};
+  /// Recency parameter r: propensity decay per event.
+  double recency{0.2};
+  /// Experimentation parameter e: probability mass spread to non-chosen
+  /// candidates.
+  double experimentation{0.2};
+  /// Initial scaling s(0): q_x(0) = s(0) * A / N where A is the average
+  /// candidate value.
+  double initial_scaling{1.0};
+  /// Delta: if the gap z_i - x_i is at most this, the window was too short
+  /// (under-coscheduling).
+  Cycles under_gap{sim::kDefaultClock.from_ms(350)};
+  /// Guard on the reinforcement ratio (the paper's formula divides by the
+  /// previous gap, which can be arbitrarily small); ratios are clamped to
+  /// [0, ratio_cap].
+  double ratio_cap{4.0};
+  std::uint64_t seed{0x9E3779B9u};
+};
+
+class LearningEstimator {
+ public:
+  explicit LearningEstimator(const LearningConfig& cfg);
+
+  /// Register a VCRD adjusting event at simulated time `now` and return the
+  /// estimated lasting time x_{i+1} of the locality that starts here.
+  Cycles on_adjusting_event(Cycles now);
+
+  // --- introspection (tests / ablation benches) ---
+  std::uint64_t events() const { return events_; }
+  const std::vector<double>& propensities() const { return q_; }
+  Cycles candidate(std::uint32_t k) const {
+    return Cycles{cfg_.unit.v * (k + 1)};
+  }
+  Cycles last_estimate() const { return last_x_; }
+
+ private:
+  std::uint32_t select_probabilistic();
+  std::uint32_t select_argmax() const;
+  void update_propensities(double gap, double prev_gap,
+                           std::uint32_t chosen_idx);
+
+  LearningConfig cfg_;
+  sim::Rng rng_;
+  std::vector<double> q_;
+
+  std::uint64_t events_{0};
+  Cycles last_event_time_{0};
+  Cycles last_x_{0};
+  std::uint32_t last_idx_{0};
+  double prev_gap_{0.0};  // z_{i-1} - x_{i-1}, in cycles
+  bool have_prev_gap_{false};
+};
+
+}  // namespace asman::core

@@ -1,0 +1,60 @@
+#include "core/monitor.h"
+
+namespace asman::core {
+
+MonitoringModule::MonitoringModule(sim::Simulator& simulation,
+                                   vmm::HypervisorPort& hypervisor,
+                                   vmm::VmId vm_id, const MonitorConfig& cfg)
+    : sim_(simulation),
+      hv_(hypervisor),
+      vm_(vm_id),
+      cfg_(cfg),
+      learner_(cfg.learning) {}
+
+void MonitoringModule::on_spin_acquired(Cycles waited) {
+  // Acquisition-time bookkeeping is already collected by the guest kernel;
+  // the adjusting trigger uses the in-spin crossing callback instead so the
+  // reaction does not wait for the (possibly very long) acquisition.
+  (void)waited;
+}
+
+void MonitoringModule::on_over_threshold() {
+  ++over_events_;
+  if (high_) {
+    // Algorithm 1 line 12-14: the locality outlived the estimate; when the
+    // current window expires the next adjusting event fires immediately.
+    saw_over_in_window_ = true;
+    return;
+  }
+  begin_window();
+}
+
+void MonitoringModule::begin_window() {
+  ++adjusting_events_;
+  const Cycles x = cfg_.fixed_window.v != 0
+                       ? cfg_.fixed_window
+                       : learner_.on_adjusting_event(sim_.now());
+  saw_over_in_window_ = false;
+  if (!high_) {
+    high_ = true;
+    hv_.do_vcrd_op(vm_, vmm::Vcrd::kHigh);  // extensions stay HIGH silently
+  }
+  const std::uint64_t token = ++window_token_;
+  sim_.after(x, [this, token] { window_expired(token); });
+}
+
+void MonitoringModule::window_expired(std::uint64_t token) {
+  if (token != window_token_ || !high_) return;
+  if (saw_over_in_window_) {
+    // Over-threshold spinlocks occurred during the window: stay HIGH and
+    // re-estimate (the next adjusting event).
+    ++extended_windows_;
+    begin_window();
+    return;
+  }
+  ++quiet_windows_;
+  high_ = false;
+  hv_.do_vcrd_op(vm_, vmm::Vcrd::kLow);
+}
+
+}  // namespace asman::core

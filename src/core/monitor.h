@@ -1,0 +1,76 @@
+// The Monitoring Module (paper §3.3, Algorithm 1 driver).
+//
+// Runs "inside the guest kernel" of one VM: it observes every kernel
+// spinlock acquisition (via guest::SpinlockObserver), and when a waiter's
+// wall-clock waiting time crosses the over-threshold limit (2^delta cycles,
+// delta = 20) it fires a VCRD adjusting event:
+//
+//   1. asks the LearningEstimator for the lasting time x_{i+1} of the
+//      locality of synchronization that is starting,
+//   2. raises the VM's VCRD to HIGH via the do_vcrd_op hypercall,
+//   3. arms a timer for x_{i+1}; when it expires,
+//        - if no over-threshold spinlock occurred inside the window the
+//          VCRD drops back to LOW (hypercall again),
+//        - otherwise the next adjusting event is invoked immediately and
+//          the VM stays HIGH with a fresh estimate (Algorithm 1 lines 9-14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/learning.h"
+#include "guest/observer.h"
+#include "simcore/simulator.h"
+#include "vmm/ports.h"
+
+namespace asman::core {
+
+struct MonitorConfig {
+  /// delta: waits above 2^delta_exp cycles are over-threshold (paper: 20).
+  unsigned delta_exp{20};
+  LearningConfig learning{};
+  /// Ablation knob: when nonzero, use this fixed coscheduling window
+  /// instead of the learning estimator (the paper's design question: does
+  /// adaptive estimation beat a hand-picked constant?).
+  Cycles fixed_window{0};
+};
+
+class MonitoringModule final : public guest::SpinlockObserver {
+ public:
+  MonitoringModule(sim::Simulator& simulation, vmm::HypervisorPort& hypervisor,
+                   vmm::VmId vm_id, const MonitorConfig& cfg);
+
+  // --- guest::SpinlockObserver ---
+  void on_spin_acquired(Cycles waited) override;
+  void on_over_threshold() override;
+
+  // --- introspection ---
+  bool high() const { return high_; }
+  std::uint64_t adjusting_events() const { return adjusting_events_; }
+  std::uint64_t over_threshold_events() const { return over_events_; }
+  std::uint64_t windows_completed_quiet() const { return quiet_windows_; }
+  std::uint64_t windows_extended() const { return extended_windows_; }
+  Cycles threshold() const { return Cycles{1ULL << cfg_.delta_exp}; }
+  const LearningEstimator& estimator() const { return learner_; }
+
+ private:
+  void begin_window();
+  void window_expired(std::uint64_t token);
+
+  sim::Simulator& sim_;
+  vmm::HypervisorPort& hv_;
+  vmm::VmId vm_;
+  MonitorConfig cfg_;
+  LearningEstimator learner_;
+
+  bool high_{false};
+  bool saw_over_in_window_{false};
+  std::uint64_t window_token_{0};
+
+  std::uint64_t adjusting_events_{0};
+  std::uint64_t over_events_{0};
+  std::uint64_t quiet_windows_{0};
+  std::uint64_t extended_windows_{0};
+};
+
+}  // namespace asman::core

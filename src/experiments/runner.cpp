@@ -1,0 +1,36 @@
+#include "experiments/runner.h"
+
+#include "simcore/rng.h"
+#include "simcore/thread_pool.h"
+
+namespace asman::experiments {
+
+std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
+                                 std::size_t threads) {
+  std::vector<RunResult> results(points.size());
+  sim::ThreadPool pool(threads);
+  pool.parallel_for(points.size(), [&points, &results](std::size_t i) {
+    results[i] = run_scenario(points[i].scenario);
+  });
+  return results;
+}
+
+sim::Summary run_repeated(const Scenario& base, std::size_t reps,
+                          const std::function<double(const RunResult&)>& metric,
+                          std::size_t threads) {
+  std::vector<double> values(reps);
+  sim::ThreadPool pool(threads);
+  sim::SplitMix64 seeds(base.seed ^ 0xC0FFEEULL);
+  std::vector<std::uint64_t> rep_seeds(reps);
+  for (auto& s : rep_seeds) s = seeds.next();
+  pool.parallel_for(reps, [&base, &metric, &values, &rep_seeds](std::size_t i) {
+    Scenario sc = base;
+    sc.seed = rep_seeds[i];
+    values[i] = metric(run_scenario(sc));
+  });
+  sim::Summary s;
+  for (double v : values) s.add(v);
+  return s;
+}
+
+}  // namespace asman::experiments

@@ -1,0 +1,33 @@
+// Sweep execution: run many independent scenarios in parallel.
+//
+// Individual simulations are deterministic and single-threaded; sweeps
+// (scheduler x online-rate x benchmark x seed) are fanned out over a
+// simcore::ThreadPool. Results come back in input order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/scenario.h"
+#include "simcore/stats.h"
+
+namespace asman::experiments {
+
+struct SweepPoint {
+  std::string label;
+  Scenario scenario;
+};
+
+/// Run all points (parallel; `threads`=0 -> hardware concurrency) and
+/// return results in the same order.
+std::vector<RunResult> run_sweep(const std::vector<SweepPoint>& points,
+                                 std::size_t threads = 0);
+
+/// The paper's repetition protocol: run `reps` instances of the scenario
+/// with derived seeds and summarize a scalar metric extracted from each
+/// run. Verifies dispersion the way §5.3 does (coefficient of variation).
+sim::Summary run_repeated(const Scenario& base, std::size_t reps,
+                          const std::function<double(const RunResult&)>& metric,
+                          std::size_t threads = 0);
+
+}  // namespace asman::experiments

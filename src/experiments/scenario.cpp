@@ -1,0 +1,149 @@
+#include "experiments/scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace asman::experiments {
+
+double VmResult::mean_round_seconds(std::size_t n) const {
+  if (round_seconds.empty()) return 0.0;
+  const std::size_t k = std::min(n, round_seconds.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < k; ++i) s += round_seconds[i];
+  return s / static_cast<double>(k);
+}
+
+const VmResult& RunResult::vm(const std::string& name) const {
+  for (const auto& v : vms)
+    if (v.name == name) return v;
+  throw std::out_of_range("no VM named " + name);
+}
+
+RunResult run_scenario(const Scenario& sc) {
+  sim::Simulator simulation;
+  const sim::ClockDomain clock = sc.machine.clock();
+
+  auto hv = core::make_scheduler(sc.scheduler, simulation, sc.machine, sc.mode);
+  hv->set_cosched_strictness(sc.strictness);
+
+  struct VmRuntime {
+    vmm::VmId id{};
+    std::unique_ptr<guest::GuestKernel> kernel;
+    std::unique_ptr<guest::IdleGuest> idle;
+    std::unique_ptr<core::MonitoringModule> monitor;
+    std::unique_ptr<workloads::Workload> workload;
+    bool finite{false};
+  };
+  std::vector<VmRuntime> rts;
+  rts.reserve(sc.vms.size());
+
+  sim::SplitMix64 seeds(sc.seed);
+  for (const VmSpec& spec : sc.vms) {
+    VmRuntime rt;
+    rt.id = hv->create_vm(spec.name, spec.weight, spec.vcpus, spec.type);
+    if (!spec.workload) {
+      rt.idle = std::make_unique<guest::IdleGuest>(simulation, *hv, rt.id,
+                                                   spec.vcpus);
+      hv->attach_guest(rt.id, rt.idle.get());
+      rts.push_back(std::move(rt));
+      continue;
+    }
+    guest::GuestKernel::Config gc = spec.guest;
+    gc.n_vcpus = spec.vcpus;
+    gc.seed = seeds.next();
+    gc.keep_wait_samples = sc.keep_wait_samples;
+    gc.over_threshold = Cycles{1ULL << sc.monitor.delta_exp};
+    rt.kernel = std::make_unique<guest::GuestKernel>(simulation, *hv, rt.id,
+                                                     gc);
+    if (spec.monitor && sc.scheduler == core::SchedulerKind::kAsman) {
+      core::MonitorConfig mc = sc.monitor;
+      mc.learning.seed = seeds.next();
+      rt.monitor = std::make_unique<core::MonitoringModule>(simulation, *hv,
+                                                            rt.id, mc);
+      rt.kernel->set_observer(rt.monitor.get());
+    }
+    rt.workload = spec.workload(simulation, seeds.next());
+    rt.workload->deploy(*rt.kernel);
+    rt.finite = rt.workload->finite();
+    hv->attach_guest(rt.id, rt.kernel.get());
+    rts.push_back(std::move(rt));
+  }
+
+  hv->start();
+
+  const auto all_work_finished = [&rts, &sc]() -> bool {
+    bool any = false;
+    for (const auto& rt : rts) {
+      if (!rt.workload) continue;
+      if (!rt.finite) continue;  // throughput workloads run to the horizon
+      any = true;
+      if (sc.stop_after_rounds > 0) {
+        // Round-target protocol: stop once every round-tracking workload
+        // completed the target (finishing all rounds also satisfies it).
+        if (rt.workload->rounds_completed() < sc.stop_after_rounds &&
+            !rt.kernel->all_threads_done())
+          return false;
+      } else if (!rt.kernel->all_threads_done()) {
+        return false;
+      }
+    }
+    return any;
+  };
+
+  simulation.run_while(sc.horizon,
+                       [&all_work_finished] { return !all_work_finished(); });
+
+  // --- collect ---
+  RunResult rr;
+  rr.scheduler = sc.scheduler;
+  const Cycles elapsed = simulation.now();
+  rr.elapsed_seconds = clock.to_seconds(elapsed);
+  rr.events = simulation.events_processed();
+  rr.migrations = hv->total_migrations();
+  rr.cosched_events = hv->cosched_events();
+  rr.ipi_sent = hv->ipi_bus().sent();
+  rr.context_switches = hv->context_switches();
+  double idle = 0.0;
+  for (hw::PcpuId p = 0; p < sc.machine.num_pcpus; ++p)
+    idle += hv->pcpu_idle_total(p).ratio(elapsed);
+  rr.idle_fraction = idle / sc.machine.num_pcpus;
+
+  for (std::size_t i = 0; i < rts.size(); ++i) {
+    const VmRuntime& rt = rts[i];
+    const vmm::Vm& v = hv->vm(rt.id);
+    VmResult res;
+    res.name = v.name;
+    if (rt.workload) res.workload_name = rt.workload->name();
+    if (rt.kernel) {
+      res.stats = rt.kernel->stats();
+      res.finished = rt.finite && rt.kernel->all_threads_done();
+      res.runtime_seconds = clock.to_seconds(
+          res.finished ? rt.kernel->last_finish_time() : elapsed);
+    }
+    const double denom =
+        static_cast<double>(v.num_vcpus()) * static_cast<double>(elapsed.v);
+    res.observed_online_rate =
+        denom > 0 ? static_cast<double>(v.total_online.v) / denom : 0.0;
+    res.vcrd_transitions = v.vcrd_high_transitions;
+    Cycles high = v.vcrd_high_time;
+    if (v.vcrd == vmm::Vcrd::kHigh) high += elapsed - v.vcrd_high_since;
+    res.vcrd_high_fraction = high.ratio(elapsed);
+    if (rt.workload) {
+      res.work_units = rt.workload->work_units();
+      const auto times = rt.workload->round_times();
+      Cycles prev{0};
+      for (Cycles t : times) {
+        res.round_seconds.push_back(clock.to_seconds(t - prev));
+        prev = t;
+      }
+    }
+    if (rt.monitor) {
+      res.over_threshold_events = rt.monitor->over_threshold_events();
+      res.adjusting_events = rt.monitor->adjusting_events();
+    }
+    rr.vms.push_back(std::move(res));
+  }
+  return rr;
+}
+
+}  // namespace asman::experiments

@@ -1,0 +1,98 @@
+// Scenario description and single-run execution.
+//
+// A Scenario is a complete virtualized-system configuration: the machine,
+// the scheduler under test, the VM population (weights, VCPU counts, VM
+// types for the CON baseline, workload factories) and the measurement
+// protocol (horizon, round target). run_scenario() builds the whole stack
+// (simulator -> hypervisor -> guest kernels -> monitoring modules ->
+// workloads), runs it, and returns per-VM and system-wide measurements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/monitor.h"
+#include "core/schedulers.h"
+#include "guest/guest_kernel.h"
+#include "hw/machine.h"
+#include "workloads/workload.h"
+
+namespace asman::experiments {
+
+using sim::Cycles;
+
+/// Creates a fresh workload instance for one run (runs must not share
+/// workload state, so scenarios carry factories rather than instances).
+using WorkloadFactory = std::function<std::unique_ptr<workloads::Workload>(
+    sim::Simulator&, std::uint64_t seed)>;
+
+struct VmSpec {
+  std::string name{"VM"};
+  std::uint32_t weight{256};
+  std::uint32_t vcpus{4};
+  /// Administrator VM type: only the CON scheduler reads this.
+  vmm::VmType type{vmm::VmType::kGeneral};
+  /// Null factory = idle VM (the paper's Domain-0).
+  WorkloadFactory workload;
+  /// Attach a Monitoring Module (meaningful under the ASMan scheduler).
+  bool monitor{true};
+  guest::GuestKernel::Config guest{};
+};
+
+struct Scenario {
+  hw::MachineConfig machine{};
+  vmm::SchedMode mode{vmm::SchedMode::kNonWorkConserving};
+  core::SchedulerKind scheduler{core::SchedulerKind::kCredit};
+  vmm::Hypervisor::Strictness strictness{
+      vmm::Hypervisor::Strictness::kStrict};
+  core::MonitorConfig monitor{};
+  std::vector<VmSpec> vms;
+  /// Hard simulation horizon.
+  Cycles horizon{sim::kDefaultClock.from_seconds_f(180.0)};
+  /// Stop early once every round-tracking workload completed this many
+  /// rounds (0 = only finite-completion / horizon stop). Implements the
+  /// paper's "average of the first 10 rounds" protocol.
+  std::uint64_t stop_after_rounds{0};
+  std::uint64_t seed{1};
+  bool keep_wait_samples{false};
+};
+
+struct VmResult {
+  std::string name;
+  std::string workload_name;
+  bool finished{false};
+  double runtime_seconds{0};  // workload completion (finite) or horizon
+  double observed_online_rate{0};
+  std::uint64_t vcrd_transitions{0};
+  double vcrd_high_fraction{0};
+  std::uint64_t work_units{0};
+  std::vector<double> round_seconds;  // per-round durations
+  guest::GuestStats stats;
+  // Monitoring Module counters (zero when no monitor attached).
+  std::uint64_t over_threshold_events{0};
+  std::uint64_t adjusting_events{0};
+
+  /// Mean of the first `n` rounds (or all, if fewer) in seconds.
+  double mean_round_seconds(std::size_t n) const;
+};
+
+struct RunResult {
+  core::SchedulerKind scheduler{core::SchedulerKind::kCredit};
+  std::vector<VmResult> vms;
+  double elapsed_seconds{0};
+  std::uint64_t events{0};
+  std::uint64_t migrations{0};
+  std::uint64_t cosched_events{0};
+  std::uint64_t ipi_sent{0};
+  std::uint64_t context_switches{0};
+  double idle_fraction{0};
+
+  const VmResult& vm(const std::string& name) const;
+};
+
+RunResult run_scenario(const Scenario& sc);
+
+}  // namespace asman::experiments

@@ -1,0 +1,31 @@
+// Text-table and CSV rendering for the bench harness and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace asman::experiments {
+
+/// Fixed-width aligned text table (right-aligned numeric-looking cells).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  TextTable& add_row(std::vector<std::string> cells);
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string fmt_f(double v, int precision = 2);
+std::string fmt_pct(double fraction, int precision = 1);
+
+/// Write rows as CSV (header first). Throws std::runtime_error on IO error.
+void write_csv(const std::string& path,
+               const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace asman::experiments

@@ -1,0 +1,977 @@
+#include "guest/guest_kernel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace asman::guest {
+
+GuestKernel::GuestKernel(sim::Simulator& simulation,
+                         vmm::HypervisorPort& hypervisor, vmm::VmId vm_id,
+                         Config cfg, sim::Trace* trace)
+    : sim_(simulation),
+      hv_(hypervisor),
+      vm_id_(vm_id),
+      cfg_(cfg),
+      trace_(trace),
+      rng_(cfg.seed ^ (0x5151u + vm_id)),
+      vcpus_(cfg.n_vcpus),
+      stats_(cfg.keep_wait_samples) {
+  timer_lock_ = create_spinlock("timer");
+  rq_locks_.reserve(cfg_.n_vcpus);
+  for (std::uint32_t v = 0; v < cfg_.n_vcpus; ++v) {
+    rq_locks_.push_back(create_spinlock("rq:" + std::to_string(v)));
+    // IRQ pseudo-thread: the identity under which tick handlers hold locks.
+    auto irq = std::make_unique<Thread>();
+    irq->id = static_cast<Tid>(threads_.size());
+    irq->vcpu = v;
+    irq->state = TState::kIrq;
+    vcpus_[v].irq_tid = irq->id;
+    threads_.push_back(std::move(irq));
+  }
+}
+
+GuestKernel::~GuestKernel() = default;
+
+// --- setup -------------------------------------------------------------------
+
+std::uint32_t GuestKernel::create_spinlock(std::string name) {
+  locks_.push_back(SpinLock{std::move(name), kNoTid, {}});
+  return static_cast<std::uint32_t>(locks_.size() - 1);
+}
+
+std::uint32_t GuestKernel::create_mutex() {
+  const auto fq = static_cast<std::uint32_t>(futexes_.size());
+  futexes_.push_back(
+      FutexQ{create_spinlock("futex:m" + std::to_string(mutexes_.size())), {}});
+  mutexes_.push_back(Mutex{false, fq});
+  return static_cast<std::uint32_t>(mutexes_.size() - 1);
+}
+
+std::uint32_t GuestKernel::create_barrier(std::uint32_t parties,
+                                          bool spin_only) {
+  assert(parties >= 1);
+  const auto fq = static_cast<std::uint32_t>(futexes_.size());
+  futexes_.push_back(FutexQ{
+      create_spinlock("futex:b" + std::to_string(barriers_.size())), {}});
+  barriers_.push_back(Barrier{parties, 0, 0, fq, spin_only, {}});
+  return static_cast<std::uint32_t>(barriers_.size() - 1);
+}
+
+std::uint32_t GuestKernel::create_semaphore(std::int32_t initial) {
+  const auto fq = static_cast<std::uint32_t>(futexes_.size());
+  futexes_.push_back(FutexQ{
+      create_spinlock("futex:s" + std::to_string(semaphores_.size())), {}});
+  semaphores_.push_back(Semaphore{initial, fq});
+  return static_cast<std::uint32_t>(semaphores_.size() - 1);
+}
+
+Tid GuestKernel::spawn(std::unique_ptr<ThreadProgram> prog,
+                       std::uint32_t vcpu) {
+  assert(vcpu < cfg_.n_vcpus);
+  auto th = std::make_unique<Thread>();
+  th->id = static_cast<Tid>(threads_.size());
+  th->vcpu = vcpu;
+  th->prog = std::move(prog);
+  th->state = TState::kReady;
+  vcpus_[vcpu].runq.push_back(th->id);
+  threads_.push_back(std::move(th));
+  ++user_thread_count_;
+  return threads_.back()->id;
+}
+
+bool GuestKernel::thread_done(Tid t) const {
+  return threads_[t]->state == TState::kDone;
+}
+
+Cycles GuestKernel::thread_finish_time(Tid t) const {
+  return threads_[t]->finish_time;
+}
+
+void GuestKernel::note_trace(sim::TraceCat cat, const std::string& msg) {
+  if (trace_) trace_->emit(sim_.now(), cat, msg);
+}
+
+// --- execution engine ---------------------------------------------------------
+
+Tid GuestKernel::executing_on(std::uint32_t v) const {
+  const VcpuCtx& c = vcpus_[v];
+  return c.in_irq ? c.irq_tid : c.current;
+}
+
+bool GuestKernel::is_executing(Tid t) const {
+  const Thread& th = *threads_[t];
+  const VcpuCtx& c = vcpus_[th.vcpu];
+  if (!c.online) return false;
+  return executing_on(th.vcpu) == t;
+}
+
+void GuestKernel::activate(Tid t) {
+  Thread& th = *threads_[t];
+  Activity& a = th.act;
+  switch (a.kind) {
+    case ActKind::kNone:
+      return;
+    case ActKind::kBurn:
+      a.started_at = sim_.now();
+      a.ev = sim_.after(a.remaining, [this, t] { burn_complete(t); });
+      return;
+    case ActKind::kSpin: {
+      SpinLock& l = locks_[a.lock];
+      if (l.owner == kNoTid) {
+        // The lock was released while we were offline: take it now
+        // (plain pre-ticket spinlock semantics — first online spinner wins).
+        for (std::size_t i = 0; i < l.waiters.size(); ++i) {
+          if (l.waiters[i].tid == t) {
+            grant_to_waiter(a.lock, i);
+            return;
+          }
+        }
+        assert(false && "spinning thread missing from waiter list");
+        return;
+      }
+      // Still held: if the wall-clock wait crossed the over-threshold limit
+      // while this VCPU was offline, report it now (the monitoring code in
+      // the real kernel runs inside the spin loop, so it fires as soon as
+      // the spinner executes again).
+      for (auto& w : l.waiters) {
+        if (w.tid != t) continue;
+        if (!w.reported &&
+            (w.report_pending ||
+             sim_.now() - w.since >= cfg_.over_threshold)) {
+          w.reported = true;
+          w.report_pending = false;
+          if (observer_) observer_->on_over_threshold();
+        }
+        return;
+      }
+      assert(false && "spinning thread missing from waiter list");
+      return;
+    }
+  }
+}
+
+void GuestKernel::deactivate(Tid t) {
+  Thread& th = *threads_[t];
+  Activity& a = th.act;
+  if (a.kind == ActKind::kBurn && a.ev.valid()) {
+    sim_.cancel(a.ev);
+    a.ev = {};
+    a.remaining = sim::saturating_sub(a.remaining, sim_.now() - a.started_at);
+  }
+  // kSpin: wall-clock waiting continues; nothing to pause.
+}
+
+void GuestKernel::burn(Tid t, Cycles len, bool kernel, Cont done) {
+  Thread& th = *threads_[t];
+  assert(th.act.kind == ActKind::kNone && "thread already has an activity");
+  th.act.kind = ActKind::kBurn;
+  th.act.kernel = kernel;
+  th.act.remaining = len;
+  th.act.done = std::move(done);
+  th.act.ev = {};
+  if (is_executing(t)) activate(t);
+}
+
+void GuestKernel::burn_complete(Tid t) {
+  Thread& th = *threads_[t];
+  assert(th.act.kind == ActKind::kBurn);
+  th.act.ev = {};
+  th.act.kind = ActKind::kNone;
+  Cont done = std::move(th.act.done);
+  th.act.done = nullptr;
+  done();
+  maybe_deliver_pending(th.vcpu);
+}
+
+void GuestKernel::repurpose_burn(Tid t, Cycles extra, Cont instead) {
+  Thread& th = *threads_[t];
+  assert(th.act.kind == ActKind::kBurn);
+  if (th.act.ev.valid()) {
+    sim_.cancel(th.act.ev);
+    th.act.ev = {};
+  }
+  th.act.kind = ActKind::kBurn;
+  th.act.kernel = false;
+  th.act.remaining = extra;
+  th.act.done = std::move(instead);
+  if (is_executing(t)) activate(t);
+}
+
+// --- spinlocks -----------------------------------------------------------------
+
+void GuestKernel::record_spin_wait(Cycles waited) {
+  ++stats_.spin_acquisitions;
+  stats_.spin_waits.add(waited);
+  if (observer_) observer_->on_spin_acquired(waited);
+}
+
+void GuestKernel::lock_acquire(Tid t, std::uint32_t lock,
+                               std::function<void(Cycles)> acquired) {
+  assert(is_executing(t));
+  SpinLock& l = locks_[lock];
+  if (l.owner == kNoTid) {
+    l.owner = t;
+    record_spin_wait(cfg_.uncontended_acquire);
+    acquired(cfg_.uncontended_acquire);
+    return;
+  }
+  ++stats_.spin_contended;
+  Thread& th = *threads_[t];
+  assert(th.act.kind == ActKind::kNone);
+  th.act.kind = ActKind::kSpin;
+  th.act.kernel = true;
+  th.act.lock = lock;
+  SpinWaiter w;
+  w.tid = t;
+  w.since = sim_.now();
+  w.acquired = std::move(acquired);
+  w.cross_ev = sim_.after(cfg_.over_threshold,
+                          [this, lock, t] { spin_cross_check(lock, t); });
+  locks_[lock].waiters.push_back(std::move(w));
+  note_trace(sim::TraceCat::kLock,
+             "t" + std::to_string(t) + " spins on " + locks_[lock].name);
+}
+
+void GuestKernel::spin_cross_check(std::uint32_t lock, Tid t) {
+  SpinLock& l = locks_[lock];
+  for (auto& w : l.waiters) {
+    if (w.tid != t) continue;
+    w.cross_ev = {};
+    if (w.reported) return;
+    if (threads_[t]->act.kind != ActKind::kSpin) return;  // defensive
+    if (vcpus_[threads_[t]->vcpu].online) {
+      w.reported = true;
+      if (observer_) observer_->on_over_threshold();
+    } else {
+      // The spinner itself is descheduled; the report fires as soon as it
+      // executes its spin loop again (activate()).
+      w.report_pending = true;
+    }
+    return;
+  }
+}
+
+void GuestKernel::grant_to_waiter(std::uint32_t lock, std::size_t idx) {
+  SpinLock& l = locks_[lock];
+  SpinWaiter w = std::move(l.waiters[idx]);
+  l.waiters.erase(l.waiters.begin() +
+                  static_cast<std::ptrdiff_t>(idx));
+  l.owner = w.tid;
+  if (w.cross_ev.valid()) sim_.cancel(w.cross_ev);
+  Thread& th = *threads_[w.tid];
+  assert(th.act.kind == ActKind::kSpin);
+  th.act.kind = ActKind::kNone;
+  const Cycles waited = sim_.now() - w.since;
+  record_spin_wait(waited);
+  note_trace(sim::TraceCat::kLock, "t" + std::to_string(w.tid) +
+                                       " acquired " + l.name + " after " +
+                                       sim::format_cycles(waited));
+  w.acquired(waited);
+}
+
+void GuestKernel::lock_release(Tid t, std::uint32_t lock) {
+  SpinLock& l = locks_[lock];
+  assert(l.owner == t);
+  (void)t;
+  l.owner = kNoTid;
+  // Grant to the longest-waiting spinner that is actually executing its
+  // spin loop (i.e. whose VCPU is online). Offline spinners cannot observe
+  // the release — they contend again when they come back online.
+  std::size_t best = l.waiters.size();
+  for (std::size_t i = 0; i < l.waiters.size(); ++i) {
+    const SpinWaiter& w = l.waiters[i];
+    if (!vcpus_[threads_[w.tid]->vcpu].online) continue;
+    if (best == l.waiters.size() || w.since < l.waiters[best].since) best = i;
+  }
+  if (best < l.waiters.size()) grant_to_waiter(lock, best);
+}
+
+// --- futex / sleep-wake -----------------------------------------------------------
+
+void GuestKernel::block_current(Tid t, Cont on_wake) {
+  Thread& th = *threads_[t];
+  assert(th.act.kind == ActKind::kNone);
+  VcpuCtx& c = vcpus_[th.vcpu];
+  assert(c.current == t && !c.in_irq);
+  th.state = TState::kBlocked;
+  th.wake_cont = std::move(on_wake);
+  c.current = kNoTid;
+  if (c.quantum_ev.valid()) {
+    sim_.cancel(c.quantum_ev);
+    c.quantum_ev = {};
+  }
+  if (c.online) schedule_vcpu(th.vcpu);
+}
+
+void GuestKernel::make_ready(Tid t) {
+  Thread& th = *threads_[t];
+  assert(th.state == TState::kBlocked);
+  th.state = TState::kReady;
+  VcpuCtx& c = vcpus_[th.vcpu];
+  c.runq.push_back(t);
+  if (c.idle_ev.valid()) {
+    sim_.cancel(c.idle_ev);
+    c.idle_ev = {};
+  }
+  if (c.halted) {
+    c.halted = false;
+    hv_.vcpu_kick(vm_id_, th.vcpu);
+    return;
+  }
+  if (c.online) {
+    if (c.current == kNoTid && !c.in_irq) {
+      schedule_vcpu(th.vcpu);
+    } else if (!c.quantum_ev.valid() && c.current != kNoTid) {
+      arm_quantum(th.vcpu);
+    }
+  }
+}
+
+void GuestKernel::futex_wait(Tid t, std::uint32_t fq, Cont on_wake,
+                             const std::function<bool()>& still_needed) {
+  ++stats_.futex_waits;
+  burn(t, cfg_.syscall_entry, false, [this, t, fq, on_wake, still_needed] {
+    lock_acquire(t, futexes_[fq].bucket_lock,
+                 [this, t, fq, on_wake, still_needed](Cycles) {
+      burn(t, cfg_.futex_enqueue_hold, true,
+           [this, t, fq, on_wake, still_needed] {
+        FutexQ& q = futexes_[fq];
+        if (!still_needed()) {
+          // The condition changed while we were entering the kernel
+          // (futex value re-check): do not sleep.
+          lock_release(t, q.bucket_lock);
+          burn(t, Cycles{200}, false, on_wake);
+          return;
+        }
+        q.sleepers.push_back(t);
+        lock_release(t, q.bucket_lock);
+        // Descheduling takes the thread's own runqueue lock (schedule()):
+        // this lock is also taken by remote wakers, so a holder preempted
+        // here stalls wake-ups for the whole VCPU.
+        const std::uint32_t rq = rq_locks_[threads_[t]->vcpu];
+        lock_acquire(t, rq, [this, t, rq, on_wake](Cycles) {
+          burn(t, cfg_.rq_wake_hold, true, [this, t, rq, on_wake] {
+            lock_release(t, rq);
+            block_current(t, on_wake);
+          });
+        });
+      });
+    });
+  });
+}
+
+void GuestKernel::futex_wake(Tid t, std::uint32_t fq, std::uint32_t n,
+                             Cont done) {
+  ++stats_.futex_wakes;
+  burn(t, cfg_.syscall_entry, false, [this, t, fq, n, done] {
+    lock_acquire(t, futexes_[fq].bucket_lock,
+                 [this, t, fq, n, done](Cycles) {
+      FutexQ& q = futexes_[fq];
+      const std::size_t k =
+          std::min<std::size_t>(n, q.sleepers.size());
+      const Cycles hold =
+          cfg_.futex_wake_base +
+          Cycles{cfg_.futex_wake_per_thread.v * k};
+      burn(t, hold, true, [this, t, fq, k, done] {
+        FutexQ& q2 = futexes_[fq];
+        std::vector<Tid> woken(q2.sleepers.begin(),
+                               q2.sleepers.begin() +
+                                   static_cast<std::ptrdiff_t>(k));
+        q2.sleepers.erase(q2.sleepers.begin(),
+                          q2.sleepers.begin() +
+                              static_cast<std::ptrdiff_t>(k));
+        lock_release(t, q2.bucket_lock);
+        wake_chain(t, std::move(woken), 0, done);
+      });
+    });
+  });
+}
+
+void GuestKernel::wake_chain(Tid waker, std::vector<Tid> woken, std::size_t i,
+                             Cont done) {
+  if (i == woken.size()) {
+    done();
+    return;
+  }
+  const Tid w = woken[i];
+  const std::uint32_t rq = rq_locks_[threads_[w]->vcpu];
+  lock_acquire(waker, rq,
+               [this, waker, woken = std::move(woken), i, done, w,
+                rq](Cycles) mutable {
+    burn(waker, cfg_.rq_wake_hold, true,
+         [this, waker, woken = std::move(woken), i, done, w, rq]() mutable {
+      lock_release(waker, rq);
+      make_ready(w);
+      wake_chain(waker, std::move(woken), i + 1, done);
+    });
+  });
+}
+
+// --- guest scheduling -------------------------------------------------------------
+
+void GuestKernel::schedule_vcpu(std::uint32_t v) {
+  VcpuCtx& c = vcpus_[v];
+  assert(c.online);
+  if (c.current != kNoTid || c.in_irq) return;
+  if (c.runq.empty()) {
+    idle_check(v);
+    return;
+  }
+  const Tid t = c.runq.front();
+  c.runq.pop_front();
+  Thread& th = *threads_[t];
+  assert(th.state == TState::kReady);
+  th.state = TState::kCurrent;
+  c.current = t;
+  ++stats_.context_switches;
+  arm_quantum(v);
+  if (th.act.kind != ActKind::kNone) {
+    activate(t);
+    return;
+  }
+  if (th.wake_cont) {
+    Cont cont = std::move(th.wake_cont);
+    th.wake_cont = nullptr;
+    cont();
+    return;
+  }
+  next_op(t);
+}
+
+void GuestKernel::idle_check(std::uint32_t v) {
+  VcpuCtx& c = vcpus_[v];
+  if (c.idle_ev.valid()) return;
+  c.idle_ev = sim_.after(cfg_.idle_grace, [this, v] {
+    VcpuCtx& cc = vcpus_[v];
+    cc.idle_ev = {};
+    if (cc.online && !cc.in_irq && cc.current == kNoTid && cc.runq.empty() &&
+        !cc.halted) {
+      cc.halted = true;
+      note_trace(sim::TraceCat::kGuest, "vcpu" + std::to_string(v) + " halt");
+      hv_.vcpu_block(vm_id_, v);
+    }
+  });
+}
+
+void GuestKernel::arm_quantum(std::uint32_t v) {
+  VcpuCtx& c = vcpus_[v];
+  if (c.quantum_ev.valid()) {
+    sim_.cancel(c.quantum_ev);
+    c.quantum_ev = {};
+  }
+  if (c.runq.empty()) return;  // sole thread: no need to round-robin
+  c.quantum_ev = sim_.after(cfg_.rr_quantum, [this, v] {
+    vcpus_[v].quantum_ev = {};
+    preempt_quantum(v);
+  });
+}
+
+void GuestKernel::preempt_quantum(std::uint32_t v) {
+  VcpuCtx& c = vcpus_[v];
+  if (!c.online || c.current == kNoTid) return;
+  Thread& th = *threads_[c.current];
+  const bool in_kernel =
+      c.in_irq || (th.act.kind == ActKind::kSpin) ||
+      (th.act.kind == ActKind::kBurn && th.act.kernel);
+  if (in_kernel) {
+    c.need_resched = true;
+    return;
+  }
+  const Tid t = c.current;
+  deactivate(t);
+  th.state = TState::kReady;
+  c.runq.push_back(t);
+  c.current = kNoTid;
+  schedule_vcpu(v);
+}
+
+void GuestKernel::arm_tick(std::uint32_t v) {
+  VcpuCtx& c = vcpus_[v];
+  if (c.tick_ev.valid()) {
+    sim_.cancel(c.tick_ev);
+    c.tick_ev = {};
+  }
+  if (c.tick_due < sim_.now()) c.tick_due = sim_.now();
+  c.tick_ev = sim_.at(c.tick_due, [this, v] {
+    vcpus_[v].tick_ev = {};
+    run_tick(v);
+  });
+}
+
+void GuestKernel::run_tick(std::uint32_t v) {
+  VcpuCtx& c = vcpus_[v];
+  if (!c.online) return;
+  c.tick_due = sim_.now() + cfg_.tick_period;
+  arm_tick(v);
+  ++c.ticks;
+  ++stats_.ticks;
+  if (c.in_irq) return;  // coalesce: a tick is already being handled
+  const Tid cur = c.current;
+  const bool in_kernel =
+      cur != kNoTid &&
+      ((threads_[cur]->act.kind == ActKind::kSpin) ||
+       (threads_[cur]->act.kind == ActKind::kBurn && threads_[cur]->act.kernel));
+  if (in_kernel) {
+    // Interrupts are masked inside kernel critical sections; deliver when
+    // the section ends.
+    c.tick_pending = true;
+    return;
+  }
+  c.tick_pending = false;
+  enter_tick_irq(v);
+}
+
+void GuestKernel::enter_tick_irq(std::uint32_t v) {
+  VcpuCtx& c = vcpus_[v];
+  if (c.current != kNoTid) deactivate(c.current);
+  c.in_irq = true;
+  const Tid irq = c.irq_tid;
+  const Cont finish = [this, v] {
+    VcpuCtx& cc = vcpus_[v];
+    cc.in_irq = false;
+    if (cc.current != kNoTid) {
+      activate(cc.current);
+    } else if (cc.online) {
+      schedule_vcpu(v);
+    }
+    maybe_deliver_pending(v);
+  };
+  // Tick handler: bookkeeping, then the timer lock (xtime_lock — a real
+  // kernel spinlock shared by every VCPU of the VM, so a preempted tick
+  // handler strands all of them), then every Nth tick a load-balance pass
+  // that takes a *remote* runqueue lock (Linux 2.6 rebalance_tick).
+  burn(irq, cfg_.tick_overhead, true, [this, v, irq, finish] {
+    lock_acquire(irq, timer_lock_, [this, v, irq, finish](Cycles) {
+      burn(irq, cfg_.tick_lock_hold, true, [this, v, irq, finish] {
+        lock_release(irq, timer_lock_);
+        VcpuCtx& cc = vcpus_[v];
+        const bool balance = cfg_.n_vcpus > 1 &&
+                             cfg_.balance_every_ticks != 0 &&
+                             cc.ticks % cfg_.balance_every_ticks == 0;
+        if (!balance) {
+          finish();
+          return;
+        }
+        const std::uint32_t victim = static_cast<std::uint32_t>(
+            (v + 1 + cc.ticks / cfg_.balance_every_ticks) % cfg_.n_vcpus);
+        const std::uint32_t target = victim == v ? (v + 1) % cfg_.n_vcpus
+                                                 : victim;
+        const std::uint32_t rq = rq_locks_[target];
+        lock_acquire(irq, rq, [this, irq, rq, finish](Cycles) {
+          burn(irq, cfg_.balance_hold, true, [this, irq, rq, finish] {
+            lock_release(irq, rq);
+            finish();
+          });
+        });
+      });
+    });
+  });
+}
+
+void GuestKernel::tick_wake(std::uint32_t v) {
+  VcpuCtx& c = vcpus_[v];
+  c.tick_wake_ev = {};
+  if (c.online) return;
+  // Pre-tickless guests wake even idle VCPUs for the timer interrupt; the
+  // kick only has an effect if the VCPU was halted (a capped-out VCPU stays
+  // parked — the VMM enforces shares regardless of guest timers).
+  hv_.vcpu_kick(vm_id_, v);
+}
+
+void GuestKernel::maybe_deliver_pending(std::uint32_t v) {
+  VcpuCtx& c = vcpus_[v];
+  if (!c.online || c.in_irq) return;
+  const Tid cur = c.current;
+  const bool in_kernel =
+      cur != kNoTid && threads_[cur]->act.kind != ActKind::kNone &&
+      ((threads_[cur]->act.kind == ActKind::kSpin) || threads_[cur]->act.kernel);
+  if (in_kernel) return;
+  if (c.tick_pending) {
+    c.tick_pending = false;
+    enter_tick_irq(v);
+    return;
+  }
+  if (c.need_resched) {
+    c.need_resched = false;
+    preempt_quantum(v);
+  }
+}
+
+// --- VMM callbacks -------------------------------------------------------------------
+
+void GuestKernel::vcpu_online(std::uint32_t v) {
+  VcpuCtx& c = vcpus_[v];
+  assert(!c.online);
+  c.online = true;
+  c.halted = false;
+  if (c.tick_wake_ev.valid()) {
+    sim_.cancel(c.tick_wake_ev);
+    c.tick_wake_ev = {};
+  }
+  if (c.tick_due.v == 0) c.tick_due = sim_.now() + cfg_.tick_period;
+  arm_tick(v);
+  if (c.in_irq) {
+    activate(c.irq_tid);
+    return;
+  }
+  if (c.current != kNoTid) {
+    activate(c.current);
+    if (!c.quantum_ev.valid()) arm_quantum(v);
+    return;
+  }
+  schedule_vcpu(v);
+}
+
+void GuestKernel::vcpu_offline(std::uint32_t v) {
+  VcpuCtx& c = vcpus_[v];
+  assert(c.online);
+  c.online = false;
+  if (c.tick_ev.valid()) {
+    sim_.cancel(c.tick_ev);
+    c.tick_ev = {};
+  }
+  // Schedule the timer-interrupt wake-up for the next tick deadline.
+  if (!c.tick_wake_ev.valid()) {
+    const Cycles due = c.tick_due < sim_.now() ? sim_.now() : c.tick_due;
+    c.tick_wake_ev = sim_.at(due, [this, v] { tick_wake(v); });
+  }
+  if (c.quantum_ev.valid()) {
+    sim_.cancel(c.quantum_ev);
+    c.quantum_ev = {};
+  }
+  if (c.idle_ev.valid()) {
+    sim_.cancel(c.idle_ev);
+    c.idle_ev = {};
+  }
+  if (c.in_irq) {
+    deactivate(c.irq_tid);
+  } else if (c.current != kNoTid) {
+    deactivate(c.current);
+  }
+}
+
+// --- operations ------------------------------------------------------------------------
+
+void GuestKernel::next_op(Tid t) {
+  Thread& th = *threads_[t];
+  if (th.state != TState::kCurrent) return;  // defensive
+  exec_op(t, th.prog->next());
+}
+
+void GuestKernel::exec_op(Tid t, const Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kCompute:
+      burn(t, op.len, false, [this, t] { next_op(t); });
+      return;
+    case Op::Kind::kCritical:
+      op_critical(t, op.obj, op.len);
+      return;
+    case Op::Kind::kBarrier:
+      op_barrier(t, op.obj);
+      return;
+    case Op::Kind::kSemWait:
+      op_sem_wait(t, op.obj);
+      return;
+    case Op::Kind::kSemPost:
+      op_sem_post(t, op.obj);
+      return;
+    case Op::Kind::kSleep:
+      op_sleep(t, op.len);
+      return;
+    case Op::Kind::kDone:
+      retire(t);
+      return;
+  }
+}
+
+void GuestKernel::op_sleep(Tid t, Cycles len) {
+  // nanosleep-style timer wait: enter the kernel, block, and let the timer
+  // wake us after `len` of wall time.
+  burn(t, cfg_.syscall_entry, false, [this, t, len] {
+    sim_.after(len, [this, t] {
+      if (threads_[t]->state == TState::kBlocked) make_ready(t);
+    });
+    block_current(t, [this, t] { next_op(t); });
+  });
+}
+
+void GuestKernel::op_critical(Tid t, std::uint32_t mtx, Cycles hold) {
+  // User-space fast path: one atomic attempt, then the futex slow path.
+  burn(t, Cycles{120}, false, [this, t, mtx, hold] {
+    Mutex& m = mutexes_[mtx];
+    if (!m.locked) {
+      m.locked = true;
+      burn(t, hold, false, [this, t, mtx] {
+        mutex_unlock(t, mtx, [this, t] { next_op(t); });
+      });
+      return;
+    }
+    // Contended: sleep in the kernel and retry on wake (futex loop).
+    struct Retry {
+      GuestKernel* k;
+      Tid t;
+      std::uint32_t mtx;
+      Cycles hold;
+      void operator()() const {
+        Mutex& m2 = k->mutexes_[mtx];
+        if (!m2.locked) {
+          m2.locked = true;
+          GuestKernel* kk = k;
+          Tid tt = t;
+          std::uint32_t mm = mtx;
+          kk->burn(tt, hold, false, [kk, tt, mm] {
+            kk->mutex_unlock(tt, mm, [kk, tt] { kk->next_op(tt); });
+          });
+          return;
+        }
+        k->futex_wait(t, m2.fq, Retry{*this},
+                      [k2 = k, mtx2 = mtx] { return k2->mutexes_[mtx2].locked; });
+      }
+    };
+    Retry{this, t, mtx, hold}();
+  });
+}
+
+void GuestKernel::mutex_unlock(Tid t, std::uint32_t mtx, Cont done) {
+  burn(t, Cycles{100}, false, [this, t, mtx, done] {
+    Mutex& m = mutexes_[mtx];
+    m.locked = false;
+    if (!futexes_[m.fq].sleepers.empty()) {
+      futex_wake(t, m.fq, 1, done);
+    } else {
+      done();
+    }
+  });
+}
+
+void GuestKernel::op_barrier(Tid t, std::uint32_t bar) {
+  ++stats_.barrier_arrivals;
+  burn(t, Cycles{150}, false, [this, t, bar] {
+    Barrier& b = barriers_[bar];
+    if (++b.arrived == b.parties) {
+      b.arrived = 0;
+      ++b.generation;
+      barrier_release(t, b, [this, t] { next_op(t); });
+      return;
+    }
+    const std::uint64_t g = b.generation;
+    b.spinners.push_back(
+        Barrier::Spinner{t, g, [this, t] { next_op(t); }});
+    barrier_spin_loop(t, bar, g, Cycles{0});
+  });
+}
+
+// Spin-then-block wait with sched_yield cadence: the waiter spins in user
+// space for spin_yield_period, enters the kernel to yield (runqueue lock),
+// re-checks the release flag, and repeats until the spin budget is gone --
+// then it sleeps on the barrier futex. A waiter whose VCPU is preempted
+// inside a yield holds the runqueue lock across the offline span (LHP).
+void GuestKernel::barrier_spin_loop(Tid t, std::uint32_t bar,
+                                    std::uint64_t gen, Cycles spun) {
+  Barrier& b = barriers_[bar];
+  const auto drop_record = [this, t, bar] {
+    Barrier& bb = barriers_[bar];
+    auto it = std::find_if(
+        bb.spinners.begin(), bb.spinners.end(),
+        [t](const Barrier::Spinner& s) { return s.tid == t; });
+    if (it != bb.spinners.end()) bb.spinners.erase(it);
+  };
+  if (b.generation != gen) {
+    // Released while we were inside the kernel part of the loop; the
+    // releaser could not repurpose our spin burn then, so we exit here.
+    drop_record();
+    burn(t, Cycles{150}, false, [this, t] { next_op(t); });
+    return;
+  }
+  if (!b.spin_only && spun >= cfg_.user_spin_limit) {
+    drop_record();
+    ++stats_.barrier_kernel_sleeps;
+    futex_wait(t, b.fq, [this, t] { next_op(t); },
+               [this, bar, gen] { return barriers_[bar].generation == gen; });
+    return;
+  }
+  burn(t, cfg_.spin_yield_period, false, [this, t, bar, gen, spun] {
+    if (barriers_[bar].generation != gen) {
+      barrier_spin_loop(t, bar, gen, spun);  // takes the released path
+      return;
+    }
+    // sched_yield: kernel entry + own runqueue lock, and (with an empty
+    // local runqueue) an idle_balance probe of a remote runqueue lock.
+    const std::uint32_t self_v = threads_[t]->vcpu;
+    const std::uint32_t rq = rq_locks_[self_v];
+    const std::uint64_t yield_no = spun.v / cfg_.spin_yield_period.v;
+    const bool probe_remote =
+        cfg_.n_vcpus > 1 && cfg_.yield_balance_every != 0 &&
+        yield_no % cfg_.yield_balance_every == 0;
+    std::uint32_t remote_rq = rq;
+    if (probe_remote) {
+      const std::uint32_t target = static_cast<std::uint32_t>(
+          (self_v + 1 + yield_no / cfg_.yield_balance_every) % cfg_.n_vcpus);
+      remote_rq = rq_locks_[target == self_v ? (self_v + 1) % cfg_.n_vcpus
+                                             : target];
+    }
+    const Cont continue_spin = [this, t, bar, gen, spun] {
+      barrier_spin_loop(t, bar, gen, spun + cfg_.spin_yield_period);
+    };
+    hv_.vcpu_yield_hint(vm_id_, threads_[t]->vcpu);
+    burn(t, cfg_.syscall_entry, false,
+         [this, t, rq, remote_rq, probe_remote, continue_spin] {
+      lock_acquire(t, rq, [this, t, rq, remote_rq, probe_remote,
+                           continue_spin](Cycles) {
+        burn(t, cfg_.yield_hold, true, [this, t, rq, remote_rq, probe_remote,
+                                        continue_spin] {
+          lock_release(t, rq);
+          if (!probe_remote || remote_rq == rq) {
+            yield_cpu(t, continue_spin);
+            return;
+          }
+          lock_acquire(t, remote_rq,
+                       [this, t, remote_rq, continue_spin](Cycles) {
+            burn(t, cfg_.balance_hold, true, [this, t, remote_rq,
+                                              continue_spin] {
+              lock_release(t, remote_rq);
+              yield_cpu(t, continue_spin);
+            });
+          });
+        });
+      });
+    });
+  });
+}
+
+void GuestKernel::yield_cpu(Tid t, Cont resume) {
+  Thread& th = *threads_[t];
+  VcpuCtx& c = vcpus_[th.vcpu];
+  assert(c.current == t && th.act.kind == ActKind::kNone);
+  if (c.runq.empty()) {
+    resume();  // nothing else to run: yield is a no-op
+    return;
+  }
+  th.state = TState::kReady;
+  th.wake_cont = std::move(resume);
+  c.runq.push_back(t);
+  c.current = kNoTid;
+  if (c.quantum_ev.valid()) {
+    sim_.cancel(c.quantum_ev);
+    c.quantum_ev = {};
+  }
+  if (c.online) schedule_vcpu(th.vcpu);
+}
+
+void GuestKernel::barrier_release(Tid t, Barrier& b, Cont done) {
+  // Wake user-level spinners: those inside their user-space spin chunk
+  // observe the flag immediately (their burn is repurposed); those inside
+  // the kernel part of the yield notice at the next loop check.
+  std::vector<Barrier::Spinner> leftover;
+  std::vector<Barrier::Spinner> spinners;
+  spinners.swap(b.spinners);
+  for (auto& s : spinners) {
+    Thread& th = *threads_[s.tid];
+    if (th.act.kind == ActKind::kBurn && !th.act.kernel) {
+      repurpose_burn(s.tid, Cycles{120}, std::move(s.resume));
+    } else {
+      leftover.push_back(std::move(s));
+    }
+  }
+  // Threads mid-yield keep their records until their own generation check
+  // removes them (they may also time out into futex_wait, whose
+  // still_needed re-check fails and lets them through).
+  b.spinners = std::move(leftover);
+  if (!futexes_[b.fq].sleepers.empty()) {
+    futex_wake(t, b.fq, static_cast<std::uint32_t>(-1), std::move(done));
+  } else {
+    burn(t, Cycles{100}, false, std::move(done));
+  }
+}
+
+void GuestKernel::op_sem_wait(Tid t, std::uint32_t s) {
+  burn(t, cfg_.syscall_entry, false, [this, t, s] {
+    Semaphore& sem = semaphores_[s];
+    lock_acquire(t, futexes_[sem.fq].bucket_lock,
+                 [this, t, s](Cycles lock_wait) {
+      burn(t, Cycles{300}, true, [this, t, s, lock_wait] {
+        Semaphore& sem2 = semaphores_[s];
+        FutexQ& q = futexes_[sem2.fq];
+        // The reported semaphore waiting time is the CPU consumed by the
+        // down() path itself: a blocked sleeper releases its VCPU so the
+        // sleep span is not CPU waiting, and a contended *spinlock* stall
+        // inside the path is attributed to the spinlock histogram, not to
+        // the semaphore (this is why the paper finds blocking primitives
+        // virtualization-tolerant; see DESIGN.md).
+        Cycles path = cfg_.syscall_entry + Cycles{300};
+        path += lock_wait < Cycles{2'000} ? lock_wait : Cycles{2'000};
+        stats_.sem_waits.add(path);
+        if (sem2.count > 0) {
+          --sem2.count;
+          lock_release(t, q.bucket_lock);
+          burn(t, Cycles{150}, false, [this, t] { next_op(t); });
+          return;
+        }
+        q.sleepers.push_back(t);
+        lock_release(t, q.bucket_lock);
+        const std::uint32_t rq = rq_locks_[threads_[t]->vcpu];
+        lock_acquire(t, rq, [this, t, rq](Cycles) {
+          burn(t, cfg_.rq_wake_hold, true, [this, t, rq] {
+            lock_release(t, rq);
+            block_current(t, [this, t] { next_op(t); });
+          });
+        });
+      });
+    });
+  });
+}
+
+void GuestKernel::op_sem_post(Tid t, std::uint32_t s) {
+  burn(t, cfg_.syscall_entry, false, [this, t, s] {
+    Semaphore& sem = semaphores_[s];
+    lock_acquire(t, futexes_[sem.fq].bucket_lock, [this, t, s](Cycles) {
+      burn(t, Cycles{300}, true, [this, t, s] {
+        Semaphore& sem2 = semaphores_[s];
+        FutexQ& q = futexes_[sem2.fq];
+        if (!q.sleepers.empty()) {
+          const Tid w = q.sleepers.front();
+          q.sleepers.erase(q.sleepers.begin());
+          lock_release(t, q.bucket_lock);
+          // Direct handoff: the count stays zero and the sleeper proceeds.
+          lock_acquire(t, rq_locks_[threads_[w]->vcpu],
+                       [this, t, w](Cycles) {
+            burn(t, cfg_.rq_wake_hold, true, [this, t, w] {
+              lock_release(t, rq_locks_[threads_[w]->vcpu]);
+              make_ready(w);
+              next_op(t);
+            });
+          });
+          return;
+        }
+        ++sem2.count;
+        lock_release(t, q.bucket_lock);
+        next_op(t);
+      });
+    });
+  });
+}
+
+void GuestKernel::retire(Tid t) {
+  Thread& th = *threads_[t];
+  assert(th.state == TState::kCurrent);
+  th.state = TState::kDone;
+  th.finish_time = sim_.now();
+  last_finish_ = sim_.now();
+  ++done_count_;
+  VcpuCtx& c = vcpus_[th.vcpu];
+  c.current = kNoTid;
+  if (c.quantum_ev.valid()) {
+    sim_.cancel(c.quantum_ev);
+    c.quantum_ev = {};
+  }
+  note_trace(sim::TraceCat::kGuest, "t" + std::to_string(t) + " done");
+  if (all_threads_done() && all_done_) {
+    Cont cb = std::move(all_done_);
+    all_done_ = nullptr;
+    cb();
+  }
+  if (c.online) schedule_vcpu(th.vcpu);
+}
+
+}  // namespace asman::guest

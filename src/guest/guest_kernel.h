@@ -1,0 +1,333 @@
+// Guest operating system kernel model (one instance per VM).
+//
+// Models the parts of an SMP Linux guest that the paper's measurements
+// depend on:
+//
+//   * per-VCPU thread run queues with a round-robin quantum,
+//   * kernel spinlocks with faithful lock-holder-preemption behaviour — a
+//     holder whose VCPU is offline makes no progress, so waiters on online
+//     VCPUs spin for wall-clock spans bounded by the VMM's scheduling
+//     pattern (this is the effect of Figs 1-2),
+//   * futex hash buckets guarded by spinlocks (the libgomp path: user
+//     synchronization -> futex syscalls -> kernel spinlock traffic),
+//   * GNU-OpenMP-style barriers (user-level active spin up to a limit,
+//     then futex sleep),
+//   * futex-backed user mutexes and blocking semaphores,
+//   * a periodic timer tick that takes a kernel lock (background spinlock
+//     traffic; interrupts are masked inside kernel critical sections),
+//   * the idle path: a VCPU with no runnable thread halts via the
+//     vcpu_block hypercall, which is why blocking primitives tolerate
+//     virtualization (the VMM reassigns the PCPU).
+//
+// Execution model: the kernel is driven entirely by simulator events and
+// the VMM's online/offline callbacks. Each thread has at most one live
+// "activity" (a timed burn or a spinlock spin); activities only progress
+// while their VCPU is online. Continuations (std::function) sequence
+// multi-step kernel paths such as futex wake chains.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "guest/observer.h"
+#include "guest/program.h"
+#include "simcore/rng.h"
+#include "simcore/simulator.h"
+#include "simcore/trace.h"
+#include "vmm/ports.h"
+
+namespace asman::guest {
+
+using sim::Cycles;
+
+class GuestKernel final : public vmm::GuestPort {
+ public:
+  using Cont = std::function<void()>;
+
+  struct Config {
+    std::uint32_t n_vcpus{4};
+    std::uint64_t seed{1};
+
+    // Timer tick (Linux 2.6.18 HZ=250 -> 4 ms) and its lock hold length.
+    // Pre-tickless kernels wake even idle (halted) VCPUs at every tick to
+    // run the handler, which takes the VM-global timer lock (xtime_lock).
+    Cycles tick_period{sim::kDefaultClock.from_ms(4)};
+    Cycles tick_lock_hold{3'000};
+    Cycles tick_overhead{8'000};
+
+    // Round-robin quantum for threads sharing a VCPU.
+    Cycles rr_quantum{sim::kDefaultClock.from_ms(6)};
+
+    // Kernel path costs (cycles); sized for a 2007-era SMP kernel with
+    // cache-cold shared structures.
+    Cycles syscall_entry{800};
+    Cycles futex_enqueue_hold{7'000};
+    Cycles futex_wake_base{4'000};
+    Cycles futex_wake_per_thread{2'500};
+    Cycles rq_wake_hold{3'500};
+    Cycles uncontended_acquire{60};
+
+    // libgomp-style active spin budget before sleeping in the kernel, and
+    // the sched_yield cadence inside the spin: every `spin_yield_period`
+    // cycles of user spinning the waiter enters the kernel and briefly
+    // holds its runqueue lock (this is how user-level waiting turns into
+    // kernel spinlock traffic on a loaded 2.6-era system).
+    Cycles user_spin_limit{900'000};
+    Cycles spin_yield_period{70'000};
+    Cycles yield_hold{4'500};
+
+    // Periodic load balancing (Linux 2.6 rebalance_tick): every Nth timer
+    // tick the handler also takes a *remote* VCPU's runqueue lock — the
+    // classic cross-CPU lock path of that kernel generation.
+    std::uint32_t balance_every_ticks{2};
+    Cycles balance_hold{3'000};
+    // sched_yield with an otherwise-empty runqueue falls into idle_balance,
+    // which probes remote runqueue locks too (every Nth yield here). This
+    // is why a stranded runqueue lock is discovered within microseconds by
+    // every spinning peer — the paper's "long waits occur in neighboring
+    // spinlocks" clustering.
+    std::uint32_t yield_balance_every{2};
+
+    // Over-threshold limit: 2^delta cycles, delta = 20 in the paper.
+    Cycles over_threshold{1ULL << 20};
+
+    // Grace period before an idle VCPU issues the halt hypercall.
+    Cycles idle_grace{4'000};
+
+    bool keep_wait_samples{false};
+  };
+
+  GuestKernel(sim::Simulator& simulation, vmm::HypervisorPort& hypervisor,
+              vmm::VmId vm_id, Config cfg, sim::Trace* trace = nullptr);
+  ~GuestKernel() override;
+
+  GuestKernel(const GuestKernel&) = delete;
+  GuestKernel& operator=(const GuestKernel&) = delete;
+
+  // --- setup (before the simulation starts) ---
+  std::uint32_t create_mutex();
+  /// `spin_only` models flush/flag busy-wait synchronization (NPB-OMP
+  /// pipelines): waiters never sleep in the kernel, they spin (and
+  /// periodically sched_yield) until released — burning their VCPU's
+  /// allocation while an offline peer keeps them waiting.
+  std::uint32_t create_barrier(std::uint32_t parties, bool spin_only = false);
+  std::uint32_t create_semaphore(std::int32_t initial);
+  /// Spawn a thread running `prog`, pinned to VCPU `vcpu`.
+  Tid spawn(std::unique_ptr<ThreadProgram> prog, std::uint32_t vcpu);
+  /// Set the spinlock observer (the Monitoring Module); may be null.
+  void set_observer(SpinlockObserver* obs) { observer_ = obs; }
+  /// Invoked once when every spawned thread has retired.
+  void set_all_done(Cont cb) { all_done_ = std::move(cb); }
+
+  // --- vmm::GuestPort ---
+  void vcpu_online(std::uint32_t vidx) override;
+  void vcpu_offline(std::uint32_t vidx) override;
+
+  // --- introspection ---
+  const Config& config() const { return cfg_; }
+  const GuestStats& stats() const { return stats_; }
+  GuestStats& stats() { return stats_; }
+  vmm::VmId vm_id() const { return vm_id_; }
+  std::uint32_t num_vcpus() const { return cfg_.n_vcpus; }
+  std::size_t num_threads() const { return user_thread_count_; }
+  std::size_t threads_done() const { return done_count_; }
+  bool all_threads_done() const { return done_count_ == user_thread_count_; }
+  bool thread_done(Tid t) const;
+  Cycles thread_finish_time(Tid t) const;
+  /// Retirement time of the most recently finished thread (the workload's
+  /// completion time once all_threads_done()).
+  Cycles last_finish_time() const { return last_finish_; }
+  bool vcpu_online_now(std::uint32_t v) const { return vcpus_[v].online; }
+
+ private:
+  // --- execution engine -----------------------------------------------------
+  enum class ActKind : std::uint8_t { kNone, kBurn, kSpin };
+  struct Activity {
+    ActKind kind{ActKind::kNone};
+    bool kernel{false};  // interrupts masked (no tick) while true
+    Cycles remaining{};
+    Cycles started_at{};
+    std::uint32_t lock{0};  // valid for kSpin
+    Cont done;              // burn completion continuation
+    sim::EventId ev{};      // live completion event (burn, while executing)
+  };
+
+  enum class TState : std::uint8_t { kReady, kCurrent, kBlocked, kDone, kIrq };
+  struct Thread {
+    Tid id{kNoTid};
+    std::uint32_t vcpu{0};
+    std::unique_ptr<ThreadProgram> prog;  // null for IRQ pseudo-threads
+    TState state{TState::kReady};
+    Activity act;
+    Cont wake_cont;  // continuation to run when a blocked thread wakes
+    Cycles finish_time{};
+  };
+
+  struct VcpuCtx {
+    bool online{false};
+    bool halted{false};
+    Tid current{kNoTid};
+    std::deque<Tid> runq;
+    Tid irq_tid{kNoTid};
+    bool in_irq{false};
+    bool tick_pending{false};
+    bool need_resched{false};  // quantum expired inside a kernel section
+    Cycles tick_due{0};        // absolute deadline of the next timer tick
+    sim::EventId tick_ev{};
+    sim::EventId tick_wake_ev{};  // wakes a halted VCPU for its tick
+    sim::EventId quantum_ev{};
+    sim::EventId idle_ev{};
+    std::uint64_t ticks{0};
+  };
+
+  // --- kernel objects ---------------------------------------------------------
+  struct SpinWaiter {
+    Tid tid{kNoTid};
+    Cycles since{};
+    bool reported{false};       // over-threshold already reported
+    bool report_pending{false}; // crossed while offline; report on online
+    sim::EventId cross_ev{};
+    std::function<void(Cycles)> acquired;  // waited -> continue
+  };
+  struct SpinLock {
+    std::string name;
+    Tid owner{kNoTid};
+    std::vector<SpinWaiter> waiters;
+  };
+  struct FutexQ {
+    std::uint32_t bucket_lock{0};  // spinlock index
+    std::vector<Tid> sleepers;
+  };
+  struct Mutex {
+    bool locked{false};
+    std::uint32_t fq{0};
+  };
+  struct Barrier {
+    std::uint32_t parties{0};
+    std::uint32_t arrived{0};
+    std::uint64_t generation{0};
+    std::uint32_t fq{0};
+    bool spin_only{false};
+    struct Spinner {
+      Tid tid{kNoTid};
+      std::uint64_t gen{0};
+      Cont resume;
+    };
+    std::vector<Spinner> spinners;
+  };
+  struct Semaphore {
+    std::int32_t count{0};
+    std::uint32_t fq{0};
+  };
+
+  // execution primitives
+  bool is_executing(Tid t) const;
+  Tid executing_on(std::uint32_t v) const;
+  void activate(Tid t);
+  void deactivate(Tid t);
+  void burn(Tid t, Cycles len, bool kernel, Cont done);
+  void burn_complete(Tid t);
+  /// Cancel a thread's pending burn (barrier satisfy path); the thread must
+  /// be in a kBurn activity. Its `done` is replaced by `instead`.
+  void repurpose_burn(Tid t, Cycles extra, Cont instead);
+
+  // spinlocks
+  std::uint32_t create_spinlock(std::string name);
+  void lock_acquire(Tid t, std::uint32_t lock,
+                    std::function<void(Cycles)> acquired);
+  void lock_release(Tid t, std::uint32_t lock);
+  void grant_to_waiter(std::uint32_t lock, std::size_t waiter_index);
+  void spin_cross_check(std::uint32_t lock, Tid t);
+  void record_spin_wait(Cycles waited);
+
+  // futex / sleep-wake
+  void futex_wait(Tid t, std::uint32_t fq, Cont on_wake,
+                  const std::function<bool()>& still_needed);
+  void futex_wake(Tid t, std::uint32_t fq, std::uint32_t n, Cont done);
+  void wake_chain(Tid waker, std::vector<Tid> woken, std::size_t i, Cont done);
+  void block_current(Tid t, Cont on_wake);
+  void make_ready(Tid t);
+
+  // scheduling inside the guest
+  void schedule_vcpu(std::uint32_t v);
+  void preempt_quantum(std::uint32_t v);
+  void arm_quantum(std::uint32_t v);
+  void arm_tick(std::uint32_t v);
+  void run_tick(std::uint32_t v);
+  void enter_tick_irq(std::uint32_t v);
+  void tick_wake(std::uint32_t v);
+  void maybe_deliver_pending(std::uint32_t v);
+  void idle_check(std::uint32_t v);
+
+  // ops
+  void next_op(Tid t);
+  void exec_op(Tid t, const Op& op);
+  void op_critical(Tid t, std::uint32_t mtx, Cycles hold);
+  void mutex_unlock(Tid t, std::uint32_t mtx, Cont done);
+  void op_barrier(Tid t, std::uint32_t bar);
+  void barrier_spin_loop(Tid t, std::uint32_t bar, std::uint64_t gen,
+                         Cycles spun);
+  /// sched_yield semantics: rotate to the next ready thread on this VCPU
+  /// (if any) and continue with `resume` when scheduled again.
+  void yield_cpu(Tid t, Cont resume);
+  void barrier_release(Tid t, Barrier& b, Cont done);
+  void op_sem_wait(Tid t, std::uint32_t s);
+  void op_sem_post(Tid t, std::uint32_t s);
+  void op_sleep(Tid t, Cycles len);
+  void retire(Tid t);
+
+  void note_trace(sim::TraceCat cat, const std::string& msg);
+
+  sim::Simulator& sim_;
+  vmm::HypervisorPort& hv_;
+  vmm::VmId vm_id_;
+  Config cfg_;
+  sim::Trace* trace_;
+  sim::Rng rng_;
+  SpinlockObserver* observer_{nullptr};
+  Cont all_done_;
+
+  std::vector<VcpuCtx> vcpus_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::vector<SpinLock> locks_;
+  std::vector<FutexQ> futexes_;
+  std::vector<Mutex> mutexes_;
+  std::vector<Barrier> barriers_;
+  std::vector<Semaphore> semaphores_;
+
+  std::uint32_t timer_lock_{0};            // VM-wide tick lock
+  std::vector<std::uint32_t> rq_locks_;    // per-VCPU runqueue locks
+
+  std::size_t user_thread_count_{0};
+  std::size_t done_count_{0};
+  Cycles last_finish_{0};
+  GuestStats stats_;
+};
+
+/// Trivial guest for administrator/idle VMs (the paper's Domain-0 carries
+/// no workload): halts every VCPU immediately and keeps them halted.
+class IdleGuest final : public vmm::GuestPort {
+ public:
+  IdleGuest(sim::Simulator& simulation, vmm::HypervisorPort& hypervisor,
+            vmm::VmId vm_id, std::uint32_t n_vcpus)
+      : sim_(simulation), hv_(hypervisor), vm_(vm_id), n_(n_vcpus) {}
+
+  void vcpu_online(std::uint32_t vidx) override {
+    // Block as soon as the scheduler lets go of its internal state.
+    sim_.after(sim::Cycles{1'000},
+               [this, vidx] { hv_.vcpu_block(vm_, vidx); });
+  }
+  void vcpu_offline(std::uint32_t vidx) override { (void)vidx; }
+
+ private:
+  sim::Simulator& sim_;
+  vmm::HypervisorPort& hv_;
+  vmm::VmId vm_;
+  std::uint32_t n_;
+};
+
+}  // namespace asman::guest

@@ -1,0 +1,44 @@
+// Guest-side instrumentation interfaces and counters.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/histogram.h"
+#include "simcore/time.h"
+
+namespace asman::guest {
+
+/// Receives spinlock measurements from the guest kernel. The paper's
+/// Monitoring Module (core::MonitoringModule) implements this to drive the
+/// VCRD adjusting algorithm; passive stats collection happens regardless.
+class SpinlockObserver {
+ public:
+  virtual ~SpinlockObserver() = default;
+
+  /// A kernel spinlock acquisition completed after `waited` wall cycles.
+  virtual void on_spin_acquired(sim::Cycles waited) = 0;
+
+  /// A spinning waiter's wall-clock waiting time just crossed the
+  /// over-threshold limit (2^delta cycles) while still waiting. This is
+  /// the paper's VCRD adjusting event trigger.
+  virtual void on_over_threshold() = 0;
+};
+
+/// Aggregate guest-kernel statistics, queried by experiments and tests.
+struct GuestStats {
+  sim::Log2Histogram spin_waits;  // all kernel spinlock waits (wall cycles)
+  sim::Log2Histogram sem_waits;   // semaphore kernel-path overhead
+  std::uint64_t spin_acquisitions{0};
+  std::uint64_t spin_contended{0};
+  std::uint64_t futex_waits{0};
+  std::uint64_t futex_wakes{0};
+  std::uint64_t barrier_arrivals{0};
+  std::uint64_t barrier_kernel_sleeps{0};  // arrivals that outlived the spin
+  std::uint64_t ticks{0};
+  std::uint64_t context_switches{0};
+
+  explicit GuestStats(bool keep_samples = false)
+      : spin_waits(keep_samples), sem_waits(false) {}
+};
+
+}  // namespace asman::guest

@@ -1,0 +1,67 @@
+// Workload-to-guest interface: programs as pull-based operation streams.
+//
+// A guest thread executes a `ThreadProgram`, which hands the kernel one
+// operation at a time: compute for N cycles, enter a critical section,
+// arrive at a barrier, wait/post a semaphore, or finish. The guest kernel
+// translates the synchronization ops into the user-level (libgomp-style
+// spin-then-block) and kernel-level (futex + spinlock) machinery whose
+// behaviour under virtualization the paper studies. Workload models
+// (src/workloads) are just ThreadProgram factories.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "simcore/time.h"
+
+namespace asman::guest {
+
+/// Guest-local thread id (dense per VM; also used for IRQ pseudo-threads).
+using Tid = std::uint32_t;
+inline constexpr Tid kNoTid = static_cast<Tid>(-1);
+
+struct Op {
+  enum class Kind : std::uint8_t {
+    /// Pure computation for `len` cycles.
+    kCompute,
+    /// Acquire user mutex `obj` (futex-backed), compute `len` cycles inside
+    /// the critical section, release.
+    kCritical,
+    /// Arrive at barrier `obj` and wait for all parties (spin-then-block).
+    kBarrier,
+    /// Down semaphore `obj` (blocks when zero — never spins).
+    kSemWait,
+    /// Up semaphore `obj`.
+    kSemPost,
+    /// Timed sleep for `len` cycles of wall time (nanosleep/timer wait):
+    /// the thread blocks and is woken by the guest timer.
+    kSleep,
+    /// Thread finished; the kernel retires it.
+    kDone,
+  };
+
+  Kind kind{Kind::kDone};
+  sim::Cycles len{};     // kCompute duration / kCritical hold time
+  std::uint32_t obj{0};  // mutex / barrier / semaphore index
+
+  static Op compute(sim::Cycles len) { return {Kind::kCompute, len, 0}; }
+  static Op critical(std::uint32_t mtx, sim::Cycles hold) {
+    return {Kind::kCritical, hold, mtx};
+  }
+  static Op barrier(std::uint32_t bar) { return {Kind::kBarrier, {}, bar}; }
+  static Op sem_wait(std::uint32_t s) { return {Kind::kSemWait, {}, s}; }
+  static Op sem_post(std::uint32_t s) { return {Kind::kSemPost, {}, s}; }
+  static Op sleep(sim::Cycles len) { return {Kind::kSleep, len, 0}; }
+  static Op done() { return {Kind::kDone, {}, 0}; }
+};
+
+/// One guest thread's instruction stream. Implementations own their RNG
+/// state and may consult shared workload state; next() must be cheap.
+class ThreadProgram {
+ public:
+  virtual ~ThreadProgram() = default;
+  virtual Op next() = 0;
+  virtual const char* name() const = 0;
+};
+
+}  // namespace asman::guest

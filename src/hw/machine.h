@@ -1,0 +1,48 @@
+// Physical machine model.
+//
+// The paper's testbed is a Dell Precision T5400 with two quad-core Xeon
+// X5410 CPUs (8 homogeneous PCPUs, 2.33 GHz). Everything the scheduler
+// depends on — PCPU count, clock frequency, the Credit scheduler's slot
+// and accounting lengths, and IPI latency — is captured here.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/time.h"
+
+namespace asman::hw {
+
+using sim::Cycles;
+
+/// Index of a physical CPU (dense, 0-based).
+using PcpuId = std::uint32_t;
+
+struct MachineConfig {
+  /// Number of homogeneous physical CPUs (paper: 8).
+  std::uint32_t num_pcpus{8};
+  /// Core clock; converts wall time to cycles (paper: 2.33 GHz).
+  std::uint64_t freq_hz{2'330'000'000ULL};
+  /// Basic scheduling time unit: one slot (paper/Xen Credit: 10 ms).
+  std::uint64_t slot_ms{10};
+  /// Credit accounting interval in slots (paper/Xen: K = 3 -> 30 ms).
+  std::uint32_t slots_per_accounting{3};
+  /// Round-robin timeslice in slots (paper/Xen: 30 ms): a VCPU sharing a
+  /// priority class rotates to the queue tail after this much runtime.
+  std::uint32_t slots_per_timeslice{3};
+  /// One-way inter-processor interrupt latency (delivery + handler entry).
+  /// Measured IPI round trips on Harpertown-class parts are a few
+  /// microseconds; 2 us is used as the one-way cost.
+  std::uint64_t ipi_latency_us{2};
+
+  sim::ClockDomain clock() const { return sim::ClockDomain{freq_hz}; }
+  Cycles slot_cycles() const { return clock().from_ms(slot_ms); }
+  Cycles accounting_cycles() const {
+    return Cycles{slot_cycles().v * slots_per_accounting};
+  }
+  Cycles timeslice_cycles() const {
+    return Cycles{slot_cycles().v * slots_per_timeslice};
+  }
+  Cycles ipi_latency() const { return clock().from_us(ipi_latency_us); }
+};
+
+}  // namespace asman::hw

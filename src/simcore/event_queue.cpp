@@ -1,0 +1,58 @@
+#include "simcore/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace asman::sim {
+
+EventId EventQueue::schedule(Cycles at, Callback cb) {
+  const EventId id{next_seq_++};
+  heap_.push(Entry{at, id.seq, std::move(cb)});
+  pending_seqs_.insert(id.seq);
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // An id is pending iff it was issued, not yet fired, and not yet
+  // cancelled. Fired entries are removed from the heap eagerly, so a stale
+  // id can only match a heap entry if it is still pending.
+  const bool inserted = cancelled_.insert(id.seq).second;
+  if (!inserted) return false;
+  if (pending_seqs_.erase(id.seq) == 0) {
+    cancelled_.erase(id.seq);
+    return false;
+  }
+  --live_count_;
+  return true;
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Cycles EventQueue::next_time() const {
+  skip_cancelled();
+  return heap_.empty() ? Cycles::max() : heap_.top().at;
+}
+
+Cycles EventQueue::pop_and_run() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  // Move the callback out before popping so re-entrant schedule() calls in
+  // the callback cannot invalidate the entry mid-flight.
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_seqs_.erase(top.seq);
+  --live_count_;
+  top.cb();
+  return top.at;
+}
+
+}  // namespace asman::sim

@@ -1,0 +1,71 @@
+// Cancellable discrete-event queue with deterministic ordering.
+//
+// Events at equal timestamps fire in insertion order (a monotonically
+// increasing sequence number breaks ties), which makes whole simulations
+// bit-reproducible regardless of heap internals. Cancellation is lazy: a
+// cancelled entry stays in the heap and is skipped on pop, which keeps both
+// schedule() and cancel() O(log n) / O(1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace asman::sim {
+
+/// Opaque handle identifying a scheduled event; may be used to cancel it.
+struct EventId {
+  std::uint64_t seq{0};
+  constexpr bool valid() const { return seq != 0; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to fire at absolute time `at`. `at` must not precede the
+  /// last popped event time (checked by the Simulator layer).
+  EventId schedule(Cycles at, Callback cb);
+
+  /// Cancel a previously scheduled event. Returns true if the event was
+  /// still pending (false if already fired or cancelled).
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Timestamp of the earliest pending event; Cycles::max() when empty.
+  Cycles next_time() const;
+
+  /// Pop and run the earliest pending event. Returns its timestamp.
+  /// Precondition: !empty().
+  Cycles pop_and_run();
+
+ private:
+  struct Entry {
+    Cycles at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> pending_seqs_;
+  std::uint64_t next_seq_{1};
+  std::size_t live_count_{0};
+};
+
+}  // namespace asman::sim

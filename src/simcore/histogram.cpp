@@ -1,0 +1,36 @@
+#include "simcore/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace asman::sim {
+
+std::uint64_t Log2Histogram::count_above(unsigned exp) const {
+  // Samples with floor(log2(v)) > exp all exceed 2^exp. Samples in bucket
+  // `exp` itself are in [2^exp, 2^(exp+1)); those are > 2^exp except the
+  // exact boundary value, which is rare enough to ignore for counting
+  // purposes (the paper's thresholds are order-of-magnitude).
+  std::uint64_t n = 0;
+  for (unsigned b = exp; b < kBuckets; ++b) n += counts_[b];
+  return n;
+}
+
+std::string Log2Histogram::render(unsigned min_bucket,
+                                  unsigned max_bucket) const {
+  std::string out;
+  std::uint64_t peak = 1;
+  for (unsigned b = min_bucket; b <= max_bucket && b < kBuckets; ++b)
+    peak = std::max(peak, counts_[b]);
+  char line[128];
+  for (unsigned b = min_bucket; b <= max_bucket && b < kBuckets; ++b) {
+    const std::uint64_t c = counts_[b];
+    const int bar = static_cast<int>((c * 50 + peak - 1) / peak);
+    std::snprintf(line, sizeof line, "  2^%-2u %10llu %.*s\n", b,
+                  static_cast<unsigned long long>(c), bar,
+                  "##################################################");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace asman::sim

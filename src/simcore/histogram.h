@@ -1,0 +1,77 @@
+// Log2-bucketed histogram for cycle-valued samples.
+//
+// The paper reports spinlock waiting times bucketed by powers of two
+// (">2^10 cycles", ">2^20 cycles", the 2^10..2^30 scatter plots of Figs 2
+// and 8). This histogram mirrors that: bucket k holds samples with
+// floor(log2(v)) == k. Raw samples can optionally be retained for
+// scatter-style output.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace asman::sim {
+
+class Log2Histogram {
+ public:
+  static constexpr unsigned kBuckets = 64;
+
+  explicit Log2Histogram(bool keep_samples = false,
+                         std::size_t max_samples = 1u << 20)
+      : keep_samples_(keep_samples), max_samples_(max_samples) {}
+
+  void add(Cycles v) {
+    ++counts_[log2_floor(v)];
+    ++total_;
+    sum_ += v.v;
+    if (v > max_) max_ = v;
+    if (keep_samples_ && samples_.size() < max_samples_) samples_.push_back(v);
+  }
+
+  void merge(const Log2Histogram& o) {
+    for (unsigned i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+    total_ += o.total_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+    if (keep_samples_) {
+      for (Cycles s : o.samples_) {
+        if (samples_.size() >= max_samples_) break;
+        samples_.push_back(s);
+      }
+    }
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket(unsigned log2_bucket) const {
+    return log2_bucket < kBuckets ? counts_[log2_bucket] : 0;
+  }
+  /// Number of samples strictly greater than 2^exp cycles (paper's
+  /// "over-threshold" counting convention).
+  std::uint64_t count_above(unsigned exp) const;
+
+  Cycles max_value() const { return max_; }
+  double mean() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+  const std::vector<Cycles>& samples() const { return samples_; }
+
+  /// Multi-line ASCII rendering ("2^k | count | bar").
+  std::string render(unsigned min_bucket = 8, unsigned max_bucket = 30) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_{0};
+  std::uint64_t sum_{0};
+  Cycles max_{0};
+  bool keep_samples_;
+  std::size_t max_samples_;
+  std::vector<Cycles> samples_;
+};
+
+}  // namespace asman::sim

@@ -1,0 +1,114 @@
+// Deterministic random number generation for simulations.
+//
+// Every stochastic component of the simulator draws from its own `Rng`
+// seeded from a scenario-level master seed, so that (a) simulations are
+// bit-reproducible and (b) changing one component's draw count does not
+// perturb another component's stream.
+//
+// The generator is xoshiro256++ (Blackman & Vigna), seeded via SplitMix64;
+// both are tiny, fast, and have no external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace asman::sim {
+
+/// SplitMix64: used to expand a single seed into generator state and to
+/// derive independent child seeds.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ PRNG with distribution helpers used by the workload models.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  /// Derive an independent child generator (component sub-streams).
+  Rng child(std::uint64_t salt) const {
+    return Rng(s_[0] ^ (salt * 0x9e3779b97f4a7c15ULL) ^ s_[3]);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    const auto x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Exponential with the given mean (inter-arrival style draws).
+  double exponential(double mean) {
+    double u = next_double();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean, double sd) {
+    double u, v, s;
+    do {
+      u = 2.0 * next_double() - 1.0;
+      v = 2.0 * next_double() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return mean + sd * u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+
+  /// Lognormal-ish positive jitter around `mean` with coefficient of
+  /// variation `cv`; clamped to stay positive. Workload phase lengths use
+  /// this (compute chunks are never negative).
+  double positive_jitter(double mean, double cv) {
+    if (cv <= 0.0) return mean;
+    const double x = normal(mean, mean * cv);
+    const double floor_v = mean * 0.05;
+    return x < floor_v ? floor_v : x;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace asman::sim

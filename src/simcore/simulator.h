@@ -1,0 +1,69 @@
+// The simulation kernel: a virtual clock driving the event queue.
+//
+// One Simulator instance owns one simulated machine. All components hold a
+// reference to it and express behaviour as events ("at time T, do X").
+// The loop is single-threaded and deterministic; parallelism in this code
+// base lives one level up, across independent simulations (ThreadPool).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "simcore/event_queue.h"
+#include "simcore/time.h"
+
+namespace asman::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Cycles now() const { return now_; }
+
+  /// Schedule `cb` to run after `delay` cycles.
+  EventId after(Cycles delay, EventQueue::Callback cb) {
+    return at(now_ + delay, std::move(cb));
+  }
+
+  /// Schedule `cb` at absolute time `when` (must be >= now()).
+  EventId at(Cycles when, EventQueue::Callback cb) {
+    assert(when >= now_ && "cannot schedule into the past");
+    return queue_.schedule(when, std::move(cb));
+  }
+
+  /// Cancel a pending event; safe to call with an already-fired id.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue drains or the clock passes `deadline`.
+  /// Events at exactly `deadline` still fire. Returns events processed.
+  std::uint64_t run_until(Cycles deadline);
+
+  /// Run until the queue is empty.
+  std::uint64_t run_all() { return run_until(Cycles::max()); }
+
+  /// Run while `pred()` is true and events remain before `deadline`.
+  std::uint64_t run_while(Cycles deadline, const std::function<bool()>& pred);
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Advance the clock to `when` without processing events; used by tests
+  /// and by drivers that interleave simulation segments.
+  void fast_forward(Cycles when) {
+    assert(when >= now_);
+    assert(queue_.next_time() >= when && "would skip pending events");
+    now_ = when;
+  }
+
+ private:
+  EventQueue queue_;
+  Cycles now_{0};
+  std::uint64_t events_processed_{0};
+};
+
+}  // namespace asman::sim

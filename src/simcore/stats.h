@@ -1,0 +1,48 @@
+// Streaming summary statistics (Welford) and small sample-set helpers.
+//
+// The paper reports run-time means over 10 repetitions and checks that the
+// coefficient of variation stays below 10 % before averaging (§5.3); the
+// experiment harness uses this type to implement the same protocol.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace asman::sim {
+
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  /// Coefficient of variation = stddev / mean (paper §5.3 uses < 10 %).
+  double cv() const { return mean_ == 0.0 ? 0.0 : stddev() / mean_; }
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Percentile of a sample set (linear interpolation); `p` in [0, 100].
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace asman::sim

@@ -1,0 +1,21 @@
+#include "simcore/time.h"
+
+#include <cstdio>
+
+namespace asman::sim {
+
+std::string format_cycles(Cycles c) {
+  char buf[64];
+  const double s = kDefaultClock.to_seconds(c);
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3fs", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluc",
+                  static_cast<unsigned long long>(c.v));
+  }
+  return buf;
+}
+
+}  // namespace asman::sim

@@ -1,0 +1,53 @@
+#include "simcore/trace.h"
+
+#include <cstdio>
+
+namespace asman::sim {
+
+const char* trace_cat_name(TraceCat c) {
+  switch (c) {
+    case TraceCat::kSched:
+      return "sched";
+    case TraceCat::kCredit:
+      return "credit";
+    case TraceCat::kCosched:
+      return "cosched";
+    case TraceCat::kGuest:
+      return "guest";
+    case TraceCat::kLock:
+      return "lock";
+    case TraceCat::kMonitor:
+      return "monitor";
+    case TraceCat::kWorkload:
+      return "workload";
+  }
+  return "?";
+}
+
+std::vector<TraceRecord> Trace::filter(TraceCat cat) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_)
+    if (r.cat == cat) out.push_back(r);
+  return out;
+}
+
+std::string Trace::dump(std::size_t max_lines) const {
+  std::string out;
+  char head[96];
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (n++ >= max_lines) {
+      out += "  ... (truncated)\n";
+      break;
+    }
+    std::snprintf(head, sizeof head, "  [%12llu] %-8s ",
+                  static_cast<unsigned long long>(r.at.v),
+                  trace_cat_name(r.cat));
+    out += head;
+    out += r.msg;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace asman::sim

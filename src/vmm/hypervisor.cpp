@@ -1,0 +1,662 @@
+#include "vmm/hypervisor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <numeric>
+#include <utility>
+
+namespace asman::vmm {
+
+namespace {
+std::string key_str(VcpuKey k) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "v%u.%u", k.vm, k.idx);
+  return buf;
+}
+}  // namespace
+
+Hypervisor::Hypervisor(sim::Simulator& simulation,
+                       const hw::MachineConfig& machine, SchedMode mode,
+                       sim::Trace* trace, std::uint64_t seed)
+    : sim_(simulation),
+      machine_(machine),
+      mode_(mode),
+      trace_(trace),
+      rng_(seed ^ 0xA5A5A5A5ULL),
+      ipi_(simulation, machine),
+      pcpus_(machine.num_pcpus),
+      slot_len_(machine.slot_cycles()),
+      timeslice_len_(machine.timeslice_cycles()),
+      credit_cap_(2 * static_cast<Credit>(machine.slots_per_accounting) *
+                  kCreditPerSlot) {
+  for (PcpuId p = 0; p < machine_.num_pcpus; ++p) {
+    pcpus_[p].idle_since = sim_.now();
+    ipi_.set_handler(p, [this](PcpuId target, std::uint32_t vector) {
+      ipi_handler(target, vector);
+    });
+  }
+}
+
+VmId Hypervisor::create_vm(std::string name, std::uint32_t weight,
+                           std::uint32_t n_vcpus, VmType type) {
+  assert(!started_ && "create VMs before start()");
+  assert(weight > 0 && n_vcpus > 0);
+  const VmId id = static_cast<VmId>(vms_.size());
+  auto v = std::make_unique<Vm>();
+  v->id = id;
+  v->name = std::move(name);
+  v->weight = weight;
+  v->type = type;
+  v->vcpus.resize(n_vcpus);
+  for (std::uint32_t i = 0; i < n_vcpus; ++i) {
+    Vcpu& c = v->vcpus[i];
+    c.key = VcpuKey{id, i};
+    c.state = VcpuState::kRunnable;
+    // Spread VCPUs round-robin over PCPUs, offset per VM so equally sized
+    // VMs do not all pile onto the low-numbered queues.
+    c.where = static_cast<PcpuId>((id + i) % machine_.num_pcpus);
+    pcpus_[c.where].runq.push(&c);
+  }
+  vms_.push_back(std::move(v));
+  return id;
+}
+
+void Hypervisor::attach_guest(VmId id, GuestPort* guest) {
+  assert(!started_);
+  vm(id).guest = guest;
+}
+
+void Hypervisor::start() {
+  assert(!started_);
+  started_ = true;
+  in_scheduler_ = true;
+  do_accounting();
+  for (PcpuId i = 0; i < machine_.num_pcpus; ++i)
+    dispatch((dispatch_start_ + i) % machine_.num_pcpus);
+  dispatch_start_ = (dispatch_start_ + 1) % machine_.num_pcpus;
+  in_scheduler_ = false;
+  // Per-PCPU ticks, staggered across the slot like real Xen's independent
+  // per-PCPU timers; the stagger is what lets a capped VM's VCPUs park and
+  // unpark at different instants.
+  for (PcpuId p = 0; p < machine_.num_pcpus; ++p) {
+    const Cycles phase{slot_len_.v * (p + 1) / machine_.num_pcpus};
+    sim_.after(phase, [this, p] { pcpu_tick(p); });
+  }
+  sim_.after(machine_.accounting_cycles(), [this] { accounting_event(); });
+}
+
+double Hypervisor::weight_proportion(VmId id) const {
+  std::uint64_t total = 0;
+  for (const auto& v : vms_) total += v->weight;
+  return total == 0 ? 0.0
+                    : static_cast<double>(vm(id).weight) /
+                          static_cast<double>(total);
+}
+
+double Hypervisor::nominal_online_rate(VmId id) const {
+  const Vm& v = vm(id);
+  return static_cast<double>(machine_.num_pcpus) * weight_proportion(id) /
+         static_cast<double>(v.num_vcpus());
+}
+
+bool Hypervisor::vcpu_is_online(VmId id, std::uint32_t vidx) const {
+  return vm(id).vcpus[vidx].state == VcpuState::kRunning;
+}
+
+std::uint32_t Hypervisor::vm_online_count(VmId id) const {
+  std::uint32_t n = 0;
+  for (const Vcpu& c : vm(id).vcpus)
+    if (c.state == VcpuState::kRunning) ++n;
+  return n;
+}
+
+Cycles Hypervisor::pcpu_idle_total(PcpuId p) const {
+  const PcpuRec& pc = pcpus_[p];
+  Cycles t = pc.idle_total;
+  if (pc.current == nullptr) t += sim_.now() - pc.idle_since;
+  return t;
+}
+
+void Hypervisor::note_trace(sim::TraceCat cat, std::string msg) {
+  if (trace_) trace_->emit(sim_.now(), cat, std::move(msg));
+}
+
+// --- credit machinery ------------------------------------------------------
+
+void Hypervisor::burn(Vcpu& v, Cycles elapsed) {
+  // Online-time accounting only; credit is debited separately by charge().
+  v.total_online += elapsed;
+  vm(v.key.vm).total_online += elapsed;
+}
+
+void Hypervisor::charge(Vcpu& v, Cycles elapsed) {
+  if (elapsed.v == 0) return;
+  const double p = std::min(1.0, static_cast<double>(elapsed.v) /
+                                     static_cast<double>(slot_len_.v));
+  if (rng_.next_double() < p)
+    v.credit = std::max<Credit>(v.credit - kCreditPerSlot, -credit_cap_);
+}
+
+void Hypervisor::do_accounting() {
+  // Active set (work-conserving mode only, like Xen's csched_acct): credit
+  // is divided among VMs that actually consumed CPU last period. Without
+  // this, an idle VM's share is minted, capped away, and effectively
+  // charged to the busy VMs, which all sink to -cap and erase the
+  // UNDER/OVER distinction the dispatcher relies on. In the capped
+  // (non-work-conserving) mode the paper's Equations (1)-(2) explicitly
+  // include every VM's weight, so there the full set is used.
+  const Cycles min_active{machine_.accounting_cycles().v / 100};
+  std::uint64_t total_weight = 0;
+  std::vector<bool> active(vms_.size(), true);
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    Vm& v = *vms_[i];
+    if (mode_ == SchedMode::kWorkConserving && slots_elapsed() > 0) {
+      // Active = wants to run (a queued-but-starved VM must keep earning,
+      // or starvation would cut its income and become permanent) or ran.
+      bool runnable = false;
+      for (const Vcpu& c : v.vcpus)
+        if (c.state != VcpuState::kBlocked) {
+          runnable = true;
+          break;
+        }
+      active[i] =
+          runnable || (v.total_online - v.online_at_last_acct) > min_active;
+    }
+    v.online_at_last_acct = v.total_online;
+    if (active[i]) total_weight += v.weight;
+  }
+  if (total_weight == 0) {
+    for (std::size_t i = 0; i < vms_.size(); ++i) {
+      active[i] = true;
+      total_weight += vms_[i]->weight;
+    }
+  }
+  if (total_weight == 0) return;
+  // Algorithm 3: Cred_total = |P| x Cred_unit x K, split by weight, spread
+  // equally over each VM's VCPUs, capped so idle VMs cannot hoard. Like
+  // Xen's csched_acct, the VM's residual credit is pooled and redistributed
+  // equally among its VCPUs, so intra-VM divergence (from the quantized
+  // tick charging) is erased every accounting period while inter-VM
+  // proportions are preserved.
+  const Credit total = static_cast<Credit>(machine_.num_pcpus) *
+                       kCreditPerSlot * machine_.slots_per_accounting;
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    Vm& v = *vms_[i];
+    const Credit inc =
+        active[i]
+            ? static_cast<Credit>((static_cast<__int128>(total) * v.weight) /
+                                  total_weight)
+            : 0;
+    Credit pool = inc;
+    for (const Vcpu& c : v.vcpus) pool += c.credit;
+    const Credit per = pool / static_cast<Credit>(v.num_vcpus());
+    for (Vcpu& c : v.vcpus) c.credit = std::min<Credit>(per, credit_cap_);
+    on_accounting(v);
+  }
+  note_trace(sim::TraceCat::kCredit, "accounting done");
+}
+
+// --- map / unmap ------------------------------------------------------------
+
+void Hypervisor::go_online(PcpuId p, Vcpu* v) {
+  PcpuRec& pc = pcpus_[p];
+  assert(pc.current == nullptr);
+  assert(v->state == VcpuState::kRunnable);
+  if (pc.idle_marked) {
+    pc.idle_total += sim_.now() - pc.idle_since;
+    pc.idle_marked = false;
+  }
+  pc.current = v;
+  v->state = VcpuState::kRunning;
+  v->where = p;
+  v->online_since = sim_.now();
+  v->slice_start = sim_.now();
+  ++v->dispatches;
+  ++context_switches_;
+  note_trace(sim::TraceCat::kSched, key_str(v->key) + " online on P" +
+                                        std::to_string(p));
+  Vm& owner = vm(v->key.vm);
+  if (owner.guest) owner.guest->vcpu_online(v->key.idx);
+}
+
+Vcpu* Hypervisor::unmap_current(PcpuId p) {
+  PcpuRec& pc = pcpus_[p];
+  Vcpu* v = pc.current;
+  assert(v != nullptr);
+  const Cycles elapsed = sim_.now() - v->online_since;
+  burn(*v, elapsed);
+  charge(*v, elapsed);
+  pc.current = nullptr;
+  v->state = VcpuState::kRunnable;
+  note_trace(sim::TraceCat::kSched, key_str(v->key) + " offline from P" +
+                                        std::to_string(p));
+  Vm& owner = vm(v->key.vm);
+  if (owner.guest) owner.guest->vcpu_offline(v->key.idx);
+  return v;
+}
+
+void Hypervisor::go_offline(PcpuId p) {
+  Vcpu* v = unmap_current(p);
+  pcpus_[p].runq.push(v);
+}
+
+bool Hypervisor::is_schedulable(const Vcpu& v) const {
+  // A cosched boost overrides credit parking: the per-VM credit pool pays
+  // for the aligned burst at the next accounting, so VM-level shares hold.
+  return mode_ == SchedMode::kWorkConserving || v.credit >= 0 ||
+         v.cosched_boost;
+}
+
+bool Hypervisor::would_collide(VmId vm_id, PcpuId p) const {
+  const PcpuRec& pc = pcpus_[p];
+  if (pc.current && pc.current->key.vm == vm_id) return true;
+  return pc.runq.has_vm(vm_id);
+}
+
+// --- dispatch (Algorithm 4) -------------------------------------------------
+
+Vcpu* Hypervisor::steal_for(PcpuId p, bool allow_over) {
+  Vcpu* best = nullptr;
+  PcpuId src = 0;
+  for (PcpuId q = 0; q < machine_.num_pcpus; ++q) {
+    if (q == p) continue;
+    for (Vcpu* v : pcpus_[q].runq.entries()) {
+      if (!allow_over && static_cast<int>(v->prio_class()) >
+                             static_cast<int>(PrioClass::kUnder))
+        continue;
+      if (v->cosched_boost) continue;  // an IPI promised it to its queue
+      if (wants_cosched(vm(v->key.vm)) && would_collide(v->key.vm, p))
+        continue;
+      if (best == nullptr || RunQueue::better(v, best)) {
+        best = v;
+        src = q;
+      }
+    }
+  }
+  if (best) {
+    pcpus_[src].runq.remove(best);
+    best->where = p;
+    ++best->migrations;
+    ++migrations_;
+  }
+  return best;
+}
+
+void Hypervisor::dispatch(PcpuId p) {
+  PcpuRec& pc = pcpus_[p];
+  Vcpu* cur = pc.current;
+  if (cur && !is_schedulable(*cur)) {
+    // Algorithm 4 line 2: out of credit in the capped mode -> deschedule
+    // (and co-stop its gang — a half-present gang only spins).
+    preempt_current(p);
+    cur = nullptr;
+  }
+
+  // Keep-current rule (Xen): the current VCPU continues over a queued
+  // candidate of a strictly lower class, and over a same-class candidate
+  // until its round-robin timeslice (30 ms) expires.
+  const auto prefer_current = [this](const Vcpu* c, const Vcpu* q) {
+    if (q == nullptr) return true;
+    const int cc = static_cast<int>(c->prio_class());
+    const int cq = static_cast<int>(q->prio_class());
+    if (cc != cq) return cc < cq;
+    return sim_.now() - c->slice_start < timeslice_len_;
+  };
+
+  // Pass 1: boost/UNDER candidates only (stolen work preferred over idling).
+  Vcpu* cand = pc.runq.best(/*allow_over=*/false);
+  Vcpu* cur_under = (cur && static_cast<int>(cur->prio_class()) <=
+                                static_cast<int>(PrioClass::kUnder))
+                        ? cur
+                        : nullptr;
+  Vcpu* choice = nullptr;
+  bool stolen = false;
+  if (cur_under && prefer_current(cur_under, cand))
+    choice = cur_under;
+  else if (cand)
+    choice = cand;
+  if (choice == nullptr) {
+    choice = steal_for(p, /*allow_over=*/false);
+    stolen = choice != nullptr;
+  }
+
+  // Pass 2 (work-conserving only): OVER fallback, local then remote.
+  if (choice == nullptr && mode_ == SchedMode::kWorkConserving) {
+    Vcpu* cand_o = pc.runq.best(/*allow_over=*/true);
+    if (cur && prefer_current(cur, cand_o))
+      choice = cur;
+    else if (cand_o)
+      choice = cand_o;
+    if (choice == nullptr) {
+      choice = steal_for(p, /*allow_over=*/true);
+      stolen = choice != nullptr;
+    }
+  }
+
+  if (choice == nullptr) {
+    if (cur) go_offline(p);
+    if (pc.current == nullptr && !pc.idle_marked) {
+      pc.idle_marked = true;
+      pc.idle_since = sim_.now();
+    }
+    return;
+  }
+
+  if (choice != cur) {
+    // Secure the choice before any co-stop cascade can re-dispatch other
+    // PCPUs (they must not steal it from under us).
+    if (!stolen) {
+      const bool removed = pc.runq.remove(choice);
+      assert(removed);
+      (void)removed;
+    }
+    if (cur) preempt_current(p);
+    go_online(p, choice);
+  }
+
+  // Algorithm 4 lines 5-7: the head of a coscheduled VM triggers IPIs for
+  // its siblings; the mutex admits one launcher per scheduling-event
+  // instant (per-PCPU ticks at distinct times are distinct events).
+  // Strict mode drops the paper's per-VCPU "credit >= 0" gate: with per-VM
+  // credit pooling the meaningful entitlement is the VM's, and co-stop
+  // enforces it — any legitimately dispatched member launches, otherwise a
+  // member picked from spare (OVER) capacity in work-conserving mode would
+  // run alone for up to an accounting period. Relaxed mode has no co-stop
+  // backstop, so it keeps the paper's gate (an ungated boost would
+  // self-sustain and starve other VMs).
+  const bool entitled = strictness_ == Strictness::kStrict
+                            ? true
+                            : choice->credit >= 0;
+  if (entitled && wants_cosched(vm(choice->key.vm)) &&
+      cosched_mutex_at_ != sim_.now()) {
+    cosched_mutex_at_ = sim_.now();
+    ++cosched_events_;
+    launch_cosched(p, *choice);
+  }
+}
+
+void Hypervisor::refresh_cosched_boost(Vcpu& v, bool weak) {
+  v.cosched_boost = true;
+  v.cosched_weak = weak;
+  if (v.cosched_clear_ev.valid()) sim_.cancel(v.cosched_clear_ev);
+  v.cosched_clear_ev = sim_.after(slot_len_, [this, &v] {
+    v.cosched_boost = false;
+    v.cosched_clear_ev = {};
+  });
+}
+
+void Hypervisor::preempt_current(PcpuId p) {
+  Vcpu* cur = pcpus_[p].current;
+  assert(cur != nullptr);
+  Vm& owner = vm(cur->key.vm);
+  go_offline(p);
+  if (strictness_ == Strictness::kStrict && !in_co_stop_ &&
+      wants_cosched(owner))
+    co_stop(owner);
+}
+
+void Hypervisor::co_stop(Vm& v) {
+  if (in_co_stop_) return;
+  in_co_stop_ = true;
+  ++co_stops_;
+  note_trace(sim::TraceCat::kCosched, v.name + " co-stop");
+  for (Vcpu& w : v.vcpus) {
+    if (w.cosched_clear_ev.valid()) {
+      sim_.cancel(w.cosched_clear_ev);
+      w.cosched_clear_ev = {};
+    }
+    w.cosched_boost = false;
+    w.cosched_weak = false;
+  }
+  // Deschedule every running member and let each PCPU re-pick: if the gang
+  // is still the best claimant it resumes whole (and the head re-launches
+  // boosts); otherwise it stops whole.
+  for (Vcpu& w : v.vcpus) {
+    if (w.state != VcpuState::kRunning) continue;
+    const PcpuId p = w.where;
+    go_offline(p);
+    dispatch(p);
+    if (pcpus_[p].current == nullptr && !pcpus_[p].idle_marked) {
+      pcpus_[p].idle_marked = true;
+      pcpus_[p].idle_since = sim_.now();
+    }
+  }
+  in_co_stop_ = false;
+}
+
+void Hypervisor::launch_cosched(PcpuId from, Vcpu& head) {
+  Vm& gang = vm(head.key.vm);
+  // A launch from an entitled head (credit >= 0) is "strong": its IPIs may
+  // preempt whatever runs on the siblings' PCPUs, and the gang's OVER tail
+  // (a still-strongly-boosted head, paid from the VM's credit pool until
+  // co-stop) keeps re-launching strong. A launch from an *unboosted* head
+  // dispatched out of spare (OVER) capacity — work-conserving mode only —
+  // is "weak": it aligns the gang on capacity nobody entitled is using,
+  // but must not displace UNDER VCPUs of other VMs.
+  const bool strong =
+      head.credit >= 0 || (head.cosched_boost && !head.cosched_weak);
+  ++(strong ? strong_launches_ : weak_launches_);
+  note_trace(sim::TraceCat::kCosched,
+             "cosched launch " + gang.name + " from P" + std::to_string(from) +
+                 (strong ? " (strong)" : " (weak)"));
+  const std::uint32_t vector = gang.id * 2 + (strong ? 1u : 0u);
+  for (Vcpu& w : gang.vcpus) {
+    if (&w == &head) continue;
+    if (w.state == VcpuState::kBlocked) continue;  // idle in the guest
+    if (w.state == VcpuState::kRunning) {
+      // Already online: refresh its boost so the gang stays intact.
+      refresh_cosched_boost(w, !strong);
+      continue;
+    }
+    ipi_.send(from, w.where, vector);
+  }
+}
+
+void Hypervisor::ipi_handler(PcpuId target, std::uint32_t vector) {
+  const VmId vm_id = vector / 2;
+  const bool strong = (vector & 1u) != 0;
+  // Find the gang member this IPI was aimed at; it may have been dispatched
+  // or migrated during the bus latency, in which case there is nothing to do.
+  PcpuRec& pc = pcpus_[target];
+  Vcpu* sib = nullptr;
+  for (Vcpu* v : pc.runq.entries()) {
+    if (v->key.vm != vm_id) continue;
+    if (sib == nullptr || RunQueue::better(v, sib)) sib = v;
+  }
+  if (sib == nullptr) return;
+  if (pc.current != nullptr) {
+    if (pc.current->key.vm == vm_id) return;  // gang already online here
+    if (pc.current->prio_class() == PrioClass::kCosched)
+      return;  // never preempt another gang's boosted member
+    if (!strong && pc.current->credit >= 0)
+      return;  // weak (spare-capacity) boosts never displace UNDER VCPUs
+    // Secure the sibling before preempting: the victim's co-stop cascade
+    // re-dispatches other PCPUs, which must not steal it from under us.
+    pc.runq.remove(sib);
+    in_scheduler_ = true;
+    preempt_current(target);
+    in_scheduler_ = false;
+    if (pc.current != nullptr) {
+      pc.runq.push(sib);  // the cascade refilled this PCPU
+      return;
+    }
+  } else {
+    pc.runq.remove(sib);
+  }
+  refresh_cosched_boost(*sib, !strong);
+  in_scheduler_ = true;
+  go_online(target, sib);
+  in_scheduler_ = false;
+  note_trace(sim::TraceCat::kCosched,
+             key_str(sib->key) + " cosched-boosted on P" +
+                 std::to_string(target));
+}
+
+void Hypervisor::pcpu_tick(PcpuId p) {
+  in_scheduler_ = true;
+  PcpuRec& pc = pcpus_[p];
+  ++pc.ticks;
+  // Wake boosts last until the next scheduling event on the holding PCPU.
+  // Cosched boosts expire on their own one-slot timer and are refreshed by
+  // the gang head's scheduling events, so a live gang sustains itself.
+  if (pc.current) pc.current->wake_boost = false;
+  for (Vcpu* v : pc.runq.entries()) v->wake_boost = false;
+  // Account online time and charge whoever is running at the tick.
+  if (pc.current) {
+    const Cycles elapsed = sim_.now() - pc.current->online_since;
+    burn(*pc.current, elapsed);
+    charge(*pc.current, elapsed);
+    pc.current->online_since = sim_.now();
+  }
+  // Co-stop check: a gang whose last member ran out of credit is
+  // descheduled as a unit (boosted or not — unboosted heads parking one by
+  // one would leave partial gangs spinning on absent peers).
+  if (strictness_ == Strictness::kStrict && pc.current &&
+      pc.current->credit < 0) {
+    Vm& owner = vm(pc.current->key.vm);
+    if (wants_cosched(owner)) {
+      bool any_entitled = false;
+      for (const Vcpu& w : owner.vcpus)
+        if (w.credit >= 0) {
+          any_entitled = true;
+          break;
+        }
+      if (!any_entitled) co_stop(owner);
+    }
+  }
+  dispatch(p);
+  in_scheduler_ = false;
+  sim_.after(slot_len_, [this, p] { pcpu_tick(p); });
+}
+
+void Hypervisor::accounting_event() {
+  in_scheduler_ = true;
+  do_accounting();
+  // Newly topped-up (unparked) VCPUs may be waiting while PCPUs idle.
+  for (PcpuId i = 0; i < machine_.num_pcpus; ++i) {
+    const PcpuId p = (dispatch_start_ + i) % machine_.num_pcpus;
+    if (pcpus_[p].current == nullptr) dispatch(p);
+  }
+  dispatch_start_ = (dispatch_start_ + 1) % machine_.num_pcpus;
+  in_scheduler_ = false;
+  sim_.after(machine_.accounting_cycles(), [this] { accounting_event(); });
+}
+
+// --- hypercalls --------------------------------------------------------------
+
+void Hypervisor::do_vcrd_op(VmId id, Vcrd vcrd) {
+  if (in_scheduler_) {
+    sim_.after(Cycles{0}, [this, id, vcrd] { do_vcrd_op(id, vcrd); });
+    return;
+  }
+  Vm& v = vm(id);
+  if (v.vcrd == vcrd) return;
+  const Vcrd previous = v.vcrd;
+  v.vcrd = vcrd;
+  if (vcrd == Vcrd::kHigh) {
+    ++v.vcrd_high_transitions;
+    v.vcrd_high_since = sim_.now();
+  } else {
+    v.vcrd_high_time += sim_.now() - v.vcrd_high_since;
+  }
+  note_trace(sim::TraceCat::kMonitor,
+             v.name + " VCRD -> " + to_string(vcrd));
+  on_vcrd_changed(v, previous);
+}
+
+void Hypervisor::vcpu_block(VmId id, std::uint32_t vidx) {
+  if (in_scheduler_) {
+    sim_.after(Cycles{0}, [this, id, vidx] { vcpu_block(id, vidx); });
+    return;
+  }
+  Vcpu& v = vm(id).vcpus[vidx];
+  switch (v.state) {
+    case VcpuState::kBlocked:
+      return;
+    case VcpuState::kRunning: {
+      const PcpuId p = v.where;
+      in_scheduler_ = true;
+      Vcpu* u = unmap_current(p);
+      u->state = VcpuState::kBlocked;
+      dispatch(p);
+      if (pcpus_[p].current == nullptr && !pcpus_[p].idle_marked) {
+        pcpus_[p].idle_marked = true;
+        pcpus_[p].idle_since = sim_.now();
+      }
+      in_scheduler_ = false;
+      return;
+    }
+    case VcpuState::kRunnable: {
+      const bool removed = pcpus_[v.where].runq.remove(&v);
+      assert(removed);
+      (void)removed;
+      v.state = VcpuState::kBlocked;
+      return;
+    }
+  }
+}
+
+void Hypervisor::vcpu_kick(VmId id, std::uint32_t vidx) {
+  if (in_scheduler_) {
+    sim_.after(Cycles{0}, [this, id, vidx] { vcpu_kick(id, vidx); });
+    return;
+  }
+  Vcpu& v = vm(id).vcpus[vidx];
+  if (v.state != VcpuState::kBlocked) return;
+  v.state = VcpuState::kRunnable;
+  v.wake_boost = v.credit > 0;  // Xen-style BOOST only for UNDER VCPUs
+  const PcpuId home = v.where;
+  pcpus_[home].runq.push(&v);
+  in_scheduler_ = true;
+  Vcpu* cur = pcpus_[home].current;
+  if (cur == nullptr) {
+    dispatch(home);
+  } else if (v.wake_boost && static_cast<int>(v.prio_class()) <
+                                 static_cast<int>(cur->prio_class())) {
+    preempt_current(home);
+    dispatch(home);
+  }
+  in_scheduler_ = false;
+}
+
+// --- Algorithm 3 lines 8-16 ---------------------------------------------------
+
+void Hypervisor::relocate_vm(Vm& v) {
+  std::vector<bool> claimed(machine_.num_pcpus, false);
+  // Running VCPUs pin their PCPU.
+  for (const Vcpu& c : v.vcpus)
+    if (c.state == VcpuState::kRunning) claimed[c.where] = true;
+  for (Vcpu& c : v.vcpus) {
+    if (c.state == VcpuState::kRunning) continue;
+    if (!claimed[c.where]) {
+      claimed[c.where] = true;
+      continue;
+    }
+    // Choose the least-loaded unclaimed PCPU (lowest id breaks ties).
+    PcpuId dest = machine_.num_pcpus;
+    std::size_t best_load = 0;
+    for (PcpuId p = 0; p < machine_.num_pcpus; ++p) {
+      if (claimed[p]) continue;
+      const std::size_t load = pcpus_[p].runq.size();
+      if (dest == machine_.num_pcpus || load < best_load) {
+        dest = p;
+        best_load = load;
+      }
+    }
+    if (dest == machine_.num_pcpus) break;  // more VCPUs than PCPUs
+    if (c.state == VcpuState::kRunnable) {
+      const bool removed = pcpus_[c.where].runq.remove(&c);
+      assert(removed);
+      (void)removed;
+      pcpus_[dest].runq.push(&c);
+      ++c.migrations;
+      ++migrations_;
+    }
+    c.where = dest;  // blocked VCPUs just get a new wake-up home
+    claimed[dest] = true;
+  }
+  note_trace(sim::TraceCat::kCosched, v.name + " relocated");
+}
+
+}  // namespace asman::vmm

@@ -1,0 +1,215 @@
+// Hypervisor scheduling machinery (the VMM).
+//
+// `Hypervisor` implements everything the paper's schedulers share: slot
+// ticks (10 ms), credit accounting at K-slot intervals (Algorithm 3),
+// per-PCPU run queues, dispatch (Algorithm 4's skeleton), idle-avoiding
+// work stealing, block/kick handling, and the IPI path used for
+// coscheduling. Concrete schedulers specialize two knobs:
+//
+//   * wants_cosched(vm)  — should this VM's VCPUs be gang-scheduled now?
+//       stock Credit:      never                    (vmm::CreditScheduler)
+//       static CON [12]:   vm.type == kConcurrent   (core::StaticCoScheduler)
+//       ASMan:             vm.vcrd == HIGH          (core::AdaptiveScheduler)
+//   * on_vcrd_changed(vm) — reaction to the do_vcrd_op hypercall
+//       (ASMan relocates the VM's VCPUs onto distinct PCPUs, Algorithm 3
+//       lines 8-16).
+//
+// The scheduler is event-driven and deterministic; it owns all Vm/Vcpu
+// records and exposes read-only views for metrics and tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/ipi.h"
+#include "hw/machine.h"
+#include "simcore/rng.h"
+#include "simcore/simulator.h"
+#include "simcore/trace.h"
+#include "vmm/ports.h"
+#include "vmm/runqueue.h"
+#include "vmm/vcpu.h"
+
+namespace asman::vmm {
+
+class Hypervisor : public HypervisorPort {
+ public:
+  Hypervisor(sim::Simulator& simulation, const hw::MachineConfig& machine,
+             SchedMode mode, sim::Trace* trace = nullptr,
+             std::uint64_t seed = 0x5EEDULL);
+  ~Hypervisor() override = default;
+
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  /// Create a VM with `n_vcpus` VCPUs and a proportional-share `weight`.
+  /// VCPUs start runnable, spread round-robin across PCPU run queues.
+  VmId create_vm(std::string name, std::uint32_t weight, std::uint32_t n_vcpus,
+                 VmType type = VmType::kGeneral);
+
+  /// Attach the guest kernel that will receive online/offline callbacks.
+  /// Must be called before start().
+  void attach_guest(VmId vm, GuestPort* guest);
+
+  /// Arm the periodic slot tick; performs the initial credit assignment and
+  /// dispatch at the current simulation time.
+  void start();
+
+  /// Gang semantics. kStrict (default) adds ESX-style co-start/co-stop on
+  /// top of Algorithm 4's IPI boosts: the gang starts, stops and is
+  /// preempted as a unit. kRelaxed keeps only the boosts (VMware's relaxed
+  /// coscheduling): members may run skewed, dribbling in and out. Set
+  /// before start().
+  enum class Strictness : std::uint8_t { kStrict, kRelaxed };
+  void set_cosched_strictness(Strictness s) { strictness_ = s; }
+  Strictness cosched_strictness() const { return strictness_; }
+
+  // --- HypervisorPort (guest-visible hypercalls) ---
+  void do_vcrd_op(VmId vm, Vcrd vcrd) override;
+  void vcpu_block(VmId vm, std::uint32_t vidx) override;
+  void vcpu_kick(VmId vm, std::uint32_t vidx) override;
+
+  // --- introspection (tests, metrics, benches) ---
+  const hw::MachineConfig& machine() const { return machine_; }
+  SchedMode mode() const { return mode_; }
+  std::size_t num_vms() const { return vms_.size(); }
+  Vm& vm(VmId id) { return *vms_[id]; }
+  const Vm& vm(VmId id) const { return *vms_[id]; }
+  /// Weight proportion omega(Vi) per Equation (1).
+  double weight_proportion(VmId id) const;
+  /// Expected VCPU online rate per Equation (2) (may exceed 1 for
+  /// over-provisioned VMs; callers clamp).
+  double nominal_online_rate(VmId id) const;
+
+  bool vcpu_is_online(VmId id, std::uint32_t vidx) const;
+  /// Number of this VM's VCPUs mapped onto PCPUs right now.
+  std::uint32_t vm_online_count(VmId id) const;
+
+  Cycles pcpu_idle_total(PcpuId p) const;
+  const RunQueue& runqueue(PcpuId p) const { return pcpus_[p].runq; }
+  const Vcpu* running_on(PcpuId p) const { return pcpus_[p].current; }
+
+  std::uint64_t total_migrations() const { return migrations_; }
+  std::uint64_t cosched_events() const { return cosched_events_; }
+  std::uint64_t strong_launches() const { return strong_launches_; }
+  std::uint64_t weak_launches() const { return weak_launches_; }
+  std::uint64_t co_stops() const { return co_stops_; }
+  std::uint64_t context_switches() const { return context_switches_; }
+  const hw::IpiBus& ipi_bus() const { return ipi_; }
+  std::uint64_t slots_elapsed() const { return pcpus_[0].ticks; }
+
+ protected:
+  /// Should this VM's VCPUs be gang-scheduled at scheduling events?
+  virtual bool wants_cosched(const Vm& v) const {
+    (void)v;
+    return false;
+  }
+  /// Hook invoked after the VCRD of `v` changed via do_vcrd_op.
+  virtual void on_vcrd_changed(Vm& v, Vcrd previous) {
+    (void)v;
+    (void)previous;
+  }
+  /// Hook invoked for each VM right after credit assignment.
+  virtual void on_accounting(Vm& v) { (void)v; }
+
+  /// Algorithm 3 lines 8-16: place the VM's VCPUs into run queues of
+  /// pairwise distinct PCPUs so a later gang dispatch can bring them all
+  /// online simultaneously. Running VCPUs pin their PCPU; queued and
+  /// blocked ones are moved as needed.
+  void relocate_vm(Vm& v);
+
+  sim::Simulator& sim_;
+
+ private:
+  struct PcpuRec {
+    Vcpu* current{nullptr};
+    RunQueue runq;
+    bool idle_marked{true};
+    Cycles idle_since{0};
+    Cycles idle_total{0};
+    std::uint64_t ticks{0};
+  };
+
+  /// Per-PCPU scheduling event, period = one slot (10 ms), with per-PCPU
+  /// phase offsets — Xen ticks PCPUs independently, and this stagger is
+  /// what desynchronizes the online windows of a capped VM's VCPUs (the
+  /// root condition for lock-holder preemption).
+  void pcpu_tick(PcpuId p);
+  /// Global credit-assignment event (bootstrap PCPU), period = K slots.
+  void accounting_event();
+  void do_accounting();
+  /// Account online time (credit is debited separately by charge()).
+  void burn(Vcpu& v, Cycles elapsed);
+  /// Xen-style quantized debit for an online span of `elapsed` cycles: a
+  /// full slot's credit is charged with probability elapsed/slot. Unbiased
+  /// in expectation, but quantized like Xen's tick sampling — the noise
+  /// desynchronizes the park/unpark times of a capped VM's VCPUs, which is
+  /// the precondition for lock-holder preemption.
+  void charge(Vcpu& v, Cycles elapsed);
+  /// Deschedule the current VCPU of `p` (burn, notify guest, requeue).
+  void go_offline(PcpuId p);
+  /// Like go_offline but leaves the VCPU unqueued (block path).
+  Vcpu* unmap_current(PcpuId p);
+  /// Map `v` (currently queued on some PCPU) onto `p`.
+  void go_online(PcpuId p, Vcpu* v);
+  /// Pick and map work for `p` per Algorithm 4; may steal or go idle.
+  void dispatch(PcpuId p);
+  /// Find the best migratable VCPU for an idle `p` from other run queues.
+  Vcpu* steal_for(PcpuId p, bool allow_over);
+  /// Algorithm 4 lines 5-7: IPI the PCPUs holding siblings of `head`.
+  void launch_cosched(PcpuId from, Vcpu& head);
+  void ipi_handler(PcpuId target, std::uint32_t vm_vector);
+  /// (Re)arm a one-slot cosched boost on `v` (weak = launched from spare
+  /// capacity; see PrioClass::kWeakCosched).
+  void refresh_cosched_boost(Vcpu& v, bool weak);
+  /// Co-stop (ESX-style): once no member of a coscheduled VM has credit
+  /// left, deschedule the whole gang at once instead of letting members
+  /// dribble out one by one (stragglers would only spin on absent peers).
+  /// Also invoked when one member is preempted by a better VCPU
+  /// (co-preempt): a half-present gang is worthless to the guest.
+  void co_stop(Vm& v);
+  /// go_offline + co-stop of the victim's gang if it is coscheduled.
+  void preempt_current(PcpuId p);
+  bool is_schedulable(const Vcpu& v) const;
+  /// True if placing a VCPU of `vm_id` on `p` would co-locate gang members.
+  bool would_collide(VmId vm_id, PcpuId p) const;
+  void note_trace(sim::TraceCat cat, std::string msg);
+
+  hw::MachineConfig machine_;
+  SchedMode mode_;
+  sim::Trace* trace_;
+  sim::Rng rng_;
+  hw::IpiBus ipi_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+  std::vector<PcpuRec> pcpus_;
+
+  Cycles slot_len_;
+  Cycles timeslice_len_;
+  PcpuId dispatch_start_{0};  // rotates the accounting-pass dispatch order
+  /// Algorithm 4's coscheduling mutex: at most one VM launches IPIs per
+  /// scheduling-event instant (simultaneous dispatches share one instant).
+  Cycles cosched_mutex_at_{Cycles::max()};
+  bool started_{false};
+  bool in_scheduler_{false};  // guards against re-entrant hypercalls
+  bool in_co_stop_{false};    // prevents co-stop cascades
+  Strictness strictness_{Strictness::kStrict};
+
+  Credit credit_cap_;
+  std::uint64_t migrations_{0};
+  std::uint64_t strong_launches_{0};
+  std::uint64_t weak_launches_{0};
+  std::uint64_t co_stops_{0};
+  std::uint64_t cosched_events_{0};
+  std::uint64_t context_switches_{0};
+};
+
+/// The stock Xen Credit scheduler: proportional share, load balancing, no
+/// coscheduling. This is the paper's baseline ("Credit").
+class CreditScheduler final : public Hypervisor {
+ public:
+  using Hypervisor::Hypervisor;
+};
+
+}  // namespace asman::vmm

@@ -1,0 +1,53 @@
+// Interfaces between the VMM and guest kernels.
+//
+// The real system has two channels: the VMM maps/unmaps VCPUs onto PCPUs
+// (guest-visible as time discontinuities), and the guest issues hypercalls
+// (do_vcrd_op for the Monitoring Module, plus the usual halt/wake path that
+// lets the VMM detect idle VCPUs). These two small interfaces are the whole
+// coupling surface; guests never see scheduler internals.
+#pragma once
+
+#include <cstdint>
+
+#include "vmm/types.h"
+
+namespace asman::vmm {
+
+/// Implemented by a guest kernel; invoked by the VMM scheduler.
+class GuestPort {
+ public:
+  virtual ~GuestPort() = default;
+
+  /// VCPU `vidx` was just mapped onto a PCPU and starts executing.
+  virtual void vcpu_online(std::uint32_t vidx) = 0;
+
+  /// VCPU `vidx` was descheduled; the guest must suspend all progress that
+  /// depends on it (this is where lock-holder preemption originates).
+  virtual void vcpu_offline(std::uint32_t vidx) = 0;
+};
+
+/// Implemented by the VMM; invoked by guest kernels (hypercalls).
+class HypervisorPort {
+ public:
+  virtual ~HypervisorPort() = default;
+
+  /// The paper's do_vcrd_op hypercall: the Monitoring Module reports the
+  /// VM's new VCPU Related Degree.
+  virtual void do_vcrd_op(VmId vm, Vcrd vcrd) = 0;
+
+  /// Guest idle loop: no runnable thread on this VCPU — deschedule it
+  /// until vcpu_kick. (Xen: SCHEDOP_block.)
+  virtual void vcpu_block(VmId vm, std::uint32_t vidx) = 0;
+
+  /// Wake a previously blocked VCPU (Xen: event channel notification).
+  virtual void vcpu_kick(VmId vm, std::uint32_t vidx) = 0;
+
+  /// Paravirtual yield notification (Xen: SCHEDOP_yield — issued by the
+  /// guest's sched_yield path, i.e. by spin-wait loops). Unlike do_vcrd_op
+  /// this requires no guest modification: stock PV kernels already emit
+  /// it, which is what makes out-of-VM VCRD inference possible (the
+  /// paper's future work, implemented in core::HwAdaptiveScheduler).
+  virtual void vcpu_yield_hint(VmId vm, std::uint32_t vidx) { (void)vm; (void)vidx; }
+};
+
+}  // namespace asman::vmm

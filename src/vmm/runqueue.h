@@ -1,0 +1,75 @@
+// Per-PCPU run queue.
+//
+// Ordering follows the paper's Algorithm 4 plus the boost classes: the head
+// is the highest priority class present, and within a class the VCPU with
+// the maximal credit. The queue stores stable VCPU pointers owned by the
+// scheduler's VM table; it never owns them.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "vmm/vcpu.h"
+
+namespace asman::vmm {
+
+class RunQueue {
+ public:
+  void push(Vcpu* v) { q_.push_back(v); }
+
+  bool remove(Vcpu* v) {
+    auto it = std::find(q_.begin(), q_.end(), v);
+    if (it == q_.end()) return false;
+    q_.erase(it);
+    return true;
+  }
+
+  bool contains(const Vcpu* v) const {
+    return std::find(q_.begin(), q_.end(), v) != q_.end();
+  }
+
+  /// True if any VCPU of VM `vm` is queued here.
+  bool has_vm(VmId vm) const {
+    return std::any_of(q_.begin(), q_.end(),
+                       [vm](const Vcpu* v) { return v->key.vm == vm; });
+  }
+
+  /// Best dispatch candidate: min priority class, FIFO within a class
+  /// (Xen's queue discipline — round-robin among equals, which is what
+  /// keeps same-class VCPUs from starving each other regardless of credit
+  /// magnitude). `allow_over` gates classes below kUnder (false in pass 1).
+  /// Returns nullptr if none eligible.
+  Vcpu* best(bool allow_over) const {
+    Vcpu* pick = nullptr;
+    for (Vcpu* v : q_) {
+      if (!allow_over && static_cast<int>(v->prio_class()) >
+                             static_cast<int>(PrioClass::kUnder))
+        continue;  // OVER and weak-boost candidates wait for pass 2
+      if (pick == nullptr ||
+          static_cast<int>(v->prio_class()) <
+              static_cast<int>(pick->prio_class()))
+        pick = v;  // earlier queue position wins within a class
+    }
+    return pick;
+  }
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+  const std::vector<Vcpu*>& entries() const { return q_; }
+
+  /// Strict ordering used everywhere a "better VCPU" decision is made.
+  static bool better(const Vcpu* a, const Vcpu* b) {
+    const auto ca = static_cast<int>(a->prio_class());
+    const auto cb = static_cast<int>(b->prio_class());
+    if (ca != cb) return ca < cb;
+    if (a->credit != b->credit) return a->credit > b->credit;
+    if (a->key.vm != b->key.vm) return a->key.vm < b->key.vm;
+    return a->key.idx < b->key.idx;
+  }
+
+ private:
+  std::vector<Vcpu*> q_;
+};
+
+}  // namespace asman::vmm

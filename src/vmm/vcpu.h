@@ -1,0 +1,80 @@
+// VCPU and VM records owned by the scheduler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/event_queue.h"
+#include "vmm/ports.h"
+#include "vmm/types.h"
+
+namespace asman::vmm {
+
+/// Credit is held in milli-credits; a VCPU running for one full slot burns
+/// kCreditPerSlot. (Integer fixed point keeps accounting exact enough for
+/// the fairness tests without floating-point drift.)
+using Credit = std::int64_t;
+inline constexpr Credit kCreditPerSlot = 100'000;
+
+struct Vcpu {
+  VcpuKey key;
+  Credit credit{0};
+  VcpuState state{VcpuState::kRunnable};
+
+  /// PCPU whose run queue holds this VCPU (valid when kRunnable), or the
+  /// PCPU it is running on (when kRunning). For kBlocked it remembers the
+  /// last home so wakes re-enqueue locally.
+  PcpuId where{0};
+
+  /// Temporarily raised priorities. Cosched boost is installed by the
+  /// Algorithm-4 IPI, lasts one slot, and is refreshed by the gang head's
+  /// scheduling events while the VM stays coscheduled; wake boost models
+  /// Xen's BOOST priority for freshly woken UNDER VCPUs. A cosched boost
+  /// also overrides credit parking: with per-VM credit pooling the VM's
+  /// aggregate share is unchanged — the gang merely spends it aligned.
+  bool cosched_boost{false};
+  bool cosched_weak{false};  // boost launched from spare (OVER) capacity
+  sim::EventId cosched_clear_ev{};
+  bool wake_boost{false};
+
+  /// When this VCPU last went online (for burn/online-time accounting).
+  Cycles online_since{0};
+  /// Start of the current round-robin timeslice (set when dispatched from
+  /// a queue; keep-current across ticks preserves it).
+  Cycles slice_start{0};
+
+  // -- statistics --
+  Cycles total_online{0};
+  std::uint64_t dispatches{0};
+  std::uint64_t migrations{0};
+
+  PrioClass prio_class() const {
+    if (cosched_boost)
+      return cosched_weak ? PrioClass::kWeakCosched : PrioClass::kCosched;
+    if (wake_boost) return PrioClass::kWake;
+    return credit >= 0 ? PrioClass::kUnder : PrioClass::kOver;
+  }
+};
+
+struct Vm {
+  VmId id{0};
+  std::string name;
+  std::uint32_t weight{256};
+  VmType type{VmType::kGeneral};
+  Vcrd vcrd{Vcrd::kLow};
+  GuestPort* guest{nullptr};
+  std::vector<Vcpu> vcpus;
+
+  // -- statistics --
+  Cycles total_online{0};
+  std::uint64_t vcrd_high_transitions{0};
+  Cycles vcrd_high_time{0};
+  Cycles vcrd_high_since{0};
+  /// total_online at the last accounting pass (active-set detection).
+  Cycles online_at_last_acct{0};
+
+  std::size_t num_vcpus() const { return vcpus.size(); }
+};
+
+}  // namespace asman::vmm

@@ -1,0 +1,96 @@
+#include "workloads/npb.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace asman::workloads {
+
+const char* to_string(NpbBenchmark b) {
+  switch (b) {
+    case NpbBenchmark::kBT:
+      return "BT";
+    case NpbBenchmark::kCG:
+      return "CG";
+    case NpbBenchmark::kEP:
+      return "EP";
+    case NpbBenchmark::kFT:
+      return "FT";
+    case NpbBenchmark::kMG:
+      return "MG";
+    case NpbBenchmark::kSP:
+      return "SP";
+    case NpbBenchmark::kLU:
+      return "LU";
+  }
+  return "?";
+}
+
+NpbBenchmark npb_from_name(std::string_view name) {
+  for (NpbBenchmark b : kAllNpb)
+    if (name == to_string(b)) return b;
+  throw std::invalid_argument("unknown NPB benchmark: " + std::string(name));
+}
+
+PhaseParams npb_params(NpbBenchmark b, std::uint32_t threads,
+                       std::uint64_t rounds) {
+  const auto us = [](std::uint64_t n) { return sim::kDefaultClock.from_us(n); };
+  PhaseParams p;
+  p.threads = threads;
+  p.rounds = rounds;
+  p.sync = PhaseParams::Sync::kBarrierAll;
+  // The suite ran under gcc-era libgomp with active waiting.
+  p.global_pure_spin = true;
+  // Work per round is ~2.5 virtual seconds of single-run CPU time at 100%
+  // online rate for every benchmark; they differ in how finely that work is
+  // chopped by synchronization.
+  switch (b) {
+    case NpbBenchmark::kEP:
+      p.steps = 10;
+      p.compute_mean = us(250'000);
+      p.compute_cv = 0.05;
+      break;
+    case NpbBenchmark::kFT:
+      p.steps = 60;
+      p.compute_mean = us(40'000);
+      p.compute_cv = 0.12;
+      break;
+    case NpbBenchmark::kBT:
+      p.steps = 400;
+      p.compute_mean = us(6'200);
+      p.compute_cv = 0.15;
+      break;
+    case NpbBenchmark::kMG:
+      p.steps = 520;
+      p.compute_mean = us(4'800);
+      p.compute_cv = 0.25;
+      break;
+    case NpbBenchmark::kSP:
+      p.steps = 900;
+      p.compute_mean = us(2'750);
+      p.compute_cv = 0.18;
+      break;
+    case NpbBenchmark::kCG:
+      p.steps = 1'800;
+      p.compute_mean = us(1'380);
+      p.compute_cv = 0.20;
+      break;
+    case NpbBenchmark::kLU:
+      p.sync = PhaseParams::Sync::kNeighborChain;
+      p.global_barrier_every = 40;
+      p.steps = 3'600;
+      p.compute_mean = us(690);
+      p.compute_cv = 0.22;
+      break;
+  }
+  return p;
+}
+
+std::unique_ptr<PhaseWorkload> make_npb(sim::Simulator& simulation,
+                                        NpbBenchmark b, std::uint64_t seed,
+                                        std::uint32_t threads,
+                                        std::uint64_t rounds) {
+  return std::make_unique<PhaseWorkload>(simulation, to_string(b),
+                                         npb_params(b, threads, rounds), seed);
+}
+
+}  // namespace asman::workloads

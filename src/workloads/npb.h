@@ -1,0 +1,53 @@
+// Synthetic NAS Parallel Benchmark models (paper §5: NPB 2.3, OpenMP C,
+// Class A, 4 threads).
+//
+// Each benchmark is characterized by the synchronization rate, topology and
+// load imbalance of its parallel skeleton; the table below is calibrated so
+// the *relative* sync intensity ordering matches the real suite:
+//
+//   EP  embarrassingly parallel — a handful of reductions at the end;
+//   FT  3-D FFT — few, heavy all-to-all transpose barriers;
+//   BT  block-tridiagonal ADI — moderate sweep barriers;
+//   MG  multigrid V-cycles — barriers at every level, finer on average;
+//   SP  scalar-pentadiagonal ADI — like BT with thinner phases;
+//   CG  conjugate gradient — fine-grain dot-product reductions every
+//       iteration;
+//   LU  SSOR wavefront — pipelined point-to-point neighbour sync, the
+//       finest granularity and the paper's primary victim workload.
+//
+// Total work per benchmark is scaled down (virtual seconds instead of
+// minutes) — the figures of merit (slowdowns, wait-time distributions) are
+// ratios and scale-free.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "workloads/phase_model.h"
+
+namespace asman::workloads {
+
+enum class NpbBenchmark : std::uint8_t { kBT, kCG, kEP, kFT, kMG, kSP, kLU };
+
+inline constexpr std::array<NpbBenchmark, 7> kAllNpb = {
+    NpbBenchmark::kBT, NpbBenchmark::kCG, NpbBenchmark::kEP,
+    NpbBenchmark::kFT, NpbBenchmark::kMG, NpbBenchmark::kSP,
+    NpbBenchmark::kLU};
+
+const char* to_string(NpbBenchmark b);
+NpbBenchmark npb_from_name(std::string_view name);
+
+/// Calibrated phase-model parameters for one benchmark with `threads`
+/// workers repeated over `rounds` (scaled Class A).
+PhaseParams npb_params(NpbBenchmark b, std::uint32_t threads = 4,
+                       std::uint64_t rounds = 1);
+
+/// Convenience factory.
+std::unique_ptr<PhaseWorkload> make_npb(sim::Simulator& simulation,
+                                        NpbBenchmark b, std::uint64_t seed,
+                                        std::uint32_t threads = 4,
+                                        std::uint64_t rounds = 1);
+
+}  // namespace asman::workloads

@@ -1,0 +1,125 @@
+#include "workloads/specjbb.h"
+
+#include "workloads/synthetic.h"
+
+#include <vector>
+
+namespace asman::workloads {
+
+using guest::Op;
+
+struct SpecJbbWorkload::Shared {
+  SpecJbbParams p;
+  std::vector<std::uint32_t> shared_mutexes;
+  std::uint32_t safepoint_barrier{0};
+  std::uint64_t transactions{0};
+  std::uint64_t epoch{0};       // safepoints announced so far
+  std::uint64_t next_epoch_at{0};
+};
+
+namespace {
+
+class WarehouseProgram final : public guest::ThreadProgram {
+ public:
+  WarehouseProgram(SpecJbbWorkload::Shared& sh, std::uint64_t seed)
+      : sh_(sh), rng_(seed) {}
+
+  const char* name() const override { return "warehouse"; }
+
+  Op next() override {
+    const SpecJbbParams& p = sh_.p;
+    if (pending_lock_) {
+      pending_lock_ = false;
+      const auto idx = static_cast<std::uint32_t>(
+          rng_.next_below(sh_.shared_mutexes.size()));
+      return Op::critical(sh_.shared_mutexes[idx], p.shared_hold);
+    }
+    if (gc_ops_left_ > 0) {
+      // Parallel GC pause: alternating work chunks and termination
+      // barriers (odd counts are barriers, even are chunks).
+      const bool barrier_step = (gc_ops_left_-- % 2) == 1;
+      return barrier_step ? Op::barrier(sh_.safepoint_barrier)
+                          : Op::compute(p.gc_chunk);
+    }
+    if (!first_) ++sh_.transactions;  // the previous transaction completed
+    first_ = false;
+    if (p.safepoint_every_txns != 0 &&
+        sh_.transactions >= sh_.next_epoch_at) {
+      ++sh_.epoch;
+      sh_.next_epoch_at += p.safepoint_every_txns;
+    }
+    if (my_epoch_ < sh_.epoch) {
+      // Stop-the-world rendezvous, then the parallel GC rounds.
+      ++my_epoch_;
+      gc_ops_left_ = 2 * p.gc_phases;
+      return Op::barrier(sh_.safepoint_barrier);
+    }
+    pending_lock_ = rng_.bernoulli(p.shared_lock_prob);
+    const double len = rng_.positive_jitter(
+        static_cast<double>(p.txn_mean.v), p.txn_cv);
+    return Op::compute(Cycles{static_cast<std::uint64_t>(len)});
+  }
+
+ private:
+  SpecJbbWorkload::Shared& sh_;
+  sim::Rng rng_;
+  bool pending_lock_{false};
+  bool first_{true};
+  std::uint64_t my_epoch_{0};
+  std::uint32_t gc_ops_left_{0};
+};
+
+}  // namespace
+
+SpecJbbWorkload::SpecJbbWorkload(sim::Simulator& simulation,
+                                 SpecJbbParams params, std::uint64_t seed)
+    : sim_(simulation),
+      params_(params),
+      seed_(seed),
+      shared_(std::make_unique<Shared>()) {
+  shared_->p = params_;
+}
+
+SpecJbbWorkload::~SpecJbbWorkload() = default;
+
+void SpecJbbWorkload::deploy(guest::GuestKernel& g) {
+  shared_->shared_mutexes.clear();
+  for (std::uint32_t i = 0; i < params_.shared_locks; ++i)
+    shared_->shared_mutexes.push_back(g.create_mutex());
+  // HotSpot safepoint waits are active (spin + yield).
+  shared_->safepoint_barrier =
+      g.create_barrier(params_.warehouses, /*spin_only=*/true);
+  shared_->next_epoch_at = params_.safepoint_every_txns;
+  sim::SplitMix64 seeds(seed_);
+  for (std::uint32_t w = 0; w < params_.warehouses; ++w)
+    g.spawn(std::make_unique<WarehouseProgram>(*shared_, seeds.next()),
+            w % g.num_vcpus());
+  for (std::uint32_t d = 0; d < params_.daemons; ++d) {
+    auto rng = std::make_shared<sim::Rng>(seeds.next());
+    const SpecJbbParams p = params_;
+    auto working = std::make_shared<bool>(false);
+    g.spawn(std::make_unique<LambdaProgram>(
+                [rng, p, working]() -> Op {
+                  if (*working) {
+                    *working = false;
+                    return Op::compute(p.daemon_work);
+                  }
+                  *working = true;
+                  const double len = rng->positive_jitter(
+                      static_cast<double>(p.daemon_period.v), 0.3);
+                  return Op::sleep(
+                      Cycles{static_cast<std::uint64_t>(len)});
+                }),
+            d % g.num_vcpus());
+  }
+}
+
+std::string SpecJbbWorkload::name() const {
+  return "SPECjbb(" + std::to_string(params_.warehouses) + "wh)";
+}
+
+std::uint64_t SpecJbbWorkload::work_units() const {
+  return shared_->transactions;
+}
+
+}  // namespace asman::workloads

@@ -1,0 +1,72 @@
+// SPECjbb2005 model (paper §5.2, Figure 10).
+//
+// SPECjbb2005 emulates a 3-tier Java business system in a single JVM: W
+// warehouse threads execute independent transactions against per-warehouse
+// data, with occasional accesses to JVM/application shared structures
+// (allocation, global trees) that serialize briefly. It generates no I/O.
+// The model: W threads, each looping [compute(txn) ; sometimes lock one of
+// a few shared mutexes]. Throughput = transactions completed inside a
+// fixed measurement window ("bops"); the SPECjbb score is the average of
+// the per-warehouse-count throughputs for W >= number of VCPUs.
+#pragma once
+
+#include <memory>
+
+#include "simcore/rng.h"
+#include "simcore/simulator.h"
+#include "workloads/workload.h"
+
+namespace asman::workloads {
+
+struct SpecJbbParams {
+  std::uint32_t warehouses{4};
+  /// Mean transaction compute length and jitter.
+  Cycles txn_mean{sim::kDefaultClock.from_us(450)};
+  double txn_cv{0.3};
+  /// Probability that a transaction touches a shared structure, number of
+  /// such structures, and the lock hold time.
+  double shared_lock_prob{0.18};
+  std::uint32_t shared_locks{3};
+  Cycles shared_hold{sim::kDefaultClock.from_us(18)};
+
+  /// JVM stop-the-world safepoints (GC): every `safepoint_every_txns`
+  /// transactions VM-wide, every warehouse thread rendezvouses
+  /// (HotSpot-style active wait) and then runs a *parallel* GC pause:
+  /// `gc_phases` rounds of [work chunk + termination barrier] — the
+  /// fine-grain coupling (parallel marking/evacuation with work stealing)
+  /// that makes SPECjbb coscheduling-sensitive at low VCPU online rates:
+  /// one descheduled VCPU stalls every GC round for the whole JVM.
+  std::uint64_t safepoint_every_txns{200};
+  std::uint32_t gc_phases{6};
+  Cycles gc_chunk{sim::kDefaultClock.from_us(300)};
+
+  /// JVM background daemons (timer thread, JIT compiler, watcher): wake
+  /// periodically, do a little work, sleep. Their sleep/wake churn is what
+  /// keeps a real JVM's VCPUs from aligning by accident.
+  std::uint32_t daemons{2};
+  Cycles daemon_period{sim::kDefaultClock.from_ms(15)};
+  Cycles daemon_work{sim::kDefaultClock.from_us(250)};
+};
+
+class SpecJbbWorkload final : public Workload {
+ public:
+  SpecJbbWorkload(sim::Simulator& simulation, SpecJbbParams params,
+                  std::uint64_t seed);
+  ~SpecJbbWorkload() override;
+
+  void deploy(guest::GuestKernel& g) override;
+  std::string name() const override;
+  bool finite() const override { return false; }
+  /// Transactions completed so far across all warehouses.
+  std::uint64_t work_units() const override;
+
+  struct Shared;  // defined in the .cpp; shared by warehouse programs
+
+ private:
+  sim::Simulator& sim_;
+  SpecJbbParams params_;
+  std::uint64_t seed_;
+  std::unique_ptr<Shared> shared_;
+};
+
+}  // namespace asman::workloads

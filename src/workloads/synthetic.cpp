@@ -1,0 +1,2 @@
+// Synthetic workloads are header-only; this TU anchors the library target.
+#include "workloads/synthetic.h"

@@ -1,0 +1,183 @@
+// Small synthetic programs/workloads used by tests, examples and benches.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simcore/rng.h"
+#include "workloads/workload.h"
+
+namespace asman::workloads {
+
+/// Plays back a fixed op list, then Done.
+class ScriptProgram final : public guest::ThreadProgram {
+ public:
+  explicit ScriptProgram(std::vector<guest::Op> ops) : ops_(std::move(ops)) {}
+  const char* name() const override { return "script"; }
+  guest::Op next() override {
+    if (i_ >= ops_.size()) return guest::Op::done();
+    return ops_[i_++];
+  }
+
+ private:
+  std::vector<guest::Op> ops_;
+  std::size_t i_{0};
+};
+
+/// Wraps a generator callable.
+class LambdaProgram final : public guest::ThreadProgram {
+ public:
+  explicit LambdaProgram(std::function<guest::Op()> fn) : fn_(std::move(fn)) {}
+  const char* name() const override { return "lambda"; }
+  guest::Op next() override { return fn_(); }
+
+ private:
+  std::function<guest::Op()> fn_;
+};
+
+/// Pure CPU hog: `threads` threads compute forever in chunks. Useful as a
+/// background tenant in consolidation scenarios.
+class CpuHogWorkload final : public Workload {
+ public:
+  CpuHogWorkload(std::uint32_t threads, Cycles chunk, std::uint64_t seed)
+      : threads_(threads), chunk_(chunk), seed_(seed) {}
+
+  void deploy(guest::GuestKernel& g) override {
+    sim::SplitMix64 seeds(seed_);
+    for (std::uint32_t t = 0; t < threads_; ++t) {
+      auto rng = std::make_shared<sim::Rng>(seeds.next());
+      g.spawn(std::make_unique<LambdaProgram>([this, rng] {
+                const double len = rng->positive_jitter(
+                    static_cast<double>(chunk_.v), 0.05);
+                return guest::Op::compute(
+                    Cycles{static_cast<std::uint64_t>(len)});
+              }),
+              t % g.num_vcpus());
+    }
+  }
+  std::string name() const override { return "cpu-hog"; }
+  bool finite() const override { return false; }
+
+ private:
+  std::uint32_t threads_;
+  Cycles chunk_;
+  std::uint64_t seed_;
+};
+
+/// `threads` threads hammer one shared futex-backed mutex: a synchronization
+/// stress used by lock/monitor tests and the ablation benches.
+class LockHammerWorkload final : public Workload {
+ public:
+  LockHammerWorkload(std::uint32_t threads, std::uint64_t iterations,
+                     Cycles compute, Cycles hold, std::uint64_t seed)
+      : threads_(threads),
+        iterations_(iterations),
+        compute_(compute),
+        hold_(hold),
+        seed_(seed) {}
+
+  void deploy(guest::GuestKernel& g) override {
+    const std::uint32_t mtx = g.create_mutex();
+    sim::SplitMix64 seeds(seed_);
+    for (std::uint32_t t = 0; t < threads_; ++t) {
+      struct State {
+        std::uint64_t left;
+        bool lock_next{false};
+        sim::Rng rng;
+      };
+      auto st = std::make_shared<State>(
+          State{iterations_, false, sim::Rng(seeds.next())});
+      auto self = this;
+      g.spawn(std::make_unique<LambdaProgram>([st, self, mtx]() {
+                if (st->left == 0) return guest::Op::done();
+                if (st->lock_next) {
+                  st->lock_next = false;
+                  --st->left;
+                  return guest::Op::critical(mtx, self->hold_);
+                }
+                st->lock_next = true;
+                const double len = st->rng.positive_jitter(
+                    static_cast<double>(self->compute_.v), 0.2);
+                return guest::Op::compute(
+                    Cycles{static_cast<std::uint64_t>(len)});
+              }),
+              t % g.num_vcpus());
+    }
+  }
+  std::string name() const override { return "lock-hammer"; }
+
+ private:
+  std::uint32_t threads_;
+  std::uint64_t iterations_;
+  Cycles compute_;
+  Cycles hold_;
+  std::uint64_t seed_;
+};
+
+/// Producer/consumer pairs communicating through counting semaphores
+/// (blocking synchronization). Used to reproduce the paper's §2.2
+/// observation that semaphore waits stay below 2^16 cycles even at very
+/// low VCPU online rates: blocked threads release their VCPU, so the VMM
+/// keeps proportional share and only the short kernel paths are measured.
+class SemaphorePingPongWorkload final : public Workload {
+ public:
+  SemaphorePingPongWorkload(std::uint32_t pairs, std::uint64_t exchanges,
+                            Cycles think, std::uint64_t seed)
+      : pairs_(pairs), exchanges_(exchanges), think_(think), seed_(seed) {}
+
+  void deploy(guest::GuestKernel& g) override {
+    sim::SplitMix64 seeds(seed_);
+    for (std::uint32_t p = 0; p < pairs_; ++p) {
+      // A token circulates: ping starts with one credit so side A can run.
+      const std::uint32_t ping = g.create_semaphore(1);
+      const std::uint32_t pong = g.create_semaphore(0);
+      spawn_side(g, ping, pong, 2 * p, seeds.next());
+      spawn_side(g, pong, ping, 2 * p + 1, seeds.next());
+    }
+  }
+  std::string name() const override { return "sem-pingpong"; }
+
+ private:
+  void spawn_side(guest::GuestKernel& g, std::uint32_t wait_sem,
+                  std::uint32_t post_sem, std::uint32_t idx,
+                  std::uint64_t seed) {
+    struct State {
+      std::uint64_t left;
+      int phase;  // 0 = wait, 1 = compute, 2 = post
+      sim::Rng rng;
+    };
+    auto st = std::make_shared<State>(State{exchanges_, 0, sim::Rng(seed)});
+    const Cycles think = think_;
+    g.spawn(std::make_unique<LambdaProgram>(
+                [st, wait_sem, post_sem, think]() -> guest::Op {
+                  switch (st->phase) {
+                    case 0:
+                      if (st->left == 0) return guest::Op::done();
+                      --st->left;
+                      st->phase = 1;
+                      return guest::Op::sem_wait(wait_sem);
+                    case 1: {
+                      st->phase = 2;
+                      const double len = st->rng.positive_jitter(
+                          static_cast<double>(think.v), 0.2);
+                      return guest::Op::compute(
+                          Cycles{static_cast<std::uint64_t>(len)});
+                    }
+                    default:
+                      st->phase = 0;
+                      return guest::Op::sem_post(post_sem);
+                  }
+                }),
+            idx % g.num_vcpus());
+  }
+
+  std::uint32_t pairs_;
+  std::uint64_t exchanges_;
+  Cycles think_;
+  std::uint64_t seed_;
+};
+
+}  // namespace asman::workloads

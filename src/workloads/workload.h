@@ -1,0 +1,43 @@
+// Workload abstraction: something deployable into a guest VM.
+//
+// A Workload creates its synchronization objects and spawns its threads
+// into one guest kernel. Finite workloads (the NPB models, SPEC CPU rate
+// batches) end; throughput workloads (SPECjbb) run until the simulation
+// horizon and expose counters instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "guest/guest_kernel.h"
+#include "simcore/time.h"
+
+namespace asman::workloads {
+
+using sim::Cycles;
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Create sync objects and spawn threads into `g` (call exactly once,
+  /// before the simulation starts).
+  virtual void deploy(guest::GuestKernel& g) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Finite workloads complete; infinite ones run to the horizon.
+  virtual bool finite() const { return true; }
+
+  /// For batch workloads repeated in rounds (paper §5.3 runs each benchmark
+  /// repeatedly and averages the first 10 rounds): completion count and
+  /// per-round completion timestamps.
+  virtual std::uint64_t rounds_completed() const { return 0; }
+  virtual std::vector<Cycles> round_times() const { return {}; }
+
+  /// Throughput-style counters (SPECjbb transactions etc.).
+  virtual std::uint64_t work_units() const { return 0; }
+};
+
+}  // namespace asman::workloads

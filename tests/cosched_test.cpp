@@ -1,0 +1,199 @@
+// Coscheduling behaviour: static gangs (CON), adaptive gangs (ASMan),
+// relocation (Algorithm 3 lines 8-16), IPI boosting (Algorithm 4), co-stop.
+#include <gtest/gtest.h>
+
+#include "core/schedulers.h"
+#include "guest/guest_kernel.h"
+#include "simcore/simulator.h"
+
+namespace asman::core {
+namespace {
+
+using vmm::SchedMode;
+using vmm::VmId;
+using vmm::VmType;
+
+hw::MachineConfig machine(std::uint32_t pcpus) {
+  hw::MachineConfig m;
+  m.num_pcpus = pcpus;
+  return m;
+}
+
+sim::Cycles seconds(double s) { return sim::kDefaultClock.from_seconds_f(s); }
+
+class HogGuest final : public vmm::GuestPort {
+ public:
+  void vcpu_online(std::uint32_t) override {}
+  void vcpu_offline(std::uint32_t) override {}
+};
+
+/// Samples how often all VCPUs of `vm` are online simultaneously, given
+/// that at least one is online (gang alignment quality).
+double gang_alignment(sim::Simulator& s, vmm::Hypervisor& hv, VmId vm,
+                      double seconds_to_run) {
+  std::uint64_t any = 0, all = 0;
+  const sim::Cycles step = sim::kDefaultClock.from_us(500);
+  const sim::Cycles end = s.now() + seconds(seconds_to_run);
+  while (s.now() < end) {
+    s.run_until(s.now() + step);
+    const std::uint32_t n = hv.vm_online_count(vm);
+    if (n > 0) {
+      ++any;
+      if (n == hv.vm(vm).num_vcpus()) ++all;
+    }
+  }
+  return any == 0 ? 0.0
+                  : static_cast<double>(all) / static_cast<double>(any);
+}
+
+TEST(StaticCosched, GangAlignmentFarExceedsCredit) {
+  // 2 PCPUs, a 2-VCPU concurrent VM vs a 2-VCPU hog: under plain Credit
+  // the concurrent VM's VCPUs time-share independently; under CON they are
+  // gang-scheduled.
+  auto run = [](SchedulerKind k) {
+    sim::Simulator s;
+    auto hv = make_scheduler(k, s, machine(2), SchedMode::kWorkConserving);
+    HogGuest g0, g1;
+    const VmId conc = hv->create_vm("conc", 256, 2, VmType::kConcurrent);
+    const VmId hog = hv->create_vm("hog", 256, 2, VmType::kGeneral);
+    hv->attach_guest(conc, &g0);
+    hv->attach_guest(hog, &g1);
+    hv->start();
+    s.run_until(seconds(0.5));  // warm up
+    return gang_alignment(s, *hv, conc, 2.0);
+  };
+  const double credit = run(SchedulerKind::kCredit);
+  const double con = run(SchedulerKind::kCon);
+  EXPECT_GT(con, 0.8);
+  EXPECT_GT(con, credit + 0.2);
+}
+
+TEST(StaticCosched, GeneralVmNotGangScheduled) {
+  sim::Simulator s;
+  auto hv = make_scheduler(SchedulerKind::kCon, s, machine(2),
+                           SchedMode::kWorkConserving);
+  HogGuest g0, g1;
+  const VmId a = hv->create_vm("a", 256, 2, VmType::kGeneral);
+  const VmId b = hv->create_vm("b", 256, 2, VmType::kGeneral);
+  hv->attach_guest(a, &g0);
+  hv->attach_guest(b, &g1);
+  hv->start();
+  s.run_until(seconds(1.0));
+  EXPECT_EQ(hv->cosched_events(), 0u);
+  EXPECT_EQ(hv->ipi_bus().sent(), 0u);
+}
+
+TEST(AdaptiveCosched, VcrdHighEnablesGang) {
+  sim::Simulator s;
+  auto hv = make_scheduler(SchedulerKind::kAsman, s, machine(2),
+                           SchedMode::kWorkConserving);
+  HogGuest g0, g1;
+  const VmId a = hv->create_vm("a", 256, 2, VmType::kGeneral);
+  const VmId b = hv->create_vm("b", 256, 2, VmType::kGeneral);
+  hv->attach_guest(a, &g0);
+  hv->attach_guest(b, &g1);
+  hv->start();
+  s.run_until(seconds(0.5));
+  EXPECT_EQ(hv->cosched_events(), 0u);  // LOW by default
+  hv->do_vcrd_op(a, vmm::Vcrd::kHigh);
+  const double aligned = gang_alignment(s, *hv, a, 1.0);
+  EXPECT_GT(aligned, 0.8);
+  EXPECT_GT(hv->cosched_events(), 0u);
+
+  // Back to LOW: gang dissolves, scheduling reverts to plain credit.
+  hv->do_vcrd_op(a, vmm::Vcrd::kLow);
+  const std::uint64_t events_at_low = hv->cosched_events();
+  s.run_until(s.now() + seconds(1.0));
+  EXPECT_EQ(hv->cosched_events(), events_at_low);
+}
+
+TEST(AdaptiveCosched, RelocationPlacesVcpusOnDistinctPcpus) {
+  sim::Simulator s;
+  auto hv = make_scheduler(SchedulerKind::kAsman, s, machine(4),
+                           SchedMode::kWorkConserving);
+  HogGuest g0, g1, g2;
+  const VmId a = hv->create_vm("a", 256, 4);
+  hv->attach_guest(a, &g0);
+  hv->attach_guest(hv->create_vm("b", 256, 4), &g1);
+  hv->attach_guest(hv->create_vm("c", 256, 4), &g2);
+  hv->start();
+  s.run_until(seconds(1.0));  // let load balancing shuffle things
+  hv->do_vcrd_op(a, vmm::Vcrd::kHigh);
+  const auto& vcpus = hv->vm(a).vcpus;
+  for (std::size_t i = 0; i < vcpus.size(); ++i)
+    for (std::size_t j = i + 1; j < vcpus.size(); ++j)
+      EXPECT_NE(vcpus[i].where, vcpus[j].where)
+          << "VCPUs " << i << " and " << j << " share a PCPU after "
+             "relocation";
+}
+
+TEST(AdaptiveCosched, VcrdStatsTracked) {
+  sim::Simulator s;
+  auto hv = make_scheduler(SchedulerKind::kAsman, s, machine(2),
+                           SchedMode::kWorkConserving);
+  HogGuest g0;
+  const VmId a = hv->create_vm("a", 256, 2);
+  hv->attach_guest(a, &g0);
+  hv->start();
+  s.run_until(seconds(0.1));
+  hv->do_vcrd_op(a, vmm::Vcrd::kHigh);
+  s.run_until(s.now() + seconds(0.1));
+  hv->do_vcrd_op(a, vmm::Vcrd::kLow);
+  s.run_until(s.now() + seconds(0.05));
+  EXPECT_EQ(hv->vm(a).vcrd_high_transitions, 1u);
+  const double high_s =
+      sim::kDefaultClock.to_seconds(hv->vm(a).vcrd_high_time);
+  EXPECT_NEAR(high_s, 0.1, 0.01);
+}
+
+TEST(AdaptiveCosched, RedundantVcrdOpIsIdempotent) {
+  sim::Simulator s;
+  auto hv = make_scheduler(SchedulerKind::kAsman, s, machine(2),
+                           SchedMode::kWorkConserving);
+  HogGuest g0;
+  const VmId a = hv->create_vm("a", 256, 2);
+  hv->attach_guest(a, &g0);
+  hv->start();
+  s.run_until(seconds(0.01));
+  hv->do_vcrd_op(a, vmm::Vcrd::kHigh);
+  hv->do_vcrd_op(a, vmm::Vcrd::kHigh);
+  s.run_until(s.now() + seconds(0.01));
+  EXPECT_EQ(hv->vm(a).vcrd_high_transitions, 1u);
+}
+
+TEST(Costop, CappedGangParksTogether) {
+  // Non-WC, one concurrent VM capped at ~1/3 share: its gang must run in
+  // aligned bursts (co-start at accounting, co-stop on exhaustion), i.e.
+  // whenever any VCPU is online, usually both are.
+  sim::Simulator s;
+  auto hv = make_scheduler(SchedulerKind::kCon, s, machine(2),
+                           SchedMode::kNonWorkConserving);
+  HogGuest g0;
+  const VmId conc = hv->create_vm("conc", 128, 2, VmType::kConcurrent);
+  const VmId idle_vm = hv->create_vm("V0", 256, 2);
+  guest::IdleGuest idle(s, *hv, idle_vm, 2);
+  hv->attach_guest(conc, &g0);
+  hv->attach_guest(idle_vm, &idle);
+  hv->start();
+  s.run_until(seconds(0.5));
+  const double aligned = gang_alignment(s, *hv, conc, 2.0);
+  EXPECT_GT(aligned, 0.85);
+  // And the cap still holds.
+  const double rate = hv->vm(conc).total_online.ratio(s.now()) / 2.0;
+  EXPECT_NEAR(rate, 2.0 * (128.0 / 384.0) / 2.0, 0.07);
+}
+
+TEST(Factory, MakesAllKinds) {
+  sim::Simulator s;
+  for (SchedulerKind k :
+       {SchedulerKind::kCredit, SchedulerKind::kCon, SchedulerKind::kAsman}) {
+    auto hv = make_scheduler(k, s, machine(2), SchedMode::kWorkConserving);
+    ASSERT_NE(hv, nullptr) << to_string(k);
+  }
+  EXPECT_STREQ(to_string(SchedulerKind::kCredit), "Credit");
+  EXPECT_STREQ(to_string(SchedulerKind::kCon), "CON");
+  EXPECT_STREQ(to_string(SchedulerKind::kAsman), "ASMan");
+}
+
+}  // namespace
+}  // namespace asman::core

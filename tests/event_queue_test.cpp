@@ -1,0 +1,117 @@
+#include "simcore/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "simcore/rng.h"
+
+namespace asman::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Cycles{30}, [&] { order.push_back(3); });
+  q.schedule(Cycles{10}, [&] { order.push_back(1); });
+  q.schedule(Cycles{20}, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule(Cycles{5}, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPendingReturnsTrueAndSkips) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(Cycles{5}, [&] { fired = true; });
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(q.cancel(id));  // double cancel
+}
+
+TEST(EventQueue, CancelFiredReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(Cycles{5}, [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+  EXPECT_FALSE(q.cancel(EventId{999}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(Cycles{5}, [] {});
+  q.schedule(Cycles{9}, [] {});
+  EXPECT_EQ(q.next_time(), Cycles{5});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), Cycles{9});
+}
+
+TEST(EventQueue, EmptyNextTimeIsMax) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), Cycles::max());
+}
+
+TEST(EventQueue, ReentrantScheduleFromCallback) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Cycles{1}, [&] {
+    order.push_back(1);
+    q.schedule(Cycles{2}, [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(Cycles{1}, [] {});
+  q.schedule(Cycles{2}, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop_and_run();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+class EventQueueRandomized : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(EventQueueRandomized, MonotonicDeliveryUnderRandomLoad) {
+  Rng rng(GetParam());
+  EventQueue q;
+  std::vector<Cycles> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    const Cycles t{rng.next_below(100'000)};
+    ids.push_back(q.schedule(t, [&fired, t] { fired.push_back(t); }));
+  }
+  // Cancel a random third.
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3)
+    cancelled += q.cancel(ids[i]) ? 1u : 0u;
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired.size(), 2000u - cancelled);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueRandomized,
+                         ::testing::Values(1, 7, 99, 12345));
+
+}  // namespace
+}  // namespace asman::sim

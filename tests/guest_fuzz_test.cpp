@@ -1,0 +1,121 @@
+// Robustness fuzz: random VCPU online/offline toggling (arbitrary VMM
+// behaviour) over synchronizing workloads must never deadlock, crash, or
+// violate the guest's accounting invariants.
+#include <gtest/gtest.h>
+
+#include "guest_test_util.h"
+#include "workloads/phase_model.h"
+#include "workloads/synthetic.h"
+
+namespace asman::guest {
+namespace {
+
+using testutil::TestHv;
+
+class GuestFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GuestFuzz, BarrierWorkloadSurvivesArbitraryScheduling) {
+  sim::Simulator s;
+  TestHv hv(4);
+  GuestKernel::Config cfg;  // full machinery: ticks, balancing, yields
+  cfg.n_vcpus = 4;
+  cfg.seed = GetParam();
+  GuestKernel g(s, hv, 0, cfg);
+  hv.bind(&g);
+  workloads::PhaseParams p;
+  p.threads = 4;
+  p.steps = 60;
+  p.compute_mean = sim::kDefaultClock.from_us(80);
+  p.compute_cv = 0.3;
+  workloads::PhaseWorkload wl(s, "fuzz", p, GetParam());
+  wl.deploy(g);
+  for (std::uint32_t v = 0; v < 4; ++v) hv.map(v);
+
+  sim::Rng rng(GetParam() ^ 0xF00D);
+  // Random preempt/dispatch storm, including long stretches offline.
+  for (int i = 0; i < 800 && !g.all_threads_done(); ++i) {
+    s.run_until(s.now() + sim::Cycles{rng.uniform(5'000, 900'000)});
+    const auto v = static_cast<std::uint32_t>(rng.next_below(4));
+    if (rng.bernoulli(0.5)) {
+      hv.unmap(v);
+    } else {
+      hv.map(v);
+    }
+  }
+  // Finally bring everyone online and let it finish.
+  for (std::uint32_t v = 0; v < 4; ++v) hv.map(v);
+  testutil::run_guest(s, g, 60.0);
+  ASSERT_TRUE(g.all_threads_done())
+      << "workload deadlocked under adversarial scheduling";
+  // Accounting invariants.
+  EXPECT_EQ(g.threads_done(), g.num_threads());
+  EXPECT_GT(g.stats().spin_acquisitions, 0u);
+}
+
+TEST_P(GuestFuzz, MutexWorkloadSurvivesArbitraryScheduling) {
+  sim::Simulator s;
+  TestHv hv(2);
+  GuestKernel::Config cfg;
+  cfg.n_vcpus = 2;
+  cfg.seed = GetParam();
+  GuestKernel g(s, hv, 0, cfg);
+  hv.bind(&g);
+  workloads::LockHammerWorkload wl(4, 60, sim::kDefaultClock.from_us(40),
+                                   sim::kDefaultClock.from_us(15),
+                                   GetParam());
+  wl.deploy(g);
+  hv.map(0);
+  hv.map(1);
+  sim::Rng rng(GetParam() ^ 0xBEEF);
+  for (int i = 0; i < 500 && !g.all_threads_done(); ++i) {
+    s.run_until(s.now() + sim::Cycles{rng.uniform(2'000, 400'000)});
+    const auto v = static_cast<std::uint32_t>(rng.next_below(2));
+    if (rng.bernoulli(0.5)) {
+      hv.unmap(v);
+    } else {
+      hv.map(v);
+    }
+  }
+  hv.map(0);
+  hv.map(1);
+  testutil::run_guest(s, g, 60.0);
+  ASSERT_TRUE(g.all_threads_done());
+}
+
+TEST_P(GuestFuzz, SemaphorePingPongSurvivesArbitraryScheduling) {
+  sim::Simulator s;
+  TestHv hv(2);
+  GuestKernel::Config cfg;
+  cfg.n_vcpus = 2;
+  cfg.seed = GetParam();
+  GuestKernel g(s, hv, 0, cfg);
+  hv.bind(&g);
+  workloads::SemaphorePingPongWorkload wl(2, 150,
+                                          sim::kDefaultClock.from_us(50),
+                                          GetParam());
+  wl.deploy(g);
+  hv.map(0);
+  hv.map(1);
+  sim::Rng rng(GetParam() ^ 0xCAFE);
+  for (int i = 0; i < 400 && !g.all_threads_done(); ++i) {
+    s.run_until(s.now() + sim::Cycles{rng.uniform(2'000, 600'000)});
+    const auto v = static_cast<std::uint32_t>(rng.next_below(2));
+    // Never force-offline a halted VCPU's peer forever: toggle randomly.
+    if (rng.bernoulli(0.5)) {
+      hv.unmap(v);
+    } else {
+      hv.map(v);
+    }
+  }
+  hv.map(0);
+  hv.map(1);
+  testutil::run_guest(s, g, 60.0);
+  ASSERT_TRUE(g.all_threads_done());
+  EXPECT_LT(g.stats().sem_waits.max_value(), sim::pow2_cycles(16));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuestFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace asman::guest

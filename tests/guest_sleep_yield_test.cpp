@@ -1,0 +1,132 @@
+// Timed sleep (Op::kSleep) and sched_yield rotation semantics.
+#include <gtest/gtest.h>
+
+#include "guest_test_util.h"
+#include "workloads/synthetic.h"
+
+namespace asman::guest {
+namespace {
+
+using testutil::TestHv;
+using testutil::quiet_config;
+using workloads::ScriptProgram;
+
+Cycles ms(double v) { return sim::kDefaultClock.from_seconds_f(v * 1e-3); }
+
+TEST(Sleep, WakesAfterWallDuration) {
+  sim::Simulator s;
+  TestHv hv(1);
+  GuestKernel g(s, hv, 0, quiet_config(1));
+  hv.bind(&g);
+  g.spawn(std::make_unique<ScriptProgram>(std::vector<Op>{
+              Op::sleep(ms(5)), Op::compute(Cycles{1'000})}),
+          0);
+  hv.map(0);
+  s.run_until(ms(4));
+  EXPECT_FALSE(g.all_threads_done());
+  testutil::run_guest(s, g, 1.0);
+  EXPECT_TRUE(g.all_threads_done());
+  // syscall entry + 5 ms sleep + wake + 1000 cycles, with small overheads.
+  EXPECT_GE(g.last_finish_time(), ms(5));
+  EXPECT_LT(g.last_finish_time(), ms(6));
+}
+
+TEST(Sleep, VcpuHaltsDuringSoleSleeper) {
+  sim::Simulator s;
+  TestHv hv(1);
+  GuestKernel g(s, hv, 0, quiet_config(1));
+  hv.bind(&g);
+  g.spawn(std::make_unique<ScriptProgram>(std::vector<Op>{Op::sleep(ms(20))}),
+          0);
+  hv.map(0);
+  s.run_until(ms(10));
+  EXPECT_FALSE(hv.mapped(0)) << "VCPU should halt while its thread sleeps";
+  EXPECT_FALSE(hv.blocks.empty());
+  testutil::run_guest(s, g, 1.0);
+  EXPECT_TRUE(g.all_threads_done());
+  EXPECT_FALSE(hv.kicks.empty()) << "timer wake goes through vcpu_kick";
+}
+
+TEST(Sleep, SleeperDoesNotBlockVcpuSibling) {
+  sim::Simulator s;
+  TestHv hv(1);
+  GuestKernel g(s, hv, 0, quiet_config(1));
+  hv.bind(&g);
+  const Tid sleeper = g.spawn(
+      std::make_unique<ScriptProgram>(std::vector<Op>{Op::sleep(ms(50))}), 0);
+  const Tid worker = g.spawn(std::make_unique<ScriptProgram>(std::vector<Op>{
+                                 Op::compute(ms(10))}),
+                             0);
+  hv.map(0);
+  testutil::run_guest(s, g, 1.0);
+  // The worker's 10 ms of compute finishes well before the sleeper's 50 ms
+  // wall wait: sleeping must release the VCPU.
+  EXPECT_LT(g.thread_finish_time(worker), ms(12));
+  EXPECT_GE(g.thread_finish_time(sleeper), ms(50));
+}
+
+TEST(Sleep, ManySleepersInterleaveByWakeTime) {
+  sim::Simulator s;
+  TestHv hv(2);
+  GuestKernel g(s, hv, 0, quiet_config(2));
+  hv.bind(&g);
+  std::vector<Tid> tids;
+  for (int i = 4; i >= 1; --i) {  // longest sleep spawned first
+    tids.push_back(g.spawn(std::make_unique<ScriptProgram>(std::vector<Op>{
+                               Op::sleep(ms(5.0 * i))}),
+                           static_cast<std::uint32_t>(i) % 2));
+  }
+  hv.map(0);
+  hv.map(1);
+  testutil::run_guest(s, g, 1.0);
+  for (std::size_t i = 1; i < tids.size(); ++i)
+    EXPECT_GT(g.thread_finish_time(tids[i - 1]),
+              g.thread_finish_time(tids[i]));
+}
+
+TEST(Yield, SpinWaiterYieldsToSameVcpuSibling) {
+  // Thread A spins on a spin-only barrier whose partner B lives on the
+  // SAME VCPU: without sched_yield rotation, B could only run at quantum
+  // boundaries; with it, the rendezvous completes quickly.
+  sim::Simulator s;
+  TestHv hv(1);
+  GuestKernel::Config cfg = quiet_config(1);
+  GuestKernel g(s, hv, 0, cfg);
+  hv.bind(&g);
+  const std::uint32_t bar = g.create_barrier(2, /*spin_only=*/true);
+  g.spawn(std::make_unique<ScriptProgram>(std::vector<Op>{Op::barrier(bar)}),
+          0);
+  g.spawn(std::make_unique<ScriptProgram>(std::vector<Op>{
+              Op::compute(ms(1)), Op::barrier(bar)}),
+          0);
+  hv.map(0);
+  testutil::run_guest(s, g, 2.0);
+  ASSERT_TRUE(g.all_threads_done());
+  // A few spin-yield rounds (~30 us each) around B's 1 ms of compute —
+  // far below the 6 ms RR quantum it would otherwise take.
+  EXPECT_LT(g.last_finish_time(), ms(2.5));
+}
+
+TEST(Yield, NoopWhenAlone) {
+  // A lone spinner's yields must not deschedule it (empty runqueue).
+  sim::Simulator s;
+  TestHv hv(2);
+  GuestKernel g(s, hv, 0, quiet_config(2));
+  hv.bind(&g);
+  const std::uint32_t bar = g.create_barrier(2, /*spin_only=*/true);
+  g.spawn(std::make_unique<ScriptProgram>(std::vector<Op>{Op::barrier(bar)}),
+          0);
+  g.spawn(std::make_unique<ScriptProgram>(std::vector<Op>{
+              Op::compute(ms(3)), Op::barrier(bar)}),
+          1);
+  hv.map(0);
+  hv.map(1);
+  testutil::run_guest(s, g, 2.0);
+  ASSERT_TRUE(g.all_threads_done());
+  EXPECT_LT(g.last_finish_time(), ms(4));
+  // The spinner's yields produced kernel lock traffic the whole time.
+  EXPECT_GT(g.stats().spin_acquisitions, 20u);
+}
+
+}  // namespace
+}  // namespace asman::guest

@@ -1,0 +1,76 @@
+// Test scaffolding for guest-kernel tests: a minimal hypervisor stub that
+// records hypercalls and honours the block/kick <-> offline/online contract
+// so a GuestKernel can be driven without the full VMM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "guest/guest_kernel.h"
+#include "simcore/simulator.h"
+#include "vmm/ports.h"
+
+namespace asman::testutil {
+
+class TestHv final : public vmm::HypervisorPort {
+ public:
+  explicit TestHv(std::uint32_t n_vcpus) : mapped_(n_vcpus, false) {}
+
+  void bind(guest::GuestKernel* g) { guest_ = g; }
+
+  /// Bring a VCPU online as the VMM would at dispatch.
+  void map(std::uint32_t v) {
+    if (mapped_[v]) return;
+    mapped_[v] = true;
+    guest_->vcpu_online(v);
+  }
+  /// Take a VCPU offline as the VMM would at preemption.
+  void unmap(std::uint32_t v) {
+    if (!mapped_[v]) return;
+    mapped_[v] = false;
+    guest_->vcpu_offline(v);
+  }
+  bool mapped(std::uint32_t v) const { return mapped_[v]; }
+
+  // --- HypervisorPort ---
+  void do_vcrd_op(vmm::VmId vm, vmm::Vcrd vcrd) override {
+    vcrd_ops.push_back({vm, vcrd});
+  }
+  void vcpu_block(vmm::VmId, std::uint32_t v) override {
+    blocks.push_back(v);
+    unmap(v);
+  }
+  void vcpu_kick(vmm::VmId, std::uint32_t v) override {
+    kicks.push_back(v);
+    map(v);  // PCPUs are assumed free in these tests
+  }
+
+  std::vector<std::pair<vmm::VmId, vmm::Vcrd>> vcrd_ops;
+  std::vector<std::uint32_t> blocks;
+  std::vector<std::uint32_t> kicks;
+
+ private:
+  guest::GuestKernel* guest_{nullptr};
+  std::vector<bool> mapped_;
+};
+
+/// Guest config with background machinery (ticks, balancing) pushed out of
+/// the way so op timing is exact.
+inline guest::GuestKernel::Config quiet_config(std::uint32_t n_vcpus) {
+  guest::GuestKernel::Config c;
+  c.n_vcpus = n_vcpus;
+  c.tick_period = sim::kDefaultClock.from_seconds_f(1e6);
+  c.balance_every_ticks = 0;
+  return c;
+}
+
+/// Run until the guest's threads retire (bounded — the guest's timer
+/// machinery keeps the event queue non-empty forever, so run_all() would
+/// never return).
+inline void run_guest(sim::Simulator& s, guest::GuestKernel& g,
+                      double max_seconds = 30.0) {
+  s.run_while(s.now() + sim::kDefaultClock.from_seconds_f(max_seconds),
+              [&g] { return !g.all_threads_done(); });
+}
+
+}  // namespace asman::testutil

@@ -1,0 +1,102 @@
+#include "simcore/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace asman::sim {
+namespace {
+
+TEST(Log2Histogram, BucketPlacement) {
+  Log2Histogram h;
+  h.add(Cycles{1});     // bucket 0
+  h.add(Cycles{2});     // bucket 1
+  h.add(Cycles{3});     // bucket 1
+  h.add(Cycles{1024});  // bucket 10
+  h.add(Cycles{2047});  // bucket 10
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(10), 2u);
+  EXPECT_EQ(h.bucket(11), 0u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Log2Histogram, CountAbove) {
+  Log2Histogram h;
+  h.add(Cycles{100});         // bucket 6
+  h.add(Cycles{5000});        // bucket 12
+  h.add(Cycles{1ULL << 21});  // bucket 21
+  EXPECT_EQ(h.count_above(10), 2u);
+  EXPECT_EQ(h.count_above(20), 1u);
+  EXPECT_EQ(h.count_above(25), 0u);
+  EXPECT_EQ(h.count_above(0), 3u);
+}
+
+TEST(Log2Histogram, MaxAndMean) {
+  Log2Histogram h;
+  h.add(Cycles{10});
+  h.add(Cycles{30});
+  EXPECT_EQ(h.max_value(), Cycles{30});
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Log2Histogram, EmptyHistogram) {
+  Log2Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count_above(0), 0u);
+  EXPECT_EQ(h.max_value(), Cycles{0});
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Log2Histogram, SamplesKeptOnlyWhenRequested) {
+  Log2Histogram off(false), on(true);
+  off.add(Cycles{7});
+  on.add(Cycles{7});
+  EXPECT_TRUE(off.samples().empty());
+  ASSERT_EQ(on.samples().size(), 1u);
+  EXPECT_EQ(on.samples()[0], Cycles{7});
+}
+
+TEST(Log2Histogram, SampleCapRespected) {
+  Log2Histogram h(true, 10);
+  for (int i = 0; i < 100; ++i) h.add(Cycles{static_cast<unsigned>(i + 1)});
+  EXPECT_EQ(h.samples().size(), 10u);
+  EXPECT_EQ(h.total(), 100u);  // counts unaffected by the cap
+}
+
+TEST(Log2Histogram, Merge) {
+  Log2Histogram a(true), b(true);
+  a.add(Cycles{4});
+  b.add(Cycles{4});
+  b.add(Cycles{1ULL << 22});
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bucket(2), 2u);
+  EXPECT_EQ(a.count_above(20), 1u);
+  EXPECT_EQ(a.max_value(), Cycles{1ULL << 22});
+  EXPECT_EQ(a.samples().size(), 3u);
+}
+
+TEST(Log2Histogram, RenderContainsBucketRows) {
+  Log2Histogram h;
+  for (int i = 0; i < 5; ++i) h.add(Cycles{1 << 12});
+  const std::string r = h.render(10, 14);
+  EXPECT_NE(r.find("2^12"), std::string::npos);
+  EXPECT_NE(r.find("5"), std::string::npos);
+  EXPECT_NE(r.find("2^14"), std::string::npos);
+}
+
+class BucketSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BucketSweep, BoundaryValuesLandInBucket) {
+  const unsigned e = GetParam();
+  Log2Histogram h;
+  h.add(Cycles{1ULL << e});              // lowest value of bucket e
+  h.add(Cycles{(1ULL << (e + 1)) - 1});  // highest value of bucket e
+  EXPECT_EQ(h.bucket(e), 2u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, BucketSweep,
+                         ::testing::Values(1u, 5u, 10u, 20u, 30u, 40u));
+
+}  // namespace
+}  // namespace asman::sim

@@ -1,0 +1,82 @@
+// hw layer: machine configuration arithmetic and the IPI bus.
+#include <gtest/gtest.h>
+
+#include "hw/ipi.h"
+#include "hw/machine.h"
+#include "simcore/simulator.h"
+
+namespace asman::hw {
+namespace {
+
+TEST(MachineConfig, PaperDefaults) {
+  MachineConfig m;
+  EXPECT_EQ(m.num_pcpus, 8u);
+  EXPECT_EQ(m.freq_hz, 2'330'000'000ULL);
+  EXPECT_EQ(m.slot_ms, 10u);
+  EXPECT_EQ(m.slots_per_accounting, 3u);
+  EXPECT_EQ(m.slots_per_timeslice, 3u);
+}
+
+TEST(MachineConfig, DerivedCycles) {
+  MachineConfig m;
+  m.freq_hz = 1'000'000'000ULL;  // 1 GHz for round numbers
+  m.slot_ms = 10;
+  EXPECT_EQ(m.slot_cycles().v, 10'000'000ULL);
+  EXPECT_EQ(m.accounting_cycles().v, 30'000'000ULL);
+  EXPECT_EQ(m.timeslice_cycles().v, 30'000'000ULL);
+  m.ipi_latency_us = 5;
+  EXPECT_EQ(m.ipi_latency().v, 5'000ULL);
+}
+
+TEST(IpiBus, DeliversAfterLatency) {
+  sim::Simulator s;
+  MachineConfig m;
+  m.num_pcpus = 2;
+  m.freq_hz = 1'000'000'000ULL;
+  m.ipi_latency_us = 3;
+  IpiBus bus(s, m);
+  PcpuId got_target = 99;
+  std::uint32_t got_vector = 0;
+  bus.set_handler(1, [&](PcpuId t, std::uint32_t v) {
+    got_target = t;
+    got_vector = v;
+  });
+  bus.send(0, 1, 42);
+  EXPECT_EQ(bus.sent(), 1u);
+  EXPECT_EQ(bus.delivered(), 0u);
+  s.run_until(sim::Cycles{2'999});
+  EXPECT_EQ(got_target, 99u);  // not yet
+  s.run_until(sim::Cycles{3'000});
+  EXPECT_EQ(got_target, 1u);
+  EXPECT_EQ(got_vector, 42u);
+  EXPECT_EQ(bus.delivered(), 1u);
+}
+
+TEST(IpiBus, MissingHandlerIsCountedButHarmless) {
+  sim::Simulator s;
+  MachineConfig m;
+  m.num_pcpus = 2;
+  IpiBus bus(s, m);
+  bus.send(1, 0, 7);
+  s.run_all();
+  EXPECT_EQ(bus.sent(), 1u);
+  EXPECT_EQ(bus.delivered(), 1u);
+}
+
+TEST(IpiBus, ManyInFlight) {
+  sim::Simulator s;
+  MachineConfig m;
+  m.num_pcpus = 4;
+  IpiBus bus(s, m);
+  int hits = 0;
+  for (PcpuId p = 0; p < 4; ++p)
+    bus.set_handler(p, [&hits](PcpuId, std::uint32_t) { ++hits; });
+  for (int i = 0; i < 100; ++i)
+    bus.send(0, static_cast<PcpuId>(i % 4), static_cast<std::uint32_t>(i));
+  s.run_all();
+  EXPECT_EQ(hits, 100);
+  EXPECT_EQ(bus.delivered(), 100u);
+}
+
+}  // namespace
+}  // namespace asman::hw

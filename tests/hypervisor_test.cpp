@@ -1,0 +1,324 @@
+#include "vmm/hypervisor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/schedulers.h"
+#include "guest/guest_kernel.h"
+#include "simcore/simulator.h"
+
+namespace asman::vmm {
+namespace {
+
+hw::MachineConfig small_machine(std::uint32_t pcpus) {
+  hw::MachineConfig m;
+  m.num_pcpus = pcpus;
+  return m;
+}
+
+Cycles seconds(double s) { return sim::kDefaultClock.from_seconds_f(s); }
+
+/// Records online/offline callbacks; threads never block (CPU hog VM).
+class RecordingGuest final : public GuestPort {
+ public:
+  explicit RecordingGuest(std::uint32_t n) : online_(n, false) {}
+  void vcpu_online(std::uint32_t v) override {
+    online_[v] = true;
+    ++transitions_;
+  }
+  void vcpu_offline(std::uint32_t v) override {
+    online_[v] = false;
+    ++transitions_;
+  }
+  bool online(std::uint32_t v) const { return online_[v]; }
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  std::vector<bool> online_;
+  std::uint64_t transitions_{0};
+};
+
+TEST(Equations, WeightProportionAndOnlineRate) {
+  // Paper §5.2: dom0 (8 VCPUs, weight 256, idle) + V1 (4 VCPUs).
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(8), SchedMode::kNonWorkConserving);
+  hv.create_vm("V0", 256, 8);
+  const VmId v1 = hv.create_vm("V1", 128, 4);
+  EXPECT_NEAR(hv.weight_proportion(0), 256.0 / 384.0, 1e-12);
+  EXPECT_NEAR(hv.weight_proportion(v1), 128.0 / 384.0, 1e-12);
+  EXPECT_NEAR(hv.nominal_online_rate(v1), 8.0 * (128.0 / 384.0) / 4.0, 1e-12);
+}
+
+class OnlineRateSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, double>> {};
+
+TEST_P(OnlineRateSweep, Equation2MatchesPaperTable) {
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(8), SchedMode::kNonWorkConserving);
+  hv.create_vm("V0", 256, 8);
+  const VmId v1 = hv.create_vm("V1", GetParam().first, 4);
+  EXPECT_NEAR(hv.nominal_online_rate(v1), GetParam().second, 5e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperWeights, OnlineRateSweep,
+    ::testing::Values(std::pair<std::uint32_t, double>{256, 1.0},
+                      std::pair<std::uint32_t, double>{128, 0.6667},
+                      std::pair<std::uint32_t, double>{64, 0.40},
+                      std::pair<std::uint32_t, double>{32, 0.2222}));
+
+TEST(Hypervisor, DispatchBringsVcpusOnline) {
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(4), SchedMode::kWorkConserving);
+  const VmId vm = hv.create_vm("A", 256, 4);
+  RecordingGuest g(4);
+  hv.attach_guest(vm, &g);
+  hv.start();
+  s.run_until(seconds(0.001));
+  // 4 hog VCPUs on 4 PCPUs: all online.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(g.online(i));
+    EXPECT_TRUE(hv.vcpu_is_online(vm, i));
+  }
+  EXPECT_EQ(hv.vm_online_count(vm), 4u);
+}
+
+TEST(Hypervisor, WorkConservingNoIdleWithBacklog) {
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(4), SchedMode::kWorkConserving);
+  // 3 VMs x 4 hog VCPUs = 12 runnable VCPUs on 4 PCPUs.
+  RecordingGuest g0(4), g1(4), g2(4);
+  hv.attach_guest(hv.create_vm("A", 256, 4), &g0);
+  hv.attach_guest(hv.create_vm("B", 256, 4), &g1);
+  hv.attach_guest(hv.create_vm("C", 256, 4), &g2);
+  hv.start();
+  s.run_until(seconds(2.0));
+  for (hw::PcpuId p = 0; p < 4; ++p) {
+    EXPECT_LT(hv.pcpu_idle_total(p).ratio(s.now()), 0.001)
+        << "PCPU " << p << " idled with runnable backlog";
+  }
+}
+
+TEST(Hypervisor, ProportionalShareUnderContention) {
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(4), SchedMode::kWorkConserving);
+  RecordingGuest g0(4), g1(4);
+  const VmId a = hv.create_vm("A", 512, 4);
+  const VmId b = hv.create_vm("B", 256, 4);
+  hv.attach_guest(a, &g0);
+  hv.attach_guest(b, &g1);
+  hv.start();
+  s.run_until(seconds(4.0));
+  const double ta = static_cast<double>(hv.vm(a).total_online.v);
+  const double tb = static_cast<double>(hv.vm(b).total_online.v);
+  EXPECT_NEAR(ta / tb, 2.0, 0.25);  // 2:1 weights -> 2:1 CPU time
+}
+
+TEST(Hypervisor, EqualWeightsEqualShares) {
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(2), SchedMode::kWorkConserving);
+  RecordingGuest g0(2), g1(2);
+  const VmId a = hv.create_vm("A", 256, 2);
+  const VmId b = hv.create_vm("B", 256, 2);
+  hv.attach_guest(a, &g0);
+  hv.attach_guest(b, &g1);
+  hv.start();
+  s.run_until(seconds(4.0));
+  const double ta = static_cast<double>(hv.vm(a).total_online.v);
+  const double tb = static_cast<double>(hv.vm(b).total_online.v);
+  EXPECT_NEAR(ta / tb, 1.0, 0.12);
+}
+
+TEST(Hypervisor, NonWorkConservingCapsBusyVm) {
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(8), SchedMode::kNonWorkConserving);
+  const VmId dom0 = hv.create_vm("V0", 256, 8);
+  guest::IdleGuest idle(s, hv, dom0, 8);
+  hv.attach_guest(dom0, &idle);
+  RecordingGuest hog(4);
+  const VmId v1 = hv.create_vm("V1", 32, 4);
+  hv.attach_guest(v1, &hog);
+  hv.start();
+  s.run_until(seconds(5.0));
+  const double rate = hv.vm(v1).total_online.ratio(s.now()) / 4.0;
+  // Nominal 22.2 %; quantized charging keeps it near, never at 100 %.
+  EXPECT_NEAR(rate, 0.222, 0.05);
+}
+
+TEST(Hypervisor, WorkConservingGrantsIdleCapacity) {
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(8), SchedMode::kWorkConserving);
+  const VmId dom0 = hv.create_vm("V0", 256, 8);
+  guest::IdleGuest idle(s, hv, dom0, 8);
+  hv.attach_guest(dom0, &idle);
+  RecordingGuest hog(4);
+  const VmId v1 = hv.create_vm("V1", 32, 4);
+  hv.attach_guest(v1, &hog);
+  hv.start();
+  s.run_until(seconds(3.0));
+  const double rate = hv.vm(v1).total_online.ratio(s.now()) / 4.0;
+  EXPECT_GT(rate, 0.9);  // shares are only guarantees in WC mode
+}
+
+TEST(Hypervisor, BlockTakesVcpuOffline) {
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(2), SchedMode::kWorkConserving);
+  RecordingGuest g(2);
+  const VmId vm = hv.create_vm("A", 256, 2);
+  hv.attach_guest(vm, &g);
+  hv.start();
+  s.run_until(seconds(0.001));
+  ASSERT_TRUE(hv.vcpu_is_online(vm, 0));
+  hv.vcpu_block(vm, 0);
+  s.run_until(seconds(0.002));
+  EXPECT_FALSE(hv.vcpu_is_online(vm, 0));
+  EXPECT_FALSE(g.online(0));
+  s.run_until(seconds(0.2));
+  EXPECT_FALSE(hv.vcpu_is_online(vm, 0));  // stays blocked without a kick
+}
+
+TEST(Hypervisor, KickWakesBlockedVcpu) {
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(2), SchedMode::kWorkConserving);
+  RecordingGuest g(2);
+  const VmId vm = hv.create_vm("A", 256, 2);
+  hv.attach_guest(vm, &g);
+  hv.start();
+  s.run_until(seconds(0.001));
+  hv.vcpu_block(vm, 0);
+  s.run_until(seconds(0.05));
+  hv.vcpu_kick(vm, 0);
+  s.run_until(seconds(0.06));
+  EXPECT_TRUE(hv.vcpu_is_online(vm, 0));
+}
+
+TEST(Hypervisor, KickOnRunningVcpuIsNoop) {
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(2), SchedMode::kWorkConserving);
+  RecordingGuest g(2);
+  const VmId vm = hv.create_vm("A", 256, 2);
+  hv.attach_guest(vm, &g);
+  hv.start();
+  s.run_until(seconds(0.001));
+  const auto before = g.transitions();
+  hv.vcpu_kick(vm, 0);
+  s.run_until(seconds(0.002));
+  EXPECT_EQ(g.transitions(), before);
+}
+
+TEST(Hypervisor, IdleVmDoesNotConsumeCpu) {
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(2), SchedMode::kWorkConserving);
+  const VmId a = hv.create_vm("A", 256, 2);
+  guest::IdleGuest idle(s, hv, a, 2);
+  hv.attach_guest(a, &idle);
+  RecordingGuest hog(2);
+  const VmId b = hv.create_vm("B", 256, 2);
+  hv.attach_guest(b, &hog);
+  hv.start();
+  s.run_until(seconds(2.0));
+  EXPECT_LT(hv.vm(a).total_online.ratio(s.now()), 0.02);
+  EXPECT_GT(hv.vm(b).total_online.ratio(s.now()) / 2.0, 0.95);
+}
+
+TEST(Hypervisor, CreditPoolingEqualizesVcpus) {
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(4), SchedMode::kWorkConserving);
+  RecordingGuest g(4);
+  const VmId vm = hv.create_vm("A", 256, 4);
+  hv.attach_guest(vm, &g);
+  hv.start();
+  // Land just past an accounting boundary: credits were pooled there, so
+  // intra-VM divergence is at most the charges since (one tick quantum per
+  // VCPU — a coinciding per-PCPU tick can fire at the same instant).
+  s.run_until(hv.machine().accounting_cycles() * 10);
+  const auto& vcpus = hv.vm(vm).vcpus;
+  for (std::size_t i = 1; i < vcpus.size(); ++i)
+    EXPECT_NEAR(static_cast<double>(vcpus[i].credit),
+                static_cast<double>(vcpus[0].credit),
+                static_cast<double>(kCreditPerSlot));
+}
+
+TEST(Hypervisor, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator s;
+    CreditScheduler hv(s, small_machine(4), SchedMode::kWorkConserving,
+                       nullptr, seed);
+    RecordingGuest g0(4), g1(4);
+    hv.attach_guest(hv.create_vm("A", 300, 4), &g0);
+    hv.attach_guest(hv.create_vm("B", 100, 4), &g1);
+    hv.start();
+    s.run_until(sim::kDefaultClock.from_seconds_f(1.0));
+    return std::pair{hv.vm(0).total_online.v, hv.vm(1).total_online.v};
+  };
+  EXPECT_EQ(run(42), run(42));
+  // (Pure hog scenarios schedule identically across seeds under the FIFO
+  // dispatch — seed sensitivity of full guest scenarios is asserted in
+  // scenario_test's DeterministicForSeed.)
+}
+
+TEST(Hypervisor, TimesliceRotatesEqualClassVcpus) {
+  // Two hog VMs with one VCPU each sharing one PCPU: Xen's 30 ms
+  // round-robin timeslice alternates them, so both make steady progress.
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(1), SchedMode::kWorkConserving);
+  RecordingGuest g0(1), g1(1);
+  const VmId a = hv.create_vm("A", 256, 1);
+  const VmId b = hv.create_vm("B", 256, 1);
+  hv.attach_guest(a, &g0);
+  hv.attach_guest(b, &g1);
+  hv.start();
+  // Check interleaving at sub-second granularity, not just the long-run
+  // average: after any 200 ms window both VMs must have run.
+  Cycles last_a{0}, last_b{0};
+  for (int w = 0; w < 10; ++w) {
+    s.run_until(s.now() + seconds(0.2));
+    EXPECT_GT(hv.vm(a).total_online, last_a) << "window " << w;
+    EXPECT_GT(hv.vm(b).total_online, last_b) << "window " << w;
+    last_a = hv.vm(a).total_online;
+    last_b = hv.vm(b).total_online;
+  }
+  const double ratio = static_cast<double>(hv.vm(a).total_online.v) /
+                       static_cast<double>(hv.vm(b).total_online.v);
+  EXPECT_NEAR(ratio, 1.0, 0.1);
+}
+
+TEST(Hypervisor, ActiveSetStopsIdleVmFromTaxingBusyOnes) {
+  // Work-conserving: an idle VM's weight must not drain the busy VMs'
+  // credit into permanent OVER territory (Xen's active-set behaviour).
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(2), SchedMode::kWorkConserving);
+  const VmId idle_vm = hv.create_vm("idle", 256, 2);
+  guest::IdleGuest idle(s, hv, idle_vm, 2);
+  hv.attach_guest(idle_vm, &idle);
+  RecordingGuest g0(2), g1(2);
+  const VmId a = hv.create_vm("A", 256, 2);
+  const VmId b = hv.create_vm("B", 256, 2);
+  hv.attach_guest(a, &g0);
+  hv.attach_guest(b, &g1);
+  hv.start();
+  s.run_until(seconds(3.0));
+  // Busy VMs split the machine and their credits hover near zero rather
+  // than pinning at the negative cap.
+  Credit pool_a = 0, pool_b = 0;
+  for (const Vcpu& c : hv.vm(a).vcpus) pool_a += c.credit;
+  for (const Vcpu& c : hv.vm(b).vcpus) pool_b += c.credit;
+  const Credit cap = 2 * 3 * kCreditPerSlot;
+  EXPECT_GT(pool_a, -2 * cap + kCreditPerSlot);
+  EXPECT_GT(pool_b, -2 * cap + kCreditPerSlot);
+  EXPECT_NEAR(hv.vm(a).total_online.ratio(s.now()) / 2.0, 0.5, 0.1);
+}
+
+TEST(Hypervisor, ContextSwitchAndMigrationCountersMove) {
+  sim::Simulator s;
+  CreditScheduler hv(s, small_machine(2), SchedMode::kWorkConserving);
+  RecordingGuest g0(2), g1(2);
+  hv.attach_guest(hv.create_vm("A", 256, 2), &g0);
+  hv.attach_guest(hv.create_vm("B", 256, 2), &g1);
+  hv.start();
+  s.run_until(seconds(1.0));
+  EXPECT_GT(hv.context_switches(), 10u);
+  EXPECT_EQ(hv.slots_elapsed(), 100u);  // 1 s / 10 ms
+}
+
+}  // namespace
+}  // namespace asman::vmm

@@ -1,0 +1,136 @@
+// End-to-end shape tests: the paper's qualitative claims must hold on
+// reduced-size workloads (full-size reproduction lives in bench/).
+#include <gtest/gtest.h>
+
+#include "experiments/paper.h"
+#include "experiments/scenario.h"
+#include "workloads/npb.h"
+#include "workloads/synthetic.h"
+
+namespace asman::experiments {
+namespace {
+
+/// Half-scale LU: same sync granularity, less total work (quarter scale is
+/// too short for stable over-threshold statistics).
+WorkloadFactory small_lu() {
+  return [](sim::Simulator& s, std::uint64_t seed) {
+    workloads::PhaseParams p = workloads::npb_params(workloads::NpbBenchmark::kLU);
+    p.steps /= 2;
+    return std::make_unique<workloads::PhaseWorkload>(s, "LU/2", p, seed);
+  };
+}
+
+WorkloadFactory small_ep() {
+  return [](sim::Simulator& s, std::uint64_t seed) {
+    workloads::PhaseParams p = workloads::npb_params(workloads::NpbBenchmark::kEP);
+    p.steps /= 4;
+    return std::make_unique<workloads::PhaseWorkload>(s, "EP/4", p, seed);
+  };
+}
+
+double lu_runtime(core::SchedulerKind k, std::uint32_t weight) {
+  Scenario sc = single_vm_scenario(k, weight, small_lu());
+  return run_scenario(sc).vm("V1").runtime_seconds;
+}
+
+class PaperShape : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    base_ = lu_runtime(core::SchedulerKind::kCredit, 256);
+    credit22_ = lu_runtime(core::SchedulerKind::kCredit, 32);
+    asman22_ = lu_runtime(core::SchedulerKind::kAsman, 32);
+  }
+  static double base_, credit22_, asman22_;
+};
+
+double PaperShape::base_ = 0;
+double PaperShape::credit22_ = 0;
+double PaperShape::asman22_ = 0;
+
+TEST_F(PaperShape, CreditDegradesSuperlinearlyAtLowRate) {
+  // Ideal slowdown at 22.2 % is 4.5; LHP pushes Credit well past it
+  // (paper Fig 1a: ~7x).
+  const double slowdown = credit22_ / base_;
+  EXPECT_GT(slowdown, 5.6);
+  EXPECT_LT(slowdown, 12.0);
+}
+
+TEST_F(PaperShape, AsmanRecoversMuchOfTheExcess) {
+  // Paper Fig 7: ASMan sits between Credit and the 1/rate ideal.
+  EXPECT_LT(asman22_, credit22_ * 0.92);
+  EXPECT_GT(asman22_, base_ / 0.222 * 0.85);
+}
+
+TEST_F(PaperShape, SchedulersAgreeAtFullOnlineRate) {
+  const double asman100 = lu_runtime(core::SchedulerKind::kAsman, 256);
+  EXPECT_NEAR(asman100, base_, base_ * 0.05);
+}
+
+TEST(PaperShapeSpinlocks, OverThresholdTailCollapsesUnderAsman) {
+  auto over20 = [](core::SchedulerKind k) {
+    Scenario sc = single_vm_scenario(k, 32, small_lu());
+    return run_scenario(sc).vm("V1").stats.spin_waits.count_above(20);
+  };
+  const auto credit = over20(core::SchedulerKind::kCredit);
+  const auto asman = over20(core::SchedulerKind::kAsman);
+  EXPECT_GT(credit, 10u) << "Credit must exhibit lock-holder preemption";
+  EXPECT_LT(static_cast<double>(asman), static_cast<double>(credit) * 0.95);
+}
+
+TEST(PaperShapeSpinlocks, NoTailAtFullRate) {
+  Scenario sc = single_vm_scenario(core::SchedulerKind::kCredit, 256,
+                                   small_lu());
+  const auto& v1 = run_scenario(sc).vm("V1");
+  EXPECT_EQ(v1.stats.spin_waits.count_above(20), 0u);
+}
+
+TEST(PaperShapeEp, SyncFreeWorkloadInsensitiveToScheduler) {
+  auto rt = [](core::SchedulerKind k, std::uint32_t w) {
+    Scenario sc = single_vm_scenario(k, w, small_ep());
+    return run_scenario(sc).vm("V1").runtime_seconds;
+  };
+  const double base = rt(core::SchedulerKind::kCredit, 256);
+  const double credit22 = rt(core::SchedulerKind::kCredit, 32);
+  const double asman22 = rt(core::SchedulerKind::kAsman, 32);
+  // EP at 22.2 % stays near the 4.5x ideal under both schedulers.
+  EXPECT_NEAR(credit22 / base, 4.5, 1.0);
+  EXPECT_NEAR(asman22 / credit22, 1.0, 0.12);
+}
+
+TEST(PaperShapeFairness, AsmanPreservesProportionalShare) {
+  Scenario sc = single_vm_scenario(core::SchedulerKind::kAsman, 32, small_lu());
+  const auto& v1 = run_scenario(sc).vm("V1");
+  EXPECT_NEAR(v1.observed_online_rate, 0.222, 0.05)
+      << "coscheduling must not break the share cap";
+}
+
+TEST(PaperShapeVcrd, AsmanDetectsAndAdapts) {
+  Scenario sc = single_vm_scenario(core::SchedulerKind::kAsman, 32, small_lu());
+  const auto& v1 = run_scenario(sc).vm("V1");
+  EXPECT_GT(v1.adjusting_events, 2u);
+  EXPECT_GT(v1.vcrd_high_fraction, 0.2);
+  EXPECT_LT(v1.vcrd_high_fraction, 1.0);
+}
+
+TEST(PaperShapeVcrd, QuietWorkloadStaysLow) {
+  Scenario sc = single_vm_scenario(core::SchedulerKind::kAsman, 256,
+                                   small_lu());
+  const auto& v1 = run_scenario(sc).vm("V1");
+  EXPECT_EQ(v1.vcrd_transitions, 0u)
+      << "no over-threshold spinlocks at 100% online rate";
+}
+
+TEST(PaperShapeSemaphores, BlockingPrimitivesTolerateVirtualization) {
+  Scenario sc = single_vm_scenario(
+      core::SchedulerKind::kCredit, 32,
+      [](sim::Simulator&, std::uint64_t seed) {
+        return std::make_unique<workloads::SemaphorePingPongWorkload>(
+            2, 1500, sim::kDefaultClock.from_us(200), seed);
+      });
+  const auto& v1 = run_scenario(sc).vm("V1");
+  EXPECT_GT(v1.stats.sem_waits.total(), 1000u);
+  EXPECT_LT(v1.stats.sem_waits.max_value(), sim::pow2_cycles(16));
+}
+
+}  // namespace
+}  // namespace asman::experiments

@@ -1,0 +1,76 @@
+// Parameter-grid property tests for the Roth-Erev estimator: the
+// qualitative guarantees must hold across reasonable (r, e) choices.
+#include <gtest/gtest.h>
+
+#include "core/learning.h"
+#include "simcore/rng.h"
+
+namespace asman::core {
+namespace {
+
+Cycles ms(std::uint64_t v) { return sim::kDefaultClock.from_ms(v); }
+
+struct Params {
+  double r;
+  double e;
+};
+
+class LearningGrid : public ::testing::TestWithParam<Params> {
+ protected:
+  LearningConfig cfg() const {
+    LearningConfig c;
+    c.num_candidates = 12;
+    c.unit = ms(10);
+    c.recency = GetParam().r;
+    c.experimentation = GetParam().e;
+    c.seed = 77;
+    return c;
+  }
+};
+
+TEST_P(LearningGrid, PropensitiesStayFiniteAndPositive) {
+  LearningEstimator e(cfg());
+  sim::Rng rng(3);
+  Cycles t{0};
+  for (int i = 0; i < 300; ++i) {
+    t += Cycles{rng.uniform(ms(1).v, ms(500).v)};
+    e.on_adjusting_event(t);
+    for (double q : e.propensities()) {
+      ASSERT_GT(q, 0.0);
+      ASSERT_LT(q, 1e9);
+    }
+  }
+}
+
+TEST_P(LearningGrid, UnderCoschedulingRatchetsUp) {
+  LearningEstimator e(cfg());
+  Cycles t{0};
+  Cycles x{0};
+  for (int i = 0; i < 40; ++i) {
+    t += x + ms(1);
+    x = e.on_adjusting_event(t);
+  }
+  EXPECT_EQ(x, ms(120)) << "persistent under-coscheduling must reach the "
+                           "maximum candidate";
+}
+
+TEST_P(LearningGrid, EstimatesAreAlwaysValidCandidates) {
+  LearningEstimator e(cfg());
+  sim::Rng rng(5);
+  Cycles t{0};
+  for (int i = 0; i < 100; ++i) {
+    t += Cycles{rng.uniform(ms(5).v, ms(800).v)};
+    const Cycles x = e.on_adjusting_event(t);
+    EXPECT_EQ(x.v % ms(10).v, 0u);
+    EXPECT_GE(x, ms(10));
+    EXPECT_LE(x, ms(120));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LearningGrid,
+    ::testing::Values(Params{0.1, 0.1}, Params{0.1, 0.3}, Params{0.2, 0.2},
+                      Params{0.3, 0.1}, Params{0.4, 0.3}, Params{0.5, 0.2}));
+
+}  // namespace
+}  // namespace asman::core

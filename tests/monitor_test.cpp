@@ -1,0 +1,121 @@
+// Monitoring Module: over-threshold detection -> VCRD window lifecycle.
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace asman::core {
+namespace {
+
+class RecordingPort final : public vmm::HypervisorPort {
+ public:
+  void do_vcrd_op(vmm::VmId vm, vmm::Vcrd v) override {
+    ops.push_back({vm, v});
+  }
+  void vcpu_block(vmm::VmId, std::uint32_t) override {}
+  void vcpu_kick(vmm::VmId, std::uint32_t) override {}
+  std::vector<std::pair<vmm::VmId, vmm::Vcrd>> ops;
+};
+
+Cycles ms(std::uint64_t v) { return sim::kDefaultClock.from_ms(v); }
+
+MonitorConfig fixed_cfg(std::uint64_t window_ms) {
+  MonitorConfig c;
+  c.fixed_window = ms(window_ms);
+  return c;
+}
+
+TEST(Monitor, OverThresholdRaisesVcrdHigh) {
+  sim::Simulator s;
+  RecordingPort port;
+  MonitoringModule m(s, port, 7, fixed_cfg(30));
+  EXPECT_FALSE(m.high());
+  m.on_over_threshold();
+  EXPECT_TRUE(m.high());
+  ASSERT_EQ(port.ops.size(), 1u);
+  EXPECT_EQ(port.ops[0], (std::pair<vmm::VmId, vmm::Vcrd>{7, vmm::Vcrd::kHigh}));
+  EXPECT_EQ(m.adjusting_events(), 1u);
+}
+
+TEST(Monitor, QuietWindowDropsToLow) {
+  sim::Simulator s;
+  RecordingPort port;
+  MonitoringModule m(s, port, 0, fixed_cfg(30));
+  m.on_over_threshold();
+  s.run_until(ms(29));
+  EXPECT_TRUE(m.high());
+  s.run_until(ms(31));
+  EXPECT_FALSE(m.high());
+  ASSERT_EQ(port.ops.size(), 2u);
+  EXPECT_EQ(port.ops[1].second, vmm::Vcrd::kLow);
+  EXPECT_EQ(m.windows_completed_quiet(), 1u);
+  EXPECT_EQ(m.windows_extended(), 0u);
+}
+
+TEST(Monitor, OverThresholdDuringWindowExtendsIt) {
+  sim::Simulator s;
+  RecordingPort port;
+  MonitoringModule m(s, port, 0, fixed_cfg(30));
+  m.on_over_threshold();  // window [0, 30ms)
+  s.run_until(ms(10));
+  m.on_over_threshold();  // inside the window
+  s.run_until(ms(31));
+  EXPECT_TRUE(m.high()) << "window must be extended, not dropped";
+  EXPECT_EQ(m.windows_extended(), 1u);
+  EXPECT_EQ(m.adjusting_events(), 2u);  // the extension re-estimates
+  // Quiet from here: [30, 60) closes.
+  s.run_until(ms(61));
+  EXPECT_FALSE(m.high());
+  // Exactly one HIGH and one LOW hypercall in total — the extension does
+  // not re-send HIGH.
+  ASSERT_EQ(port.ops.size(), 2u);
+  EXPECT_EQ(port.ops[0].second, vmm::Vcrd::kHigh);
+  EXPECT_EQ(port.ops[1].second, vmm::Vcrd::kLow);
+}
+
+TEST(Monitor, NewLocalityAfterLowStartsFreshWindow) {
+  sim::Simulator s;
+  RecordingPort port;
+  MonitoringModule m(s, port, 0, fixed_cfg(20));
+  m.on_over_threshold();
+  s.run_until(ms(25));
+  ASSERT_FALSE(m.high());
+  m.on_over_threshold();
+  EXPECT_TRUE(m.high());
+  EXPECT_EQ(m.adjusting_events(), 2u);
+  EXPECT_EQ(port.ops.size(), 3u);  // HIGH, LOW, HIGH
+}
+
+TEST(Monitor, ThresholdMatchesDeltaExponent) {
+  sim::Simulator s;
+  RecordingPort port;
+  MonitorConfig c;
+  c.delta_exp = 22;
+  MonitoringModule m(s, port, 0, c);
+  EXPECT_EQ(m.threshold(), sim::pow2_cycles(22));
+}
+
+TEST(Monitor, LearnedWindowsUseEstimator) {
+  sim::Simulator s;
+  RecordingPort port;
+  MonitorConfig c;  // fixed_window = 0 -> learned
+  MonitoringModule m(s, port, 0, c);
+  m.on_over_threshold();
+  EXPECT_TRUE(m.high());
+  EXPECT_EQ(m.estimator().events(), 1u);
+  // The window length is one of the estimator's candidates.
+  const Cycles x = m.estimator().last_estimate();
+  EXPECT_GE(x, c.learning.unit);
+  EXPECT_LE(x, Cycles{c.learning.unit.v * c.learning.num_candidates});
+}
+
+TEST(Monitor, CountsOverThresholdEvents) {
+  sim::Simulator s;
+  RecordingPort port;
+  MonitoringModule m(s, port, 0, fixed_cfg(50));
+  for (int i = 0; i < 5; ++i) m.on_over_threshold();
+  EXPECT_EQ(m.over_threshold_events(), 5u);
+  EXPECT_EQ(m.adjusting_events(), 1u);  // the other four were inside HIGH
+}
+
+}  // namespace
+}  // namespace asman::core

@@ -1,0 +1,126 @@
+#include "simcore/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace asman::sim {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(1), b(1), c(2);
+  EXPECT_EQ(a.next(), b.next());
+  SplitMix64 a2(1);
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ChildStreamsIndependent) {
+  Rng parent(77);
+  Rng c1 = parent.child(1);
+  Rng c2 = parent.child(2);
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+  // Child derivation is deterministic.
+  Rng p2(77);
+  Rng c1b = p2.child(1);
+  c1 = parent.child(1);
+  EXPECT_EQ(c1.next_u64(), c1b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(5);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, UniformInclusiveRange) {
+  Rng r(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(12);
+  double sum = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  double sum = 0, sq = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, PositiveJitterNeverBelowFloor) {
+  Rng r(14);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = r.positive_jitter(1000.0, 0.8);
+    EXPECT_GE(x, 50.0);  // 5 % floor
+  }
+  // cv = 0 means exact.
+  EXPECT_DOUBLE_EQ(r.positive_jitter(123.0, 0.0), 123.0);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, MeanOfUniformDoubles) {
+  Rng r(GetParam());
+  double sum = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 42, 1337, 0xdeadbeef));
+
+}  // namespace
+}  // namespace asman::sim

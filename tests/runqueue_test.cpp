@@ -1,0 +1,127 @@
+#include "vmm/runqueue.h"
+
+#include <gtest/gtest.h>
+
+namespace asman::vmm {
+namespace {
+
+Vcpu make_vcpu(VmId vm, std::uint32_t idx, Credit credit) {
+  Vcpu v;
+  v.key = VcpuKey{vm, idx};
+  v.credit = credit;
+  return v;
+}
+
+TEST(PrioClass, Ordering) {
+  Vcpu v = make_vcpu(0, 0, 100);
+  EXPECT_EQ(v.prio_class(), PrioClass::kUnder);
+  v.credit = -1;
+  EXPECT_EQ(v.prio_class(), PrioClass::kOver);
+  v.wake_boost = true;
+  EXPECT_EQ(v.prio_class(), PrioClass::kWake);
+  v.cosched_boost = true;
+  EXPECT_EQ(v.prio_class(), PrioClass::kCosched);
+}
+
+TEST(RunQueue, BestIsFifoWithinClass) {
+  // Xen's queue discipline: FIFO among same-class VCPUs, regardless of
+  // credit magnitude (this is what prevents starvation-by-richer-credit).
+  Vcpu a = make_vcpu(0, 0, 100), b = make_vcpu(0, 1, 300),
+       c = make_vcpu(0, 2, 200);
+  RunQueue q;
+  q.push(&a);
+  q.push(&b);
+  q.push(&c);
+  EXPECT_EQ(q.best(false), &a);
+  q.remove(&a);
+  q.push(&a);  // rotated to the tail
+  EXPECT_EQ(q.best(false), &b);
+}
+
+TEST(RunQueue, BestHonoursPriorityClasses) {
+  Vcpu under = make_vcpu(0, 0, 10);
+  Vcpu boosted = make_vcpu(1, 0, -50);
+  boosted.cosched_boost = true;
+  RunQueue q;
+  q.push(&under);
+  q.push(&boosted);
+  EXPECT_EQ(q.best(false), &boosted);  // kCosched beats kUnder
+}
+
+TEST(RunQueue, BestSkipsOverWhenNotAllowed) {
+  Vcpu over = make_vcpu(0, 0, -5);
+  RunQueue q;
+  q.push(&over);
+  EXPECT_EQ(q.best(false), nullptr);
+  EXPECT_EQ(q.best(true), &over);
+}
+
+TEST(RunQueue, SameClassQueueOrderWins) {
+  Vcpu a = make_vcpu(2, 1, 100), b = make_vcpu(1, 3, 100);
+  RunQueue q;
+  q.push(&a);
+  q.push(&b);
+  EXPECT_EQ(q.best(false), &a);  // insertion order, not key order
+}
+
+TEST(RunQueue, RemoveAndContains) {
+  Vcpu a = make_vcpu(0, 0, 1);
+  RunQueue q;
+  EXPECT_FALSE(q.remove(&a));
+  q.push(&a);
+  EXPECT_TRUE(q.contains(&a));
+  EXPECT_TRUE(q.remove(&a));
+  EXPECT_FALSE(q.contains(&a));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RunQueue, HasVm) {
+  Vcpu a = make_vcpu(3, 0, 1);
+  RunQueue q;
+  EXPECT_FALSE(q.has_vm(3));
+  q.push(&a);
+  EXPECT_TRUE(q.has_vm(3));
+  EXPECT_FALSE(q.has_vm(4));
+}
+
+TEST(RunQueue, BetterIsStrictTotalOrder) {
+  Vcpu a = make_vcpu(0, 0, 5), b = make_vcpu(0, 1, 5);
+  EXPECT_TRUE(RunQueue::better(&a, &b));
+  EXPECT_FALSE(RunQueue::better(&b, &a));
+  EXPECT_FALSE(RunQueue::better(&a, &a));
+}
+
+TEST(RunQueue, WeakCoschedSitsBetweenUnderAndOver) {
+  Vcpu weak = make_vcpu(0, 0, -10);
+  weak.cosched_boost = true;
+  weak.cosched_weak = true;
+  EXPECT_EQ(weak.prio_class(), PrioClass::kWeakCosched);
+  Vcpu under = make_vcpu(1, 0, 5);
+  Vcpu over = make_vcpu(2, 0, -5);
+  RunQueue q;
+  q.push(&weak);
+  q.push(&over);
+  // Pass 1 (no OVER): the weak boost is not eligible either.
+  EXPECT_EQ(q.best(false), nullptr);
+  // Pass 2: the weak boost outranks plain OVER despite queue order.
+  EXPECT_EQ(q.best(true), &weak);
+  q.push(&under);
+  EXPECT_EQ(q.best(false), &under);  // anything entitled wins
+}
+
+TEST(RunQueue, WakeBeatsUnderLosesToCosched) {
+  Vcpu wake = make_vcpu(0, 0, 1);
+  wake.wake_boost = true;
+  Vcpu under = make_vcpu(1, 0, 1'000'000);
+  Vcpu gang = make_vcpu(2, 0, -10);
+  gang.cosched_boost = true;
+  RunQueue q;
+  q.push(&wake);
+  q.push(&under);
+  EXPECT_EQ(q.best(false), &wake);
+  q.push(&gang);
+  EXPECT_EQ(q.best(false), &gang);
+}
+
+}  // namespace
+}  // namespace asman::vmm

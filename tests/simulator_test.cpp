@@ -1,0 +1,104 @@
+#include "simcore/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace asman::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator s;
+  Cycles seen{0};
+  s.after(Cycles{100}, [&] { seen = s.now(); });
+  s.run_all();
+  EXPECT_EQ(seen, Cycles{100});
+  EXPECT_EQ(s.now(), Cycles{100});
+}
+
+TEST(Simulator, RunUntilInclusiveBoundary) {
+  Simulator s;
+  int fired = 0;
+  s.after(Cycles{50}, [&] { ++fired; });
+  s.after(Cycles{100}, [&] { ++fired; });
+  s.after(Cycles{101}, [&] { ++fired; });
+  s.run_until(Cycles{100});
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), Cycles{100});  // clock lands on the deadline
+  s.run_all();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, AfterIsRelativeToNow) {
+  Simulator s;
+  Cycles when{0};
+  s.after(Cycles{10}, [&] { s.after(Cycles{10}, [&] { when = s.now(); }); });
+  s.run_all();
+  EXPECT_EQ(when, Cycles{20});
+}
+
+TEST(Simulator, CancelStopsEvent) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.after(Cycles{10}, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunWhileStopsOnPredicate) {
+  Simulator s;
+  int count = 0;
+  // Self-rescheduling ticker.
+  std::function<void()> tick = [&] {
+    ++count;
+    s.after(Cycles{10}, tick);
+  };
+  s.after(Cycles{10}, tick);
+  s.run_while(Cycles::max(), [&] { return count < 5; });
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), Cycles{50});
+}
+
+TEST(Simulator, EventsProcessedCounts) {
+  Simulator s;
+  for (int i = 1; i <= 7; ++i) s.after(Cycles{static_cast<unsigned>(i)}, [] {});
+  s.run_all();
+  EXPECT_EQ(s.events_processed(), 7u);
+}
+
+TEST(Simulator, PendingEvents) {
+  Simulator s;
+  s.after(Cycles{5}, [] {});
+  s.after(Cycles{6}, [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.run_all();
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, FastForwardAdvancesClock) {
+  Simulator s;
+  s.fast_forward(Cycles{1000});
+  EXPECT_EQ(s.now(), Cycles{1000});
+}
+
+TEST(Simulator, RunUntilWithNoEventsAdvancesToDeadline) {
+  Simulator s;
+  s.run_until(Cycles{500});
+  EXPECT_EQ(s.now(), Cycles{500});
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtSameTime) {
+  Simulator s;
+  std::vector<int> order;
+  s.after(Cycles{10}, [&] {
+    order.push_back(1);
+    s.after(Cycles{0}, [&] { order.push_back(2); });
+  });
+  s.after(Cycles{10}, [&] { order.push_back(3); });
+  s.run_all();
+  // The zero-delay event was inserted after the second 10-cycle event.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(s.now(), Cycles{10});
+}
+
+}  // namespace
+}  // namespace asman::sim

@@ -1,0 +1,122 @@
+// SPECjbb model specifics: safepoint epochs, parallel GC sequencing,
+// daemon threads, transaction accounting.
+#include <gtest/gtest.h>
+
+#include "guest_test_util.h"
+#include "workloads/specjbb.h"
+
+namespace asman::workloads {
+namespace {
+
+using testutil::TestHv;
+using testutil::quiet_config;
+
+SpecJbbParams fast_params(std::uint32_t warehouses) {
+  SpecJbbParams p;
+  p.warehouses = warehouses;
+  p.txn_mean = sim::kDefaultClock.from_us(100);
+  p.safepoint_every_txns = 50;
+  p.gc_phases = 3;
+  p.gc_chunk = sim::kDefaultClock.from_us(50);
+  return p;
+}
+
+TEST(SpecJbb, SafepointsRunAllGcPhases) {
+  sim::Simulator s;
+  TestHv hv(2);
+  guest::GuestKernel g(s, hv, 0, quiet_config(2));
+  hv.bind(&g);
+  SpecJbbWorkload wl(s, fast_params(2), 3);
+  wl.deploy(g);
+  hv.map(0);
+  hv.map(1);
+  s.run_until(sim::kDefaultClock.from_seconds_f(0.5));
+  const std::uint64_t txns = wl.work_units();
+  ASSERT_GT(txns, 100u);
+  const std::uint64_t epochs = txns / 50;
+  // Every safepoint: each thread does 1 rendezvous + gc_phases barriers.
+  const std::uint64_t expected_min = epochs * 2 * (1 + 3) * 8 / 10;
+  EXPECT_GE(g.stats().barrier_arrivals, expected_min);
+}
+
+TEST(SpecJbb, DaemonsDoNotCountAsWork) {
+  sim::Simulator s;
+  TestHv hv(2);
+  guest::GuestKernel g(s, hv, 0, quiet_config(2));
+  hv.bind(&g);
+  SpecJbbParams p = fast_params(1);
+  p.safepoint_every_txns = 0;  // isolate daemons
+  p.daemons = 3;
+  SpecJbbWorkload wl(s, p, 3);
+  wl.deploy(g);
+  EXPECT_EQ(g.num_threads(), 4u);  // 1 warehouse + 3 daemons
+  hv.map(0);
+  hv.map(1);
+  s.run_until(sim::kDefaultClock.from_seconds_f(0.2));
+  // ~100 us per txn on one warehouse -> roughly 2000 txns in 0.2 s; the
+  // daemons' activity must not inflate the count.
+  EXPECT_NEAR(static_cast<double>(wl.work_units()), 1900.0, 400.0);
+}
+
+TEST(SpecJbb, SafepointsCostThroughput) {
+  auto txns = [](std::uint64_t every) {
+    sim::Simulator s;
+    TestHv hv(2);
+    guest::GuestKernel g(s, hv, 0, quiet_config(2));
+    hv.bind(&g);
+    SpecJbbParams p = fast_params(2);
+    p.safepoint_every_txns = every;
+    p.daemons = 0;
+    SpecJbbWorkload wl(s, p, 3);
+    wl.deploy(g);
+    hv.map(0);
+    hv.map(1);
+    s.run_until(sim::kDefaultClock.from_seconds_f(0.5));
+    return wl.work_units();
+  };
+  const auto with_gc = txns(50);
+  const auto without_gc = txns(0);
+  EXPECT_LT(static_cast<double>(with_gc),
+            static_cast<double>(without_gc) * 0.995);
+  EXPECT_GT(static_cast<double>(with_gc),
+            static_cast<double>(without_gc) * 0.7);
+}
+
+TEST(SpecJbb, SharedLockFrequencyMatchesProbability) {
+  sim::Simulator s;
+  TestHv hv(4);
+  guest::GuestKernel g(s, hv, 0, quiet_config(4));
+  hv.bind(&g);
+  SpecJbbParams p = fast_params(4);
+  p.safepoint_every_txns = 0;
+  p.daemons = 0;
+  p.shared_lock_prob = 0.5;
+  SpecJbbWorkload wl(s, p, 9);
+  wl.deploy(g);
+  for (std::uint32_t v = 0; v < 4; ++v) hv.map(v);
+  s.run_until(sim::kDefaultClock.from_seconds_f(0.3));
+  // Mutex ops show up as futex traffic only when contended; instead verify
+  // via timing: with p=0.5 and 18 us holds, throughput drops measurably
+  // versus p=0.
+  const auto busy = wl.work_units();
+  sim::Simulator s2;
+  TestHv hv2(4);
+  guest::GuestKernel g2(s2, hv2, 0, quiet_config(4));
+  hv2.bind(&g2);
+  p.shared_lock_prob = 0.0;
+  SpecJbbWorkload wl2(s2, p, 9);
+  wl2.deploy(g2);
+  for (std::uint32_t v = 0; v < 4; ++v) hv2.map(v);
+  s2.run_until(sim::kDefaultClock.from_seconds_f(0.3));
+  EXPECT_LT(busy, wl2.work_units());
+}
+
+TEST(SpecJbb, NameIncludesWarehouseCount) {
+  sim::Simulator s;
+  SpecJbbWorkload wl(s, fast_params(6), 1);
+  EXPECT_EQ(wl.name(), "SPECjbb(6wh)");
+  EXPECT_FALSE(wl.finite());
+}
+
+}  // namespace
+}  // namespace asman::workloads

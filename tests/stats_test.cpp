@@ -1,0 +1,55 @@
+#include "simcore/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace asman::sim {
+namespace {
+
+TEST(Summary, MeanMinMax) {
+  Summary s;
+  for (double x : {4.0, 8.0, 6.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(Summary, VarianceAndStddev) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 4.571428571, 1e-9);  // sample variance
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);
+}
+
+TEST(Summary, CvMatchesPaperProtocol) {
+  Summary s;
+  for (double x : {100.0, 102.0, 98.0, 101.0, 99.0}) s.add(x);
+  EXPECT_LT(s.cv(), 0.10);  // §5.3: averages only valid when cv < 10 %
+}
+
+TEST(Summary, SingleAndEmpty) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Percentile, Interpolation) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 17.5);
+}
+
+TEST(Percentile, UnsortedInputAndEdges) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 50), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7}, 99), 7.0);
+}
+
+}  // namespace
+}  // namespace asman::sim

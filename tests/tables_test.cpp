@@ -1,0 +1,62 @@
+#include "experiments/tables.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace asman::experiments {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.str();
+  std::istringstream in(out);
+  std::string l1, l2, l3, l4;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  std::getline(in, l4);
+  EXPECT_EQ(l1.size(), l3.size());
+  EXPECT_EQ(l3.size(), l4.size());
+  EXPECT_NE(l2.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NE(t.str().find('x'), std::string::npos);
+}
+
+TEST(Fmt, Numbers) {
+  EXPECT_EQ(fmt_f(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_f(2.0, 0), "2");
+  EXPECT_EQ(fmt_pct(0.2222), "22.2%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "asman_tables_test.csv";
+  write_csv(path, {"x", "y"}, {{"1", "2"}, {"3", "4"}});
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(write_csv("/nonexistent-dir-zz/x.csv", {"a"}, {}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace asman::experiments

@@ -1,0 +1,62 @@
+#include "simcore/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+namespace asman::sim {
+namespace {
+
+TEST(ThreadPool, DefaultSizeAtLeastOne) {
+  ThreadPool p;
+  EXPECT_GE(p.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool p(2);
+  auto f = p.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool p(2);
+  auto f = p.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool p(4);
+  std::vector<int> hits(1000, 0);
+  p.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool p(2);
+  EXPECT_THROW(p.parallel_for(10,
+                              [](std::size_t i) {
+                                if (i == 3)
+                                  throw std::invalid_argument("bad");
+                              }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, ManyTasksComplete) {
+  ThreadPool p(3);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i)
+    futs.push_back(p.submit([&done] { done.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, ZeroTasksNoop) {
+  ThreadPool p(2);
+  p.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace asman::sim

@@ -1,0 +1,58 @@
+#include "simcore/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace asman::sim {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  Trace t;
+  t.emit(Cycles{1}, TraceCat::kSched, "x");
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  Trace t;
+  t.enable(true);
+  t.emit(Cycles{1}, TraceCat::kSched, "a");
+  t.emit(Cycles{2}, TraceCat::kLock, "b");
+  ASSERT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.records()[0].msg, "a");
+  EXPECT_EQ(t.records()[1].at, Cycles{2});
+}
+
+TEST(Trace, FilterByCategory) {
+  Trace t;
+  t.enable(true);
+  t.emit(Cycles{1}, TraceCat::kSched, "a");
+  t.emit(Cycles{2}, TraceCat::kLock, "b");
+  t.emit(Cycles{3}, TraceCat::kLock, "c");
+  const auto locks = t.filter(TraceCat::kLock);
+  ASSERT_EQ(locks.size(), 2u);
+  EXPECT_EQ(locks[1].msg, "c");
+}
+
+TEST(Trace, DumpTruncates) {
+  Trace t;
+  t.enable(true);
+  for (int i = 0; i < 50; ++i) t.emit(Cycles{1}, TraceCat::kGuest, "m");
+  const std::string d = t.dump(10);
+  EXPECT_NE(d.find("truncated"), std::string::npos);
+}
+
+TEST(Trace, CategoryNames) {
+  EXPECT_STREQ(trace_cat_name(TraceCat::kSched), "sched");
+  EXPECT_STREQ(trace_cat_name(TraceCat::kCosched), "cosched");
+  EXPECT_STREQ(trace_cat_name(TraceCat::kMonitor), "monitor");
+}
+
+TEST(Trace, Clear) {
+  Trace t;
+  t.enable(true);
+  t.emit(Cycles{1}, TraceCat::kGuest, "m");
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+}
+
+}  // namespace
+}  // namespace asman::sim
