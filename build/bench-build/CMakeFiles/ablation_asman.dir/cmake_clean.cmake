@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_asman"
+  "../bench/ablation_asman.pdb"
+  "CMakeFiles/ablation_asman.dir/ablation_asman.cpp.o"
+  "CMakeFiles/ablation_asman.dir/ablation_asman.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_asman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asman_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/asman_bench_util.dir/bench_util.cpp.o.d"
+  "libasman_bench_util.a"
+  "libasman_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asman_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

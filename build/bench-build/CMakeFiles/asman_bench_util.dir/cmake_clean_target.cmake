@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasman_bench_util.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig01_motivation.cpp" "bench-build/CMakeFiles/fig01_motivation.dir/fig01_motivation.cpp.o" "gcc" "bench-build/CMakeFiles/fig01_motivation.dir/fig01_motivation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/asman_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/asman_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asman_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/asman_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/asman_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/asman_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/asman_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_spinwait_credit"
+  "../bench/fig02_spinwait_credit.pdb"
+  "CMakeFiles/fig02_spinwait_credit.dir/fig02_spinwait_credit.cpp.o"
+  "CMakeFiles/fig02_spinwait_credit.dir/fig02_spinwait_credit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_spinwait_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

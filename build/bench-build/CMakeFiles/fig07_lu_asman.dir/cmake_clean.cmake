@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_lu_asman"
+  "../bench/fig07_lu_asman.pdb"
+  "CMakeFiles/fig07_lu_asman.dir/fig07_lu_asman.cpp.o"
+  "CMakeFiles/fig07_lu_asman.dir/fig07_lu_asman.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_lu_asman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

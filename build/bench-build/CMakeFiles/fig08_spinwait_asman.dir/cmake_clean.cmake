@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_spinwait_asman"
+  "../bench/fig08_spinwait_asman.pdb"
+  "CMakeFiles/fig08_spinwait_asman.dir/fig08_spinwait_asman.cpp.o"
+  "CMakeFiles/fig08_spinwait_asman.dir/fig08_spinwait_asman.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_spinwait_asman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

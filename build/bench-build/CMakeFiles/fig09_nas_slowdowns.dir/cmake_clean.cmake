@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_nas_slowdowns"
+  "../bench/fig09_nas_slowdowns.pdb"
+  "CMakeFiles/fig09_nas_slowdowns.dir/fig09_nas_slowdowns.cpp.o"
+  "CMakeFiles/fig09_nas_slowdowns.dir/fig09_nas_slowdowns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_nas_slowdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

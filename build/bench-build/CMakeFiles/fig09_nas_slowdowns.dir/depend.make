@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_nas_slowdowns.
+# This may be replaced when dependencies are built.

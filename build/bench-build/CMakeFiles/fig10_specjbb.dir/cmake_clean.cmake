@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_specjbb"
+  "../bench/fig10_specjbb.pdb"
+  "CMakeFiles/fig10_specjbb.dir/fig10_specjbb.cpp.o"
+  "CMakeFiles/fig10_specjbb.dir/fig10_specjbb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_specjbb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_multivm4"
+  "../bench/fig11_multivm4.pdb"
+  "CMakeFiles/fig11_multivm4.dir/fig11_multivm4.cpp.o"
+  "CMakeFiles/fig11_multivm4.dir/fig11_multivm4.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_multivm4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

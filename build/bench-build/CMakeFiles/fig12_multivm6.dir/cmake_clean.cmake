@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_multivm6"
+  "../bench/fig12_multivm6.pdb"
+  "CMakeFiles/fig12_multivm6.dir/fig12_multivm6.cpp.o"
+  "CMakeFiles/fig12_multivm6.dir/fig12_multivm6.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_multivm6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

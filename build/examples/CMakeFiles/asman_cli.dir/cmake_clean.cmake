@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asman_cli.dir/asman_cli.cpp.o"
+  "CMakeFiles/asman_cli.dir/asman_cli.cpp.o.d"
+  "asman_cli"
+  "asman_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asman_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

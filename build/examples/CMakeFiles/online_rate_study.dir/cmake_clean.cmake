@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_rate_study.dir/online_rate_study.cpp.o"
+  "CMakeFiles/online_rate_study.dir/online_rate_study.cpp.o.d"
+  "online_rate_study"
+  "online_rate_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_rate_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hw_monitor.cpp" "src/core/CMakeFiles/asman_core.dir/hw_monitor.cpp.o" "gcc" "src/core/CMakeFiles/asman_core.dir/hw_monitor.cpp.o.d"
+  "/root/repo/src/core/learning.cpp" "src/core/CMakeFiles/asman_core.dir/learning.cpp.o" "gcc" "src/core/CMakeFiles/asman_core.dir/learning.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/asman_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/asman_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/schedulers.cpp" "src/core/CMakeFiles/asman_core.dir/schedulers.cpp.o" "gcc" "src/core/CMakeFiles/asman_core.dir/schedulers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/asman_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/asman_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/asman_guest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

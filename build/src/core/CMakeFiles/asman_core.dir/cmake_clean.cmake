@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asman_core.dir/hw_monitor.cpp.o"
+  "CMakeFiles/asman_core.dir/hw_monitor.cpp.o.d"
+  "CMakeFiles/asman_core.dir/learning.cpp.o"
+  "CMakeFiles/asman_core.dir/learning.cpp.o.d"
+  "CMakeFiles/asman_core.dir/monitor.cpp.o"
+  "CMakeFiles/asman_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/asman_core.dir/schedulers.cpp.o"
+  "CMakeFiles/asman_core.dir/schedulers.cpp.o.d"
+  "libasman_core.a"
+  "libasman_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asman_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asman_experiments.dir/paper.cpp.o"
+  "CMakeFiles/asman_experiments.dir/paper.cpp.o.d"
+  "CMakeFiles/asman_experiments.dir/runner.cpp.o"
+  "CMakeFiles/asman_experiments.dir/runner.cpp.o.d"
+  "CMakeFiles/asman_experiments.dir/scenario.cpp.o"
+  "CMakeFiles/asman_experiments.dir/scenario.cpp.o.d"
+  "CMakeFiles/asman_experiments.dir/tables.cpp.o"
+  "CMakeFiles/asman_experiments.dir/tables.cpp.o.d"
+  "libasman_experiments.a"
+  "libasman_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asman_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asman_guest.dir/guest_kernel.cpp.o"
+  "CMakeFiles/asman_guest.dir/guest_kernel.cpp.o.d"
+  "libasman_guest.a"
+  "libasman_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asman_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

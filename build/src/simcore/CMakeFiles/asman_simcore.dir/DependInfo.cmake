@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/event_queue.cpp" "src/simcore/CMakeFiles/asman_simcore.dir/event_queue.cpp.o" "gcc" "src/simcore/CMakeFiles/asman_simcore.dir/event_queue.cpp.o.d"
+  "/root/repo/src/simcore/histogram.cpp" "src/simcore/CMakeFiles/asman_simcore.dir/histogram.cpp.o" "gcc" "src/simcore/CMakeFiles/asman_simcore.dir/histogram.cpp.o.d"
+  "/root/repo/src/simcore/simulator.cpp" "src/simcore/CMakeFiles/asman_simcore.dir/simulator.cpp.o" "gcc" "src/simcore/CMakeFiles/asman_simcore.dir/simulator.cpp.o.d"
+  "/root/repo/src/simcore/stats.cpp" "src/simcore/CMakeFiles/asman_simcore.dir/stats.cpp.o" "gcc" "src/simcore/CMakeFiles/asman_simcore.dir/stats.cpp.o.d"
+  "/root/repo/src/simcore/thread_pool.cpp" "src/simcore/CMakeFiles/asman_simcore.dir/thread_pool.cpp.o" "gcc" "src/simcore/CMakeFiles/asman_simcore.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/simcore/time.cpp" "src/simcore/CMakeFiles/asman_simcore.dir/time.cpp.o" "gcc" "src/simcore/CMakeFiles/asman_simcore.dir/time.cpp.o.d"
+  "/root/repo/src/simcore/trace.cpp" "src/simcore/CMakeFiles/asman_simcore.dir/trace.cpp.o" "gcc" "src/simcore/CMakeFiles/asman_simcore.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

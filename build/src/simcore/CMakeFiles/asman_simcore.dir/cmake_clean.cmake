@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asman_simcore.dir/event_queue.cpp.o"
+  "CMakeFiles/asman_simcore.dir/event_queue.cpp.o.d"
+  "CMakeFiles/asman_simcore.dir/histogram.cpp.o"
+  "CMakeFiles/asman_simcore.dir/histogram.cpp.o.d"
+  "CMakeFiles/asman_simcore.dir/simulator.cpp.o"
+  "CMakeFiles/asman_simcore.dir/simulator.cpp.o.d"
+  "CMakeFiles/asman_simcore.dir/stats.cpp.o"
+  "CMakeFiles/asman_simcore.dir/stats.cpp.o.d"
+  "CMakeFiles/asman_simcore.dir/thread_pool.cpp.o"
+  "CMakeFiles/asman_simcore.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/asman_simcore.dir/time.cpp.o"
+  "CMakeFiles/asman_simcore.dir/time.cpp.o.d"
+  "CMakeFiles/asman_simcore.dir/trace.cpp.o"
+  "CMakeFiles/asman_simcore.dir/trace.cpp.o.d"
+  "libasman_simcore.a"
+  "libasman_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asman_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

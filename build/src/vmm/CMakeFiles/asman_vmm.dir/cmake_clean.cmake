@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asman_vmm.dir/hypervisor.cpp.o"
+  "CMakeFiles/asman_vmm.dir/hypervisor.cpp.o.d"
+  "libasman_vmm.a"
+  "libasman_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asman_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernbench.cpp" "src/workloads/CMakeFiles/asman_workloads.dir/kernbench.cpp.o" "gcc" "src/workloads/CMakeFiles/asman_workloads.dir/kernbench.cpp.o.d"
+  "/root/repo/src/workloads/npb.cpp" "src/workloads/CMakeFiles/asman_workloads.dir/npb.cpp.o" "gcc" "src/workloads/CMakeFiles/asman_workloads.dir/npb.cpp.o.d"
+  "/root/repo/src/workloads/phase_model.cpp" "src/workloads/CMakeFiles/asman_workloads.dir/phase_model.cpp.o" "gcc" "src/workloads/CMakeFiles/asman_workloads.dir/phase_model.cpp.o.d"
+  "/root/repo/src/workloads/speccpu.cpp" "src/workloads/CMakeFiles/asman_workloads.dir/speccpu.cpp.o" "gcc" "src/workloads/CMakeFiles/asman_workloads.dir/speccpu.cpp.o.d"
+  "/root/repo/src/workloads/specjbb.cpp" "src/workloads/CMakeFiles/asman_workloads.dir/specjbb.cpp.o" "gcc" "src/workloads/CMakeFiles/asman_workloads.dir/specjbb.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/asman_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/asman_workloads.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/asman_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/asman_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/asman_vmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asman_workloads.dir/kernbench.cpp.o"
+  "CMakeFiles/asman_workloads.dir/kernbench.cpp.o.d"
+  "CMakeFiles/asman_workloads.dir/npb.cpp.o"
+  "CMakeFiles/asman_workloads.dir/npb.cpp.o.d"
+  "CMakeFiles/asman_workloads.dir/phase_model.cpp.o"
+  "CMakeFiles/asman_workloads.dir/phase_model.cpp.o.d"
+  "CMakeFiles/asman_workloads.dir/speccpu.cpp.o"
+  "CMakeFiles/asman_workloads.dir/speccpu.cpp.o.d"
+  "CMakeFiles/asman_workloads.dir/specjbb.cpp.o"
+  "CMakeFiles/asman_workloads.dir/specjbb.cpp.o.d"
+  "CMakeFiles/asman_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/asman_workloads.dir/synthetic.cpp.o.d"
+  "libasman_workloads.a"
+  "libasman_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asman_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

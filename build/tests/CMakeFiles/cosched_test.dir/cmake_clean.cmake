@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_test.dir/cosched_test.cpp.o"
+  "CMakeFiles/cosched_test.dir/cosched_test.cpp.o.d"
+  "cosched_test"
+  "cosched_test.pdb"
+  "cosched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

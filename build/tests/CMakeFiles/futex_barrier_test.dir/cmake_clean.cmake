@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futex_barrier_test.dir/futex_barrier_test.cpp.o"
+  "CMakeFiles/futex_barrier_test.dir/futex_barrier_test.cpp.o.d"
+  "futex_barrier_test"
+  "futex_barrier_test.pdb"
+  "futex_barrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futex_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_exec_test.dir/guest_exec_test.cpp.o"
+  "CMakeFiles/guest_exec_test.dir/guest_exec_test.cpp.o.d"
+  "guest_exec_test"
+  "guest_exec_test.pdb"
+  "guest_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

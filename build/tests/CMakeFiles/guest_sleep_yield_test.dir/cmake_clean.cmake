@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_sleep_yield_test.dir/guest_sleep_yield_test.cpp.o"
+  "CMakeFiles/guest_sleep_yield_test.dir/guest_sleep_yield_test.cpp.o.d"
+  "guest_sleep_yield_test"
+  "guest_sleep_yield_test.pdb"
+  "guest_sleep_yield_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_sleep_yield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_monitor_test.dir/hw_monitor_test.cpp.o"
+  "CMakeFiles/hw_monitor_test.dir/hw_monitor_test.cpp.o.d"
+  "hw_monitor_test"
+  "hw_monitor_test.pdb"
+  "hw_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_param_test.dir/learning_param_test.cpp.o"
+  "CMakeFiles/learning_param_test.dir/learning_param_test.cpp.o.d"
+  "learning_param_test"
+  "learning_param_test.pdb"
+  "learning_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

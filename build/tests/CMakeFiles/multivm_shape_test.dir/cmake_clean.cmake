@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivm_shape_test.dir/multivm_shape_test.cpp.o"
+  "CMakeFiles/multivm_shape_test.dir/multivm_shape_test.cpp.o.d"
+  "multivm_shape_test"
+  "multivm_shape_test.pdb"
+  "multivm_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivm_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

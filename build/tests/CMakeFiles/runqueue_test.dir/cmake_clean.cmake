@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runqueue_test.dir/runqueue_test.cpp.o"
+  "CMakeFiles/runqueue_test.dir/runqueue_test.cpp.o.d"
+  "runqueue_test"
+  "runqueue_test.pdb"
+  "runqueue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

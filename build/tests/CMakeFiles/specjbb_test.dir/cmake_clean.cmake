@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specjbb_test.dir/specjbb_test.cpp.o"
+  "CMakeFiles/specjbb_test.dir/specjbb_test.cpp.o.d"
+  "specjbb_test"
+  "specjbb_test.pdb"
+  "specjbb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specjbb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
