@@ -11,6 +11,15 @@ int run_bench_main(int argc, char** argv, Sweep& sweep,
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_tables(sweep);
+  // With ASMAN_AUDIT=1 in the environment every simulation ran with the
+  // invariant auditor attached (see run_scenario); surface the verdict and
+  // fail the binary so CI treats violations as errors.
+  const std::uint64_t violations = sweep.audit_violations();
+  if (violations > 0) {
+    std::fprintf(stderr, "[audit] %llu invariant violation(s) -- see above\n",
+                 static_cast<unsigned long long>(violations));
+    return 1;
+  }
   return 0;
 }
 

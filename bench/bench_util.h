@@ -62,9 +62,35 @@ class Sweep {
           std::chrono::steady_clock::now() - t0;
       out[i] = PointResult{std::move(r), dt.count()};
     });
-    for (std::size_t i = 0; i < todo.size(); ++i)
+    std::uint64_t audited = 0;
+    std::uint64_t audit_checks = 0;
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      if (out[i].run.audit_checks > 0) {
+        ++audited;
+        audit_checks += out[i].run.audit_checks;
+      }
+      if (out[i].run.audit_violations > 0)
+        std::fprintf(stderr, "[audit] %s: %llu violation(s)\n%s",
+                     todo[i].c_str(),
+                     static_cast<unsigned long long>(
+                         out[i].run.audit_violations),
+                     out[i].run.audit_summary.c_str());
       results_.emplace(todo[i], std::move(out[i]));
+    }
+    if (audited > 0)
+      std::fprintf(stderr,
+                   "[audit] %llu invariant checks across %llu audited runs\n",
+                   static_cast<unsigned long long>(audit_checks),
+                   static_cast<unsigned long long>(audited));
     std::fprintf(stderr, "[sweep] done.\n");
+  }
+
+  /// Total invariant violations across all executed points (0 unless the
+  /// runs were audited, e.g. via the ASMAN_AUDIT environment variable).
+  std::uint64_t audit_violations() const {
+    std::uint64_t n = 0;
+    for (const auto& [label, pr] : results_) n += pr.run.audit_violations;
+    return n;
   }
 
   const PointResult& get(const std::string& label) const {

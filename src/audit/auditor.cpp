@@ -1,0 +1,199 @@
+#include "audit/auditor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace asman::audit {
+
+namespace {
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+const char* state_name(vmm::VcpuState s) {
+  switch (s) {
+    case vmm::VcpuState::kRunning:
+      return "Running";
+    case vmm::VcpuState::kRunnable:
+      return "Runnable";
+    case vmm::VcpuState::kBlocked:
+      return "Blocked";
+  }
+  return "?";
+}
+
+std::string key_str(vmm::VcpuKey k) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "v%u.%u", k.vm, k.idx);
+  return buf;
+}
+
+}  // namespace
+
+bool audit_env_enabled() { return env_truthy("ASMAN_AUDIT"); }
+bool audit_fatal_env() { return env_truthy("ASMAN_AUDIT_FATAL"); }
+
+Auditor::Auditor(sim::Simulator& simulation, vmm::Hypervisor& hv,
+                 AuditorConfig cfg)
+    : sim_(simulation), hv_(hv), cfg_(cfg) {
+  if (cfg_.stride == 0) cfg_.stride = 1;
+  if (audit_fatal_env()) cfg_.fatal = true;
+  clock_ = [this] { return sim_.now(); };
+  snapshot_states();
+  hv_.set_audit_sink(this);
+}
+
+Auditor::~Auditor() {
+  if (hv_.audit_sink() == this) hv_.set_audit_sink(nullptr);
+}
+
+void Auditor::set_clock(std::function<sim::Cycles()> clock) {
+  clock_ = std::move(clock);
+}
+
+void Auditor::flag(Invariant inv, std::string what) {
+  AuditReport::Entry& e = report_.entry(inv);
+  ++e.violations;
+  if (e.violations == 1) {
+    e.first_offender = what;
+    e.first_at = clock_();
+  }
+  if (cfg_.fatal) {
+    std::fprintf(stderr, "%s", report_.summary().c_str());
+    std::fprintf(stderr, "ASMAN_AUDIT_FATAL: invariant %s violated at %llu: %s\n",
+                 to_string(inv), static_cast<unsigned long long>(clock_().v),
+                 what.c_str());
+    std::abort();
+  }
+}
+
+void Auditor::observe_time() {
+  const sim::Cycles t = clock_();
+  ++report_.entry(Invariant::kTimeMonotonic).checks;
+  if (saw_time_ && t < last_time_)
+    flag(Invariant::kTimeMonotonic,
+         "event time went backwards: " + std::to_string(last_time_.v) +
+             " -> " + std::to_string(t.v));
+  saw_time_ = true;
+  last_time_ = t;
+}
+
+void Auditor::snapshot_pools() {
+  pool_before_.assign(hv_.num_vms(), 0);
+  for (vmm::VmId id = 0; id < hv_.num_vms(); ++id) {
+    std::int64_t pool = 0;
+    for (const vmm::Vcpu& c : hv_.vm(id).vcpus) pool += c.credit;
+    pool_before_[id] = pool;
+  }
+}
+
+void Auditor::snapshot_states() {
+  shadow_.assign(hv_.num_vms(), {});
+  for (vmm::VmId id = 0; id < hv_.num_vms(); ++id) {
+    const vmm::Vm& v = hv_.vm(id);
+    shadow_[id].reserve(v.num_vcpus());
+    for (const vmm::Vcpu& c : v.vcpus) shadow_[id].push_back(c.state);
+  }
+}
+
+void Auditor::check_now() {
+  ++report_.full_scans;
+  std::vector<Violation> found;
+  report_.entry(Invariant::kCreditBounds).checks +=
+      check_credit_bounds(hv_, found);
+  report_.entry(Invariant::kQueuePartition).checks +=
+      check_queue_partition(hv_, found);
+  report_.entry(Invariant::kGangCoherence).checks +=
+      check_gang_coherence(hv_, found);
+  // Shadow consistency: the hypervisor's actual lifecycle states must match
+  // what the legal transition stream implies.
+  for (vmm::VmId id = 0; id < hv_.num_vms() && id < shadow_.size(); ++id) {
+    const vmm::Vm& v = hv_.vm(id);
+    for (std::uint32_t i = 0; i < v.num_vcpus() && i < shadow_[id].size();
+         ++i) {
+      ++report_.entry(Invariant::kStateMachine).checks;
+      if (v.vcpus[i].state != shadow_[id][i])
+        found.push_back(
+            {Invariant::kStateMachine,
+             key_str(v.vcpus[i].key) + " is " + state_name(v.vcpus[i].state) +
+                 " but the transition stream says " +
+                 state_name(shadow_[id][i])});
+    }
+  }
+  for (Violation& viol : found) flag(viol.kind, std::move(viol.what));
+}
+
+void Auditor::on_sched_event(vmm::AuditPoint p) {
+  ++report_.events;
+  observe_time();
+  if (p == vmm::AuditPoint::kAccountingBegin) {
+    snapshot_pools();
+    return;  // mid-entry: the full scan runs at kAccountingEnd
+  }
+  if (++scan_counter_ % cfg_.stride == 0) check_now();
+}
+
+void Auditor::on_state_change(vmm::VcpuKey k, vmm::VcpuState from,
+                              vmm::VcpuState to) {
+  ++report_.events;
+  observe_time();
+  AuditReport::Entry& e = report_.entry(Invariant::kStateMachine);
+  ++e.checks;
+  const bool legal =
+      (from == vmm::VcpuState::kRunnable && to == vmm::VcpuState::kRunning) ||
+      (from == vmm::VcpuState::kRunning && to == vmm::VcpuState::kRunnable) ||
+      (from == vmm::VcpuState::kRunnable && to == vmm::VcpuState::kBlocked) ||
+      (from == vmm::VcpuState::kBlocked && to == vmm::VcpuState::kRunnable);
+  if (!legal)
+    flag(Invariant::kStateMachine, key_str(k) + " illegal transition " +
+                                       state_name(from) + " -> " +
+                                       state_name(to));
+  if (k.vm < shadow_.size() && k.idx < shadow_[k.vm].size()) {
+    if (shadow_[k.vm][k.idx] != from)
+      flag(Invariant::kStateMachine,
+           key_str(k) + " transition claims from=" + std::string(state_name(from)) +
+               " but the VCPU was " + state_name(shadow_[k.vm][k.idx]));
+    shadow_[k.vm][k.idx] = to;
+  }
+}
+
+void Auditor::on_accounting(vmm::VmId id, std::int64_t minted) {
+  ++report_.events;
+  observe_time();
+  AuditReport::Entry& e = report_.entry(Invariant::kCreditConservation);
+  ++e.checks;
+  const vmm::Vm& v = hv_.vm(id);
+  const hw::MachineConfig& m = hv_.machine();
+  const std::int64_t total_mint = static_cast<std::int64_t>(m.num_pcpus) *
+                                  vmm::kCreditPerSlot *
+                                  m.slots_per_accounting;
+  if (minted < 0 || minted > total_mint) {
+    flag(Invariant::kCreditConservation,
+         v.name + " minted " + std::to_string(minted) +
+             " outside [0, " + std::to_string(total_mint) + "]");
+    return;
+  }
+  if (id >= pool_before_.size()) return;  // attached mid-period: no baseline
+  // Recompute Algorithm 3's redistribution: pool + mint, split equally
+  // (C++ truncating division, as the scheduler does), saturated at +cap.
+  const auto n = static_cast<std::int64_t>(v.num_vcpus());
+  const std::int64_t per = (pool_before_[id] + minted) / n;
+  const std::int64_t expect = std::min<std::int64_t>(per, hv_.credit_cap());
+  for (const vmm::Vcpu& c : v.vcpus) {
+    if (c.credit != expect) {
+      flag(Invariant::kCreditConservation,
+           key_str(c.key) + " credit " + std::to_string(c.credit) +
+               " after accounting, expected " + std::to_string(expect) +
+               " (pool " + std::to_string(pool_before_[id]) + " + mint " +
+               std::to_string(minted) + " over " + std::to_string(n) +
+               " VCPUs)");
+      return;
+    }
+  }
+}
+
+}  // namespace asman::audit

@@ -1,0 +1,151 @@
+#include "audit/invariants.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "vmm/hypervisor.h"
+
+namespace asman::audit {
+
+namespace {
+
+std::string key_str(vmm::VcpuKey k) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "v%u.%u", k.vm, k.idx);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(Invariant inv) {
+  switch (inv) {
+    case Invariant::kCreditBounds:
+      return "credit-bounds";
+    case Invariant::kCreditConservation:
+      return "credit-conservation";
+    case Invariant::kQueuePartition:
+      return "queue-partition";
+    case Invariant::kStateMachine:
+      return "state-machine";
+    case Invariant::kGangCoherence:
+      return "gang-coherence";
+    case Invariant::kTimeMonotonic:
+      return "time-monotonic";
+  }
+  return "?";
+}
+
+std::uint64_t check_credit_bounds(const vmm::Hypervisor& hv,
+                                  std::vector<Violation>& out) {
+  const vmm::Credit cap = hv.credit_cap();
+  std::uint64_t checks = 0;
+  for (vmm::VmId id = 0; id < hv.num_vms(); ++id) {
+    for (const vmm::Vcpu& c : hv.vm(id).vcpus) {
+      ++checks;
+      if (c.credit > cap || c.credit < -cap)
+        out.push_back({Invariant::kCreditBounds,
+                       key_str(c.key) + " credit " + std::to_string(c.credit) +
+                           " outside [-" + std::to_string(cap) + ", " +
+                           std::to_string(cap) + "]"});
+    }
+  }
+  return checks;
+}
+
+std::uint64_t check_queue_partition(const vmm::Hypervisor& hv,
+                                    std::vector<Violation>& out) {
+  const auto& machine = hv.machine();
+  std::uint64_t checks = 0;
+  // How often each VCPU record is referenced by a queue / a PCPU's current.
+  std::unordered_map<const vmm::Vcpu*, int> queued;
+  std::unordered_map<const vmm::Vcpu*, int> running;
+
+  for (hw::PcpuId p = 0; p < machine.num_pcpus; ++p) {
+    for (const vmm::Vcpu* v : hv.runqueue(p).entries()) {
+      ++queued[v];
+      ++checks;
+      if (v->state != vmm::VcpuState::kRunnable)
+        out.push_back({Invariant::kQueuePartition,
+                       key_str(v->key) + " queued on P" + std::to_string(p) +
+                           " but not kRunnable"});
+      if (v->where != p)
+        out.push_back({Invariant::kQueuePartition,
+                       key_str(v->key) + " queued on P" + std::to_string(p) +
+                           " but where=P" + std::to_string(v->where)});
+    }
+    if (const vmm::Vcpu* cur = hv.running_on(p)) {
+      ++running[cur];
+      ++checks;
+      if (cur->state != vmm::VcpuState::kRunning)
+        out.push_back({Invariant::kQueuePartition,
+                       key_str(cur->key) + " current on P" +
+                           std::to_string(p) + " but not kRunning"});
+      if (cur->where != p)
+        out.push_back({Invariant::kQueuePartition,
+                       key_str(cur->key) + " current on P" +
+                           std::to_string(p) + " but where=P" +
+                           std::to_string(cur->where)});
+    }
+  }
+
+  for (vmm::VmId id = 0; id < hv.num_vms(); ++id) {
+    for (const vmm::Vcpu& c : hv.vm(id).vcpus) {
+      ++checks;
+      const int q = queued.count(&c) ? queued.at(&c) : 0;
+      const int r = running.count(&c) ? running.at(&c) : 0;
+      switch (c.state) {
+        case vmm::VcpuState::kRunnable:
+          if (q != 1 || r != 0)
+            out.push_back(
+                {Invariant::kQueuePartition,
+                 key_str(c.key) + " runnable but queued on " +
+                     std::to_string(q) + " queue(s), current on " +
+                     std::to_string(r) + " PCPU(s)"});
+          break;
+        case vmm::VcpuState::kRunning:
+          if (q != 0 || r != 1)
+            out.push_back(
+                {Invariant::kQueuePartition,
+                 key_str(c.key) + " running but current on " +
+                     std::to_string(r) + " PCPU(s), queued on " +
+                     std::to_string(q) + " queue(s)"});
+          break;
+        case vmm::VcpuState::kBlocked:
+          if (q != 0 || r != 0)
+            out.push_back(
+                {Invariant::kQueuePartition,
+                 key_str(c.key) + " blocked but still referenced (queued " +
+                     std::to_string(q) + ", running " + std::to_string(r) +
+                     ")"});
+          break;
+      }
+    }
+  }
+  return checks;
+}
+
+std::uint64_t check_gang_coherence(const vmm::Hypervisor& hv,
+                                   std::vector<Violation>& out) {
+  const std::uint32_t num_pcpus = hv.machine().num_pcpus;
+  std::uint64_t checks = 0;
+  for (vmm::VmId id = 0; id < hv.num_vms(); ++id) {
+    const vmm::Vm& v = hv.vm(id);
+    // Placement is only promised when a gang can fit (Algorithm 3 gives up
+    // when a VM has more VCPUs than the machine has PCPUs).
+    if (!hv.gang_scheduled(id) || v.num_vcpus() > num_pcpus) continue;
+    ++checks;
+    std::vector<const vmm::Vcpu*> holder(num_pcpus, nullptr);
+    for (const vmm::Vcpu& c : v.vcpus) {
+      const vmm::Vcpu*& h = holder[c.where];
+      if (h != nullptr)
+        out.push_back({Invariant::kGangCoherence,
+                       v.name + ": " + key_str(c.key) + " and " +
+                           key_str(h->key) + " both placed on P" +
+                           std::to_string(c.where)});
+      h = &c;
+    }
+  }
+  return checks;
+}
+
+}  // namespace asman::audit

@@ -1,0 +1,62 @@
+// Catalog of the scheduler invariants the auditor enforces.
+//
+// Each invariant is a property of the hypervisor's externally observable
+// state that must hold at every scheduling-event boundary (docs/MODEL.md
+// "Invariants & verification"). The full-state scans here are stateless
+// and operate purely on the hypervisor's public introspection surface; the
+// stateful checks (credit ledger across an accounting pass, the VCPU
+// state-machine shadow, time monotonicity) live in audit::Auditor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asman::vmm {
+class Hypervisor;
+}
+
+namespace asman::audit {
+
+enum class Invariant : std::uint8_t {
+  /// Every VCPU credit stays within [-cap, +cap] (Algorithm 3 saturation).
+  kCreditBounds = 0,
+  /// One accounting pass rewrites a VM's credits to exactly
+  /// min((pool + minted) / n, cap) per VCPU — credit is neither created
+  /// nor destroyed beyond the declared mint (Algorithm 3).
+  kCreditConservation,
+  /// Run-queue membership partitions the VCPUs: a runnable VCPU sits in
+  /// exactly one queue (the one `where` names), a running VCPU is current
+  /// on exactly one PCPU, a blocked VCPU is in no queue.
+  kQueuePartition,
+  /// VCPU lifecycle transitions follow Runnable->Running->Runnable,
+  /// Runnable<->Blocked, Blocked->Runnable only, from the state the VCPU
+  /// was actually in.
+  kStateMachine,
+  /// A gang-scheduled VM's VCPUs occupy pairwise distinct PCPUs
+  /// (Algorithm 3 lines 8-16 placement, preserved by steal/IPI/wake).
+  kGangCoherence,
+  /// Audit-observed event times never decrease (EventQueue pop order).
+  kTimeMonotonic,
+};
+
+inline constexpr std::size_t kNumInvariants = 6;
+
+const char* to_string(Invariant inv);
+
+struct Violation {
+  Invariant kind;
+  std::string what;
+};
+
+// Full-state scans. Each appends violations to `out` and returns the
+// number of individual checks it performed (for coverage accounting).
+std::uint64_t check_credit_bounds(const vmm::Hypervisor& hv,
+                                  std::vector<Violation>& out);
+std::uint64_t check_queue_partition(const vmm::Hypervisor& hv,
+                                    std::vector<Violation>& out);
+std::uint64_t check_gang_coherence(const vmm::Hypervisor& hv,
+                                   std::vector<Violation>& out);
+
+}  // namespace asman::audit

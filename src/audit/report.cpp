@@ -1,0 +1,48 @@
+#include "audit/report.h"
+
+#include <cstdio>
+
+namespace asman::audit {
+
+std::uint64_t AuditReport::total_checks() const {
+  std::uint64_t n = 0;
+  for (const Entry& e : by_kind) n += e.checks;
+  return n;
+}
+
+std::uint64_t AuditReport::total_violations() const {
+  std::uint64_t n = 0;
+  for (const Entry& e : by_kind) n += e.violations;
+  return n;
+}
+
+std::string AuditReport::summary() const {
+  std::string s;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "audit: %llu events, %llu full scans, %llu checks, "
+                "%llu violation(s)\n",
+                static_cast<unsigned long long>(events),
+                static_cast<unsigned long long>(full_scans),
+                static_cast<unsigned long long>(total_checks()),
+                static_cast<unsigned long long>(total_violations()));
+  s += line;
+  for (std::size_t i = 0; i < kNumInvariants; ++i) {
+    const Entry& e = by_kind[i];
+    std::snprintf(line, sizeof line, "  %-20s checks=%-10llu violations=%llu",
+                  to_string(static_cast<Invariant>(i)),
+                  static_cast<unsigned long long>(e.checks),
+                  static_cast<unsigned long long>(e.violations));
+    s += line;
+    if (e.violations > 0) {
+      std::snprintf(line, sizeof line, "  first@%llu: %s",
+                    static_cast<unsigned long long>(e.first_at.v),
+                    e.first_offender.c_str());
+      s += line;
+    }
+    s += '\n';
+  }
+  return s;
+}
+
+}  // namespace asman::audit

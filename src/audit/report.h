@@ -1,0 +1,47 @@
+// Structured result of an audited run.
+//
+// The report accumulates per-invariant check/violation counters plus the
+// first offender per invariant class (time + description) — enough to
+// localize a regression without storing every event of a multi-minute run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "audit/invariants.h"
+#include "simcore/time.h"
+
+namespace asman::audit {
+
+struct AuditReport {
+  struct Entry {
+    std::uint64_t checks{0};
+    std::uint64_t violations{0};
+    /// Description of the first violation seen (empty when clean).
+    std::string first_offender;
+    sim::Cycles first_at{0};
+  };
+
+  std::array<Entry, kNumInvariants> by_kind{};
+  /// Sink callbacks observed (scheduling events, transitions, accounting).
+  std::uint64_t events{0};
+  /// Stride-gated whole-state scans performed.
+  std::uint64_t full_scans{0};
+
+  Entry& entry(Invariant inv) {
+    return by_kind[static_cast<std::size_t>(inv)];
+  }
+  const Entry& entry(Invariant inv) const {
+    return by_kind[static_cast<std::size_t>(inv)];
+  }
+
+  std::uint64_t total_checks() const;
+  std::uint64_t total_violations() const;
+  bool clean() const { return total_violations() == 0; }
+
+  /// Human-readable table, one row per invariant class.
+  std::string summary() const;
+};
+
+}  // namespace asman::audit

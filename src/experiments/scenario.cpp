@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#ifdef ASMAN_AUDIT_ENABLED
+#include "audit/auditor.h"
+#endif
+
 namespace asman::experiments {
 
 double VmResult::mean_round_seconds(std::size_t n) const {
@@ -69,6 +73,17 @@ RunResult run_scenario(const Scenario& sc) {
     rts.push_back(std::move(rt));
   }
 
+#ifdef ASMAN_AUDIT_ENABLED
+  // Attach after VM creation, before start(): the auditor snapshots the
+  // initial VCPU states and then sees every scheduling event of the run.
+  std::unique_ptr<audit::Auditor> auditor;
+  if (sc.audit || audit::audit_env_enabled()) {
+    audit::AuditorConfig cfg;
+    cfg.stride = sc.audit_stride;
+    auditor = std::make_unique<audit::Auditor>(simulation, *hv, cfg);
+  }
+#endif
+
   hv->start();
 
   const auto all_work_finished = [&rts, &sc]() -> bool {
@@ -107,6 +122,14 @@ RunResult run_scenario(const Scenario& sc) {
   for (hw::PcpuId p = 0; p < sc.machine.num_pcpus; ++p)
     idle += hv->pcpu_idle_total(p).ratio(elapsed);
   rr.idle_fraction = idle / sc.machine.num_pcpus;
+#ifdef ASMAN_AUDIT_ENABLED
+  if (auditor) {
+    auditor->check_now();  // final full scan at the horizon
+    rr.audit_checks = auditor->report().total_checks();
+    rr.audit_violations = auditor->report().total_violations();
+    rr.audit_summary = auditor->report().summary();
+  }
+#endif
 
   for (std::size_t i = 0; i < rts.size(); ++i) {
     const VmRuntime& rt = rts[i];

@@ -58,6 +58,12 @@ struct Scenario {
   std::uint64_t stop_after_rounds{0};
   std::uint64_t seed{1};
   bool keep_wait_samples{false};
+  /// Attach a runtime invariant auditor (audit::Auditor) to the run. Also
+  /// forced on for every run by the ASMAN_AUDIT environment variable; both
+  /// are ignored when the build has auditing compiled out (ASMAN_AUDIT=OFF).
+  bool audit{false};
+  /// Full-state audit scans run every stride-th scheduling event.
+  std::uint32_t audit_stride{1};
 };
 
 struct VmResult {
@@ -89,6 +95,10 @@ struct RunResult {
   std::uint64_t ipi_sent{0};
   std::uint64_t context_switches{0};
   double idle_fraction{0};
+  // Invariant-audit results (zero / empty when no auditor was attached).
+  std::uint64_t audit_checks{0};
+  std::uint64_t audit_violations{0};
+  std::string audit_summary;
 
   const VmResult& vm(const std::string& name) const;
 };

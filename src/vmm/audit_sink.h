@@ -1,0 +1,51 @@
+// Audit seam of the VMM scheduler.
+//
+// The hypervisor notifies an installed AuditSink at the end of every
+// scheduler entry point (post-state, where its invariants must hold), on
+// every individual VCPU lifecycle transition, and once per VM during credit
+// accounting with the exact minted amount. The production implementation is
+// audit::Auditor (src/audit/); the seam lives here so the VMM never depends
+// on the audit library. When the build is configured with -DASMAN_AUDIT=OFF
+// the notification calls compile to nothing (see hypervisor.h).
+#pragma once
+
+#include <cstdint>
+
+#include "vmm/types.h"
+
+namespace asman::vmm {
+
+/// Which scheduler entry point just completed (or, for kAccountingBegin,
+/// is about to mutate credit state).
+enum class AuditPoint : std::uint8_t {
+  kStart,            // Hypervisor::start() finished its initial dispatch
+  kTick,             // end of a per-PCPU slot tick
+  kAccountingBegin,  // do_accounting() about to redistribute credit
+  kAccountingEnd,    // credit assignment + post-accounting dispatch done
+  kVcrdOp,           // do_vcrd_op hypercall (incl. any relocation) done
+  kBlock,            // vcpu_block hypercall done
+  kKick,             // vcpu_kick hypercall done
+  kIpi,              // coscheduling IPI handler done
+};
+
+const char* to_string(AuditPoint p);
+
+class AuditSink {
+ public:
+  virtual ~AuditSink() = default;
+
+  /// A scheduler entry point completed; all invariants must hold now.
+  virtual void on_sched_event(AuditPoint p) = 0;
+
+  /// VCPU `k` legally moves `from` -> `to` exactly when the pair is one of
+  /// Runnable->Running, Running->Runnable, Runnable->Blocked,
+  /// Blocked->Runnable (see VcpuState).
+  virtual void on_state_change(VcpuKey k, VcpuState from, VcpuState to) = 0;
+
+  /// Credit accounting granted `minted` milli-credits to `vm` this period
+  /// (0 for VMs outside the active set). Fired after the VM's credits were
+  /// rewritten but before the scheduler's on_accounting hook runs.
+  virtual void on_accounting(VmId vm, std::int64_t minted) = 0;
+};
+
+}  // namespace asman::vmm

@@ -16,6 +16,28 @@ std::string key_str(VcpuKey k) {
 }
 }  // namespace
 
+const char* to_string(AuditPoint p) {
+  switch (p) {
+    case AuditPoint::kStart:
+      return "start";
+    case AuditPoint::kTick:
+      return "tick";
+    case AuditPoint::kAccountingBegin:
+      return "accounting-begin";
+    case AuditPoint::kAccountingEnd:
+      return "accounting-end";
+    case AuditPoint::kVcrdOp:
+      return "vcrd-op";
+    case AuditPoint::kBlock:
+      return "block";
+    case AuditPoint::kKick:
+      return "kick";
+    case AuditPoint::kIpi:
+      return "ipi";
+  }
+  return "?";
+}
+
 Hypervisor::Hypervisor(sim::Simulator& simulation,
                        const hw::MachineConfig& machine, SchedMode mode,
                        sim::Trace* trace, std::uint64_t seed)
@@ -84,6 +106,7 @@ void Hypervisor::start() {
     sim_.after(phase, [this, p] { pcpu_tick(p); });
   }
   sim_.after(machine_.accounting_cycles(), [this] { accounting_event(); });
+  audit_event(AuditPoint::kStart);
 }
 
 double Hypervisor::weight_proportion(VmId id) const {
@@ -139,6 +162,7 @@ void Hypervisor::charge(Vcpu& v, Cycles elapsed) {
 }
 
 void Hypervisor::do_accounting() {
+  audit_event(AuditPoint::kAccountingBegin);
   // Active set (work-conserving mode only, like Xen's csched_acct): credit
   // is divided among VMs that actually consumed CPU last period. Without
   // this, an idle VM's share is minted, capped away, and effectively
@@ -192,6 +216,7 @@ void Hypervisor::do_accounting() {
     for (const Vcpu& c : v.vcpus) pool += c.credit;
     const Credit per = pool / static_cast<Credit>(v.num_vcpus());
     for (Vcpu& c : v.vcpus) c.credit = std::min<Credit>(per, credit_cap_);
+    audit_minted(v.id, inc);
     on_accounting(v);
   }
   note_trace(sim::TraceCat::kCredit, "accounting done");
@@ -214,6 +239,7 @@ void Hypervisor::go_online(PcpuId p, Vcpu* v) {
   v->slice_start = sim_.now();
   ++v->dispatches;
   ++context_switches_;
+  audit_transition(v->key, VcpuState::kRunnable, VcpuState::kRunning);
   note_trace(sim::TraceCat::kSched, key_str(v->key) + " online on P" +
                                         std::to_string(p));
   Vm& owner = vm(v->key.vm);
@@ -229,6 +255,7 @@ Vcpu* Hypervisor::unmap_current(PcpuId p) {
   charge(*v, elapsed);
   pc.current = nullptr;
   v->state = VcpuState::kRunnable;
+  audit_transition(v->key, VcpuState::kRunning, VcpuState::kRunnable);
   note_trace(sim::TraceCat::kSched, key_str(v->key) + " offline from P" +
                                         std::to_string(p));
   Vm& owner = vm(v->key.vm);
@@ -251,7 +278,13 @@ bool Hypervisor::is_schedulable(const Vcpu& v) const {
 bool Hypervisor::would_collide(VmId vm_id, PcpuId p) const {
   const PcpuRec& pc = pcpus_[p];
   if (pc.current && pc.current->key.vm == vm_id) return true;
-  return pc.runq.has_vm(vm_id);
+  if (pc.runq.has_vm(vm_id)) return true;
+  // Blocked siblings count too: their `where` is the wake-up home Algorithm
+  // 3 assigned, and a steal onto it would silently undo the pairwise-
+  // distinct placement the moment the sibling kicks awake.
+  for (const Vcpu& c : vm(vm_id).vcpus)
+    if (c.state == VcpuState::kBlocked && c.where == p) return true;
+  return false;
 }
 
 // --- dispatch (Algorithm 4) -------------------------------------------------
@@ -479,6 +512,7 @@ void Hypervisor::ipi_handler(PcpuId target, std::uint32_t vector) {
     in_scheduler_ = false;
     if (pc.current != nullptr) {
       pc.runq.push(sib);  // the cascade refilled this PCPU
+      audit_event(AuditPoint::kIpi);
       return;
     }
   } else {
@@ -491,6 +525,7 @@ void Hypervisor::ipi_handler(PcpuId target, std::uint32_t vector) {
   note_trace(sim::TraceCat::kCosched,
              key_str(sib->key) + " cosched-boosted on P" +
                  std::to_string(target));
+  audit_event(AuditPoint::kIpi);
 }
 
 void Hypervisor::pcpu_tick(PcpuId p) {
@@ -527,6 +562,7 @@ void Hypervisor::pcpu_tick(PcpuId p) {
   }
   dispatch(p);
   in_scheduler_ = false;
+  audit_event(AuditPoint::kTick);
   sim_.after(slot_len_, [this, p] { pcpu_tick(p); });
 }
 
@@ -540,6 +576,7 @@ void Hypervisor::accounting_event() {
   }
   dispatch_start_ = (dispatch_start_ + 1) % machine_.num_pcpus;
   in_scheduler_ = false;
+  audit_event(AuditPoint::kAccountingEnd);
   sim_.after(machine_.accounting_cycles(), [this] { accounting_event(); });
 }
 
@@ -563,6 +600,7 @@ void Hypervisor::do_vcrd_op(VmId id, Vcrd vcrd) {
   note_trace(sim::TraceCat::kMonitor,
              v.name + " VCRD -> " + to_string(vcrd));
   on_vcrd_changed(v, previous);
+  audit_event(AuditPoint::kVcrdOp);
 }
 
 void Hypervisor::vcpu_block(VmId id, std::uint32_t vidx) {
@@ -579,12 +617,14 @@ void Hypervisor::vcpu_block(VmId id, std::uint32_t vidx) {
       in_scheduler_ = true;
       Vcpu* u = unmap_current(p);
       u->state = VcpuState::kBlocked;
+      audit_transition(u->key, VcpuState::kRunnable, VcpuState::kBlocked);
       dispatch(p);
       if (pcpus_[p].current == nullptr && !pcpus_[p].idle_marked) {
         pcpus_[p].idle_marked = true;
         pcpus_[p].idle_since = sim_.now();
       }
       in_scheduler_ = false;
+      audit_event(AuditPoint::kBlock);
       return;
     }
     case VcpuState::kRunnable: {
@@ -592,6 +632,8 @@ void Hypervisor::vcpu_block(VmId id, std::uint32_t vidx) {
       assert(removed);
       (void)removed;
       v.state = VcpuState::kBlocked;
+      audit_transition(v.key, VcpuState::kRunnable, VcpuState::kBlocked);
+      audit_event(AuditPoint::kBlock);
       return;
     }
   }
@@ -605,6 +647,7 @@ void Hypervisor::vcpu_kick(VmId id, std::uint32_t vidx) {
   Vcpu& v = vm(id).vcpus[vidx];
   if (v.state != VcpuState::kBlocked) return;
   v.state = VcpuState::kRunnable;
+  audit_transition(v.key, VcpuState::kBlocked, VcpuState::kRunnable);
   v.wake_boost = v.credit > 0;  // Xen-style BOOST only for UNDER VCPUs
   const PcpuId home = v.where;
   pcpus_[home].runq.push(&v);
@@ -618,6 +661,7 @@ void Hypervisor::vcpu_kick(VmId id, std::uint32_t vidx) {
     dispatch(home);
   }
   in_scheduler_ = false;
+  audit_event(AuditPoint::kKick);
 }
 
 // --- Algorithm 3 lines 8-16 ---------------------------------------------------

@@ -28,6 +28,7 @@
 #include "simcore/rng.h"
 #include "simcore/simulator.h"
 #include "simcore/trace.h"
+#include "vmm/audit_sink.h"
 #include "vmm/ports.h"
 #include "vmm/runqueue.h"
 #include "vmm/vcpu.h"
@@ -82,6 +83,23 @@ class Hypervisor : public HypervisorPort {
   /// Expected VCPU online rate per Equation (2) (may exceed 1 for
   /// over-provisioned VMs; callers clamp).
   double nominal_online_rate(VmId id) const;
+
+  /// Whether this VM's VCPUs are gang-scheduled at scheduling events right
+  /// now (public view of the wants_cosched knob, for auditing and tests).
+  bool gang_scheduled(VmId id) const { return wants_cosched(vm(id)); }
+  /// Credit saturation bound: every VCPU credit stays in [-cap, +cap].
+  Credit credit_cap() const { return credit_cap_; }
+
+  /// Install (or, with nullptr, remove) the invariant-audit sink. The sink
+  /// must outlive the hypervisor or be removed first. No-op hooks when the
+  /// build has auditing compiled out (ASMAN_AUDIT=OFF).
+  void set_audit_sink(AuditSink* sink) { audit_ = sink; }
+  AuditSink* audit_sink() const { return audit_; }
+
+  /// Mutable run-queue access. This is a fault-injection seam for the
+  /// auditor's seeded-violation tests (duplicating a VCPU across queues,
+  /// orphaning one, ...); production code must never use it.
+  RunQueue& mutable_runqueue(PcpuId p) { return pcpus_[p].runq; }
 
   bool vcpu_is_online(VmId id, std::uint32_t vidx) const;
   /// Number of this VM's VCPUs mapped onto PCPUs right now.
@@ -177,9 +195,28 @@ class Hypervisor : public HypervisorPort {
   bool would_collide(VmId vm_id, PcpuId p) const;
   void note_trace(sim::TraceCat cat, std::string msg);
 
+  // Audit notification helpers; compiled to nothing with ASMAN_AUDIT=OFF so
+  // the hot paths carry no audit branches in benchmark builds.
+#ifdef ASMAN_AUDIT_ENABLED
+  void audit_event(AuditPoint pt) {
+    if (audit_) audit_->on_sched_event(pt);
+  }
+  void audit_transition(VcpuKey k, VcpuState from, VcpuState to) {
+    if (audit_) audit_->on_state_change(k, from, to);
+  }
+  void audit_minted(VmId id, Credit inc) {
+    if (audit_) audit_->on_accounting(id, inc);
+  }
+#else
+  void audit_event(AuditPoint) {}
+  void audit_transition(VcpuKey, VcpuState, VcpuState) {}
+  void audit_minted(VmId, Credit) {}
+#endif
+
   hw::MachineConfig machine_;
   SchedMode mode_;
   sim::Trace* trace_;
+  AuditSink* audit_{nullptr};
   sim::Rng rng_;
   hw::IpiBus ipi_;
   std::vector<std::unique_ptr<Vm>> vms_;

@@ -1,0 +1,288 @@
+// Auditor tests: a clean scheduler run audits clean, and each invariant
+// class is provably detected via seeded violations (deliberate corruption
+// of hypervisor state, or synthetic sink streams for the stateful checks).
+#include "audit/auditor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/schedulers.h"
+#include "experiments/scenario.h"
+#include "simcore/simulator.h"
+#include "vmm/hypervisor.h"
+
+namespace asman::audit {
+namespace {
+
+using vmm::Vcpu;
+using vmm::VcpuState;
+using vmm::VmId;
+
+hw::MachineConfig small_machine(std::uint32_t pcpus) {
+  hw::MachineConfig m;
+  m.num_pcpus = pcpus;
+  return m;
+}
+
+sim::Cycles seconds(double s) { return sim::kDefaultClock.from_seconds_f(s); }
+
+/// Two compute-only VMs on 4 PCPUs under ASMan, auditor attached.
+struct Rig {
+  sim::Simulator sim;
+  core::AdaptiveScheduler hv;
+  VmId v0, v1;
+  Auditor auditor;
+
+  explicit Rig(AuditorConfig cfg = {})
+      : hv(sim, small_machine(4), vmm::SchedMode::kNonWorkConserving),
+        v0(hv.create_vm("V0", 256, 2)),
+        v1(hv.create_vm("V1", 128, 3)),
+        auditor(sim, hv, cfg) {}
+};
+
+std::uint64_t violations(const Auditor& a, Invariant inv) {
+  return a.report().entry(inv).violations;
+}
+
+TEST(Auditor, CleanRunReportsNoViolations) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.5));
+  // Raise V1 to HIGH mid-run so the gang-coherence scan has a gang to audit.
+  r.hv.do_vcrd_op(r.v1, vmm::Vcrd::kHigh);
+  r.sim.run_until(seconds(1.0));
+  r.auditor.check_now();
+  const AuditReport& rep = r.auditor.report();
+  EXPECT_GT(rep.events, 100u);
+  EXPECT_GT(rep.full_scans, 100u);
+  EXPECT_GT(rep.entry(Invariant::kCreditBounds).checks, 0u);
+  EXPECT_GT(rep.entry(Invariant::kCreditConservation).checks, 0u);
+  EXPECT_GT(rep.entry(Invariant::kQueuePartition).checks, 0u);
+  EXPECT_GT(rep.entry(Invariant::kStateMachine).checks, 0u);
+  EXPECT_GT(rep.entry(Invariant::kGangCoherence).checks, 0u);
+  EXPECT_GT(rep.entry(Invariant::kTimeMonotonic).checks, 0u);
+  EXPECT_EQ(rep.total_violations(), 0u);
+  EXPECT_TRUE(rep.clean());
+}
+
+TEST(Auditor, StrideSkipsFullScansButKeepsLedgerChecks) {
+  AuditorConfig cfg;
+  cfg.stride = 64;
+  Rig dense;
+  Rig sparse(cfg);
+  dense.hv.start();
+  sparse.hv.start();
+  dense.sim.run_until(seconds(0.5));
+  sparse.sim.run_until(seconds(0.5));
+  EXPECT_LT(sparse.auditor.report().full_scans,
+            dense.auditor.report().full_scans / 8);
+  EXPECT_EQ(sparse.auditor.report()
+                .entry(Invariant::kCreditConservation)
+                .checks,
+            dense.auditor.report()
+                .entry(Invariant::kCreditConservation)
+                .checks);
+  EXPECT_TRUE(sparse.auditor.report().clean());
+}
+
+TEST(Auditor, DetectsCreditBoundViolation) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  r.hv.vm(r.v1).vcpus[0].credit = 10 * r.hv.credit_cap();
+  r.auditor.check_now();
+  EXPECT_GE(violations(r.auditor, Invariant::kCreditBounds), 1u);
+  EXPECT_FALSE(r.auditor.report().clean());
+  EXPECT_NE(r.auditor.report()
+                .entry(Invariant::kCreditBounds)
+                .first_offender.find("v1.0"),
+            std::string::npos);
+}
+
+TEST(Auditor, DetectsVcpuDuplicatedAcrossRunQueues) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  // Find a queued VCPU and push the same record onto another PCPU's queue —
+  // exactly the double-enqueue bug class the partition invariant exists for.
+  Vcpu* dup = nullptr;
+  for (hw::PcpuId p = 0; p < r.hv.machine().num_pcpus && !dup; ++p)
+    for (Vcpu* v : r.hv.runqueue(p).entries()) {
+      dup = v;
+      break;
+    }
+  ASSERT_NE(dup, nullptr) << "expected at least one queued VCPU";
+  const hw::PcpuId other =
+      static_cast<hw::PcpuId>((dup->where + 1) % r.hv.machine().num_pcpus);
+  r.hv.mutable_runqueue(other).push(dup);
+  r.auditor.check_now();
+  EXPECT_GE(violations(r.auditor, Invariant::kQueuePartition), 1u);
+}
+
+TEST(Auditor, DetectsOrphanedRunnableVcpu) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  Vcpu* orphan = nullptr;
+  for (hw::PcpuId p = 0; p < r.hv.machine().num_pcpus && !orphan; ++p)
+    for (Vcpu* v : r.hv.runqueue(p).entries()) {
+      orphan = v;
+      break;
+    }
+  ASSERT_NE(orphan, nullptr);
+  // Drop it from its queue while leaving it kRunnable: now nothing will
+  // ever dispatch it (a lost-VCPU bug).
+  ASSERT_TRUE(r.hv.mutable_runqueue(orphan->where).remove(orphan));
+  r.auditor.check_now();
+  EXPECT_GE(violations(r.auditor, Invariant::kQueuePartition), 1u);
+}
+
+TEST(Auditor, DetectsCreditConservationViolation) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  // Replay an accounting pass by hand: snapshot the pools, then corrupt a
+  // credit before reporting the mint. The recomputed redistribution no
+  // longer matches the live state.
+  r.auditor.on_sched_event(vmm::AuditPoint::kAccountingBegin);
+  r.hv.vm(r.v1).vcpus[1].credit += 12345;
+  r.auditor.on_accounting(r.v1, 0);
+  EXPECT_GE(violations(r.auditor, Invariant::kCreditConservation), 1u);
+}
+
+TEST(Auditor, DetectsOverMint) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  r.auditor.on_sched_event(vmm::AuditPoint::kAccountingBegin);
+  const std::int64_t total = static_cast<std::int64_t>(4) *
+                             vmm::kCreditPerSlot *
+                             r.hv.machine().slots_per_accounting;
+  r.auditor.on_accounting(r.v1, total + 1);
+  EXPECT_GE(violations(r.auditor, Invariant::kCreditConservation), 1u);
+}
+
+TEST(Auditor, DetectsIllegalStateTransition) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  // Blocked -> Running without passing through a run queue is never legal.
+  r.auditor.on_state_change(vmm::VcpuKey{r.v1, 0}, VcpuState::kBlocked,
+                            VcpuState::kRunning);
+  EXPECT_GE(violations(r.auditor, Invariant::kStateMachine), 1u);
+}
+
+TEST(Auditor, DetectsStateMutatedOutsideTransitionPaths) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  // Flip a state directly, bypassing the scheduler's transition seams: the
+  // shadow state machine notices the divergence on the next full scan.
+  Vcpu& c = r.hv.vm(r.v0).vcpus[0];
+  c.state = c.state == VcpuState::kBlocked ? VcpuState::kRunnable
+                                           : VcpuState::kBlocked;
+  r.auditor.check_now();
+  EXPECT_GE(violations(r.auditor, Invariant::kStateMachine), 1u);
+}
+
+TEST(Auditor, DetectsGangIncoherence) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  r.hv.do_vcrd_op(r.v1, vmm::Vcrd::kHigh);  // relocates onto distinct PCPUs
+  ASSERT_TRUE(r.hv.gang_scheduled(r.v1));
+  r.auditor.check_now();
+  EXPECT_EQ(violations(r.auditor, Invariant::kGangCoherence), 0u);
+  // Co-locate two members of the gang. Prefer a queued member so the move
+  // can keep queue and `where` in step (isolating the gang check from the
+  // partition check); fall back to rewriting a running member's home.
+  vmm::Vm& gang = r.hv.vm(r.v1);
+  Vcpu* moved = nullptr;
+  for (Vcpu& c : gang.vcpus)
+    if (c.state == VcpuState::kRunnable) moved = &c;
+  if (moved == nullptr) moved = &gang.vcpus[0];
+  Vcpu* sibling = nullptr;
+  for (Vcpu& c : gang.vcpus)
+    if (&c != moved) sibling = &c;
+  ASSERT_NE(sibling, nullptr);
+  if (moved->state == VcpuState::kRunnable) {
+    ASSERT_TRUE(r.hv.mutable_runqueue(moved->where).remove(moved));
+    moved->where = sibling->where;
+    r.hv.mutable_runqueue(moved->where).push(moved);
+  } else {
+    moved->where = sibling->where;
+  }
+  r.auditor.check_now();
+  EXPECT_GE(violations(r.auditor, Invariant::kGangCoherence), 1u);
+}
+
+TEST(Auditor, DetectsNonMonotonicTime) {
+  Rig r;
+  sim::Cycles fake{1000};
+  bool first = true;
+  r.auditor.set_clock([&first, &fake] {
+    if (!first) fake = sim::Cycles{fake.v / 2};  // clock running backwards
+    first = false;
+    return fake;
+  });
+  r.auditor.on_sched_event(vmm::AuditPoint::kTick);
+  r.auditor.on_sched_event(vmm::AuditPoint::kTick);
+  EXPECT_GE(violations(r.auditor, Invariant::kTimeMonotonic), 1u);
+}
+
+TEST(Auditor, ReportSummaryNamesEveryInvariant) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  const std::string s = r.auditor.report().summary();
+  for (std::size_t i = 0; i < kNumInvariants; ++i)
+    EXPECT_NE(s.find(to_string(static_cast<Invariant>(i))), std::string::npos)
+        << s;
+}
+
+TEST(Auditor, ScenarioRunnerAttachesAuditorOnRequest) {
+  experiments::Scenario sc;
+  sc.machine = small_machine(4);
+  sc.scheduler = core::SchedulerKind::kAsman;
+  experiments::VmSpec v0;
+  v0.name = "V0";
+  v0.weight = 256;
+  v0.vcpus = 2;
+  experiments::VmSpec v1;
+  v1.name = "V1";
+  v1.weight = 128;
+  v1.vcpus = 2;
+  sc.vms.push_back(v0);
+  sc.vms.push_back(v1);
+  sc.horizon = seconds(0.5);
+  sc.audit = true;
+  const experiments::RunResult rr = experiments::run_scenario(sc);
+  EXPECT_GT(rr.audit_checks, 0u);
+  EXPECT_EQ(rr.audit_violations, 0u);
+  EXPECT_NE(rr.audit_summary.find("queue-partition"), std::string::npos);
+
+  experiments::Scenario off = sc;
+  off.audit = false;
+  const experiments::RunResult rr_off = experiments::run_scenario(off);
+  EXPECT_EQ(rr_off.audit_checks, 0u);
+  EXPECT_TRUE(rr_off.audit_summary.empty());
+}
+
+using AuditorDeathTest = ::testing::Test;
+
+TEST(AuditorDeathTest, FatalModeAbortsOnFirstViolation) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        AuditorConfig cfg;
+        cfg.fatal = true;
+        Rig r(cfg);
+        r.hv.start();
+        r.sim.run_until(seconds(0.05));
+        r.hv.vm(r.v1).vcpus[0].credit = 10 * r.hv.credit_cap();
+        r.auditor.check_now();
+      },
+      "ASMAN_AUDIT_FATAL: invariant credit-bounds violated");
+}
+
+}  // namespace
+}  // namespace asman::audit

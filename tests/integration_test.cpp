@@ -80,7 +80,8 @@ TEST(PaperShapeSpinlocks, OverThresholdTailCollapsesUnderAsman) {
 TEST(PaperShapeSpinlocks, NoTailAtFullRate) {
   Scenario sc = single_vm_scenario(core::SchedulerKind::kCredit, 256,
                                    small_lu());
-  const auto& v1 = run_scenario(sc).vm("V1");
+  const RunResult rr = run_scenario(sc);
+  const auto& v1 = rr.vm("V1");
   EXPECT_EQ(v1.stats.spin_waits.count_above(20), 0u);
 }
 
@@ -99,14 +100,16 @@ TEST(PaperShapeEp, SyncFreeWorkloadInsensitiveToScheduler) {
 
 TEST(PaperShapeFairness, AsmanPreservesProportionalShare) {
   Scenario sc = single_vm_scenario(core::SchedulerKind::kAsman, 32, small_lu());
-  const auto& v1 = run_scenario(sc).vm("V1");
+  const RunResult rr = run_scenario(sc);
+  const auto& v1 = rr.vm("V1");
   EXPECT_NEAR(v1.observed_online_rate, 0.222, 0.05)
       << "coscheduling must not break the share cap";
 }
 
 TEST(PaperShapeVcrd, AsmanDetectsAndAdapts) {
   Scenario sc = single_vm_scenario(core::SchedulerKind::kAsman, 32, small_lu());
-  const auto& v1 = run_scenario(sc).vm("V1");
+  const RunResult rr = run_scenario(sc);
+  const auto& v1 = rr.vm("V1");
   EXPECT_GT(v1.adjusting_events, 2u);
   EXPECT_GT(v1.vcrd_high_fraction, 0.2);
   EXPECT_LT(v1.vcrd_high_fraction, 1.0);
@@ -115,7 +118,8 @@ TEST(PaperShapeVcrd, AsmanDetectsAndAdapts) {
 TEST(PaperShapeVcrd, QuietWorkloadStaysLow) {
   Scenario sc = single_vm_scenario(core::SchedulerKind::kAsman, 256,
                                    small_lu());
-  const auto& v1 = run_scenario(sc).vm("V1");
+  const RunResult rr = run_scenario(sc);
+  const auto& v1 = rr.vm("V1");
   EXPECT_EQ(v1.vcrd_transitions, 0u)
       << "no over-threshold spinlocks at 100% online rate";
 }
@@ -127,7 +131,8 @@ TEST(PaperShapeSemaphores, BlockingPrimitivesTolerateVirtualization) {
         return std::make_unique<workloads::SemaphorePingPongWorkload>(
             2, 1500, sim::kDefaultClock.from_us(200), seed);
       });
-  const auto& v1 = run_scenario(sc).vm("V1");
+  const RunResult rr = run_scenario(sc);
+  const auto& v1 = rr.vm("V1");
   EXPECT_GT(v1.stats.sem_waits.total(), 1000u);
   EXPECT_LT(v1.stats.sem_waits.max_value(), sim::pow2_cycles(16));
 }

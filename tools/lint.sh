@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the whole codebase using the compile database.
+#
+#   tools/lint.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build directory must have been configured already (any preset will
+# do: CMakeLists.txt always exports compile_commands.json). Exits 0 when
+# clang-tidy is not installed so that `tools/lint.sh` can sit in local
+# hooks without breaking machines that lack the tool; CI installs it and
+# runs this same script, so absence there would fail the job that checks
+# for it explicitly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+TIDY="${CLANG_TIDY:-}"
+if [ -z "$TIDY" ]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+              clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      TIDY="$cand"
+      break
+    fi
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "lint.sh: clang-tidy not found; skipping (set CLANG_TIDY to override)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "lint.sh: $BUILD_DIR/compile_commands.json missing -- configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+# First-party translation units only (third-party/test-framework TUs that
+# end up in the compile database are not ours to lint).
+mapfile -t FILES < <(git ls-files 'src/*.cpp' 'tests/*.cpp' 'bench/*.cpp' \
+                                  'examples/*.cpp')
+
+echo "lint.sh: $TIDY over ${#FILES[@]} files (database: $BUILD_DIR)" >&2
+STATUS=0
+RUNNER="$(command -v run-clang-tidy || true)"
+if [ -n "$RUNNER" ]; then
+  "$RUNNER" -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" -quiet "$@" \
+      "${FILES[@]}" || STATUS=$?
+else
+  for f in "${FILES[@]}"; do
+    "$TIDY" -p "$BUILD_DIR" --quiet "$@" "$f" || STATUS=$?
+  done
+fi
+exit $STATUS
