@@ -1,0 +1,39 @@
+// Chaos scenarios: canned fault-injection runs for tests and demos.
+//
+// Each ChaosClass exercises one fault family from the fault model
+// (docs/MODEL.md "Fault model & graceful degradation"); kEverything turns
+// all of them on at once. The base scenario is a small consolidated host —
+// an idle Domain-0, a 4-VCPU synchronization-heavy VM (the gang candidate)
+// and a CPU-hog background tenant — sized so a full audited run finishes
+// in well under a second of wall time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "experiments/scenario.h"
+
+namespace asman::experiments {
+
+enum class ChaosClass : std::uint8_t {
+  kIpiLoss,      // hw: drop/duplicate/delay coscheduling IPIs
+  kTickJitter,   // hw: per-PCPU slot-tick jitter
+  kHotplug,      // hw: PCPU offline/online with evacuation
+  kVcrdSilence,  // guest: Monitoring Module goes silent (staleness TTL)
+  kVcrdFlap,     // guest: rapid LOW<->HIGH flapping (rate-limiter)
+  kVcrdCorrupt,  // guest: corrupt do_vcrd_op arguments (rejected)
+  kVcpuHang,     // vmm: VCPU runs but never yields
+  kVcpuCrash,    // vmm: VCPU permanently blocked
+  kEverything,   // all of the above in one run
+};
+
+const char* to_string(ChaosClass c);
+const std::vector<ChaosClass>& all_chaos_classes();
+
+/// Build the chaos scenario for one scheduler and fault class. The seed
+/// feeds both the workload and the injector streams, so the same
+/// (scheduler, class, seed) triple reproduces bit-identically.
+Scenario chaos_scenario(core::SchedulerKind sched, ChaosClass c,
+                        std::uint64_t seed = 1);
+
+}  // namespace asman::experiments

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "faults/injector.h"
+
 #ifdef ASMAN_AUDIT_ENABLED
 #include "audit/auditor.h"
 #endif
@@ -29,6 +31,15 @@ RunResult run_scenario(const Scenario& sc) {
 
   auto hv = core::make_scheduler(sc.scheduler, simulation, sc.machine, sc.mode);
   hv->set_cosched_strictness(sc.strictness);
+  hv->set_resilience(sc.resilience);
+
+  // Attach the fault injector only when the plan names a fault: an empty
+  // plan leaves no seam installed, so the run is bit-identical to builds
+  // without the subsystem.
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (!sc.faults.empty())
+    injector =
+        std::make_unique<faults::FaultInjector>(simulation, *hv, sc.faults);
 
   struct VmRuntime {
     vmm::VmId id{};
@@ -45,10 +56,17 @@ RunResult run_scenario(const Scenario& sc) {
   for (const VmSpec& spec : sc.vms) {
     VmRuntime rt;
     rt.id = hv->create_vm(spec.name, spec.weight, spec.vcpus, spec.type);
+    // Guest-side components hypercall through the injector's port wrapper
+    // (which silences VCRD reports when the plan says so) or straight into
+    // the hypervisor.
+    vmm::HypervisorPort& port =
+        injector ? injector->hypercall_port(rt.id) : *hv;
     if (!spec.workload) {
-      rt.idle = std::make_unique<guest::IdleGuest>(simulation, *hv, rt.id,
+      rt.idle = std::make_unique<guest::IdleGuest>(simulation, port, rt.id,
                                                    spec.vcpus);
-      hv->attach_guest(rt.id, rt.idle.get());
+      hv->attach_guest(rt.id, injector
+                                  ? injector->wrap_guest(rt.id, rt.idle.get())
+                                  : rt.idle.get());
       rts.push_back(std::move(rt));
       continue;
     }
@@ -57,21 +75,25 @@ RunResult run_scenario(const Scenario& sc) {
     gc.seed = seeds.next();
     gc.keep_wait_samples = sc.keep_wait_samples;
     gc.over_threshold = Cycles{1ULL << sc.monitor.delta_exp};
-    rt.kernel = std::make_unique<guest::GuestKernel>(simulation, *hv, rt.id,
+    rt.kernel = std::make_unique<guest::GuestKernel>(simulation, port, rt.id,
                                                      gc);
     if (spec.monitor && sc.scheduler == core::SchedulerKind::kAsman) {
       core::MonitorConfig mc = sc.monitor;
       mc.learning.seed = seeds.next();
-      rt.monitor = std::make_unique<core::MonitoringModule>(simulation, *hv,
+      rt.monitor = std::make_unique<core::MonitoringModule>(simulation, port,
                                                             rt.id, mc);
       rt.kernel->set_observer(rt.monitor.get());
     }
     rt.workload = spec.workload(simulation, seeds.next());
     rt.workload->deploy(*rt.kernel);
     rt.finite = rt.workload->finite();
-    hv->attach_guest(rt.id, rt.kernel.get());
+    hv->attach_guest(rt.id, injector
+                                ? injector->wrap_guest(rt.id, rt.kernel.get())
+                                : rt.kernel.get());
     rts.push_back(std::move(rt));
   }
+
+  if (injector) injector->arm();
 
 #ifdef ASMAN_AUDIT_ENABLED
   // Attach after VM creation, before start(): the auditor snapshots the
@@ -118,6 +140,23 @@ RunResult run_scenario(const Scenario& sc) {
   rr.cosched_events = hv->cosched_events();
   rr.ipi_sent = hv->ipi_bus().sent();
   rr.context_switches = hv->context_switches();
+  rr.ipi_dropped = hv->ipi_bus().dropped();
+  rr.ipi_delayed = hv->ipi_bus().delayed();
+  rr.ipi_duplicated = hv->ipi_bus().duplicated();
+  rr.ipi_retries = hv->ipi_retries();
+  rr.gang_ipi_aborts = hv->gang_ipi_aborts();
+  rr.gang_watchdog_fires = hv->gang_watchdog_fires();
+  rr.vcrd_demotions = hv->vcrd_demotions();
+  rr.stale_vcrd_drops = hv->stale_vcrd_drops();
+  rr.hypercall_rejects = hv->hypercall_rejects();
+  rr.ignored_kicks = hv->ignored_kicks();
+  rr.evacuated_vcpus = hv->evacuated_vcpus();
+  rr.pcpu_offline_events = hv->pcpu_offline_events();
+  if (injector) {
+    rr.injected_flaps = injector->injected_flaps();
+    rr.injected_corrupt_ops = injector->injected_corrupt_ops();
+    rr.silenced_reports = injector->silenced_reports();
+  }
   double idle = 0.0;
   for (hw::PcpuId p = 0; p < sc.machine.num_pcpus; ++p)
     idle += hv->pcpu_idle_total(p).ratio(elapsed);
@@ -164,6 +203,9 @@ RunResult run_scenario(const Scenario& sc) {
       res.over_threshold_events = rt.monitor->over_threshold_events();
       res.adjusting_events = rt.monitor->adjusting_events();
     }
+    res.demotions = v.demotions;
+    res.stale_vcrd_drops = v.stale_vcrd_drops;
+    res.degraded = v.degraded;
     rr.vms.push_back(std::move(res));
   }
   return rr;

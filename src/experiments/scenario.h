@@ -16,6 +16,7 @@
 
 #include "core/monitor.h"
 #include "core/schedulers.h"
+#include "faults/fault_plan.h"
 #include "guest/guest_kernel.h"
 #include "hw/machine.h"
 #include "workloads/workload.h"
@@ -64,6 +65,12 @@ struct Scenario {
   bool audit{false};
   /// Full-state audit scans run every stride-th scheduling event.
   std::uint32_t audit_stride{1};
+  /// Fault-injection plan for this run (src/faults/). Empty (the default)
+  /// means no injection machinery is attached at all, keeping fault-free
+  /// runs bit-identical to earlier builds.
+  faults::FaultPlan faults{};
+  /// Graceful-degradation knobs forwarded to the hypervisor.
+  vmm::ResilienceConfig resilience{};
 };
 
 struct VmResult {
@@ -80,6 +87,10 @@ struct VmResult {
   // Monitoring Module counters (zero when no monitor attached).
   std::uint64_t over_threshold_events{0};
   std::uint64_t adjusting_events{0};
+  // Graceful-degradation state of this VM at the horizon.
+  std::uint64_t demotions{0};
+  std::uint64_t stale_vcrd_drops{0};
+  bool degraded{false};
 
   /// Mean of the first `n` rounds (or all, if fewer) in seconds.
   double mean_round_seconds(std::size_t n) const;
@@ -99,6 +110,23 @@ struct RunResult {
   std::uint64_t audit_checks{0};
   std::uint64_t audit_violations{0};
   std::string audit_summary;
+  // Fault-injection + graceful-degradation counters (all zero on a
+  // fault-free run).
+  std::uint64_t ipi_dropped{0};
+  std::uint64_t ipi_delayed{0};
+  std::uint64_t ipi_duplicated{0};
+  std::uint64_t ipi_retries{0};
+  std::uint64_t gang_ipi_aborts{0};
+  std::uint64_t gang_watchdog_fires{0};
+  std::uint64_t vcrd_demotions{0};
+  std::uint64_t stale_vcrd_drops{0};
+  std::uint64_t hypercall_rejects{0};
+  std::uint64_t ignored_kicks{0};
+  std::uint64_t evacuated_vcpus{0};
+  std::uint64_t pcpu_offline_events{0};
+  std::uint64_t injected_flaps{0};
+  std::uint64_t injected_corrupt_ops{0};
+  std::uint64_t silenced_reports{0};
 
   const VmResult& vm(const std::string& name) const;
 };

@@ -1,0 +1,120 @@
+// Declarative fault plan for one scenario run.
+//
+// A FaultPlan names every fault the injector (faults::FaultInjector) will
+// drive into a run, across the three layers the model distinguishes:
+//
+//   hw    — stochastic IPI bus faults (drop / duplicate / delay), PCPU
+//           hotplug (offline/online), timer-tick jitter;
+//   guest — VCRD hypercall misbehaviour: the Monitoring Module goes silent
+//           (stale reports), flaps LOW<->HIGH at a rate no honest workload
+//           produces (a Zhou-style scheduler attack), or issues corrupt
+//           do_vcrd_op arguments (bad VmId, out-of-range enum);
+//   vmm   — VCPU hang (runs but never yields) and crash (permanently
+//           blocked).
+//
+// The plan is pure data: deterministic given `seed`, so the same scenario
+// with the same plan reproduces bit-identically. An empty plan means the
+// run carries no injection machinery at all and is bit-identical to a
+// build without the fault subsystem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/machine.h"
+#include "simcore/time.h"
+#include "vmm/types.h"
+
+namespace asman::faults {
+
+using sim::Cycles;
+using hw::PcpuId;
+using vmm::VmId;
+
+/// Stochastic per-send IPI faults, applied by the injector through the
+/// hw::IpiFaultPlan seam. Probabilities are independent per send; drop
+/// wins over duplicate/delay on the same send.
+struct IpiFaultSpec {
+  double drop_p{0};
+  double dup_p{0};
+  double delay_p{0};
+  /// Extra delay is uniform in [1, max_delay] cycles when delay fires.
+  Cycles max_delay{0};
+
+  bool active() const { return drop_p > 0 || dup_p > 0 || delay_p > 0; }
+};
+
+/// Timer-tick jitter: each PCPU slot tick is late by a uniform amount in
+/// [0, max_jitter] cycles, desynchronizing the tick lattice.
+struct TickJitterSpec {
+  Cycles max_jitter{0};
+
+  bool active() const { return max_jitter.v > 0; }
+};
+
+/// One PCPU offline/online excursion. The scheduler evacuates the PCPU's
+/// VCPUs (credit preserved) and refuses to offline the last online PCPU.
+struct HotplugEvent {
+  PcpuId pcpu{0};
+  Cycles at{0};
+  /// Back online after this long; 0 = stays offline to the horizon.
+  Cycles duration{0};
+};
+
+/// Guest-layer VCRD misbehaviour of one VM. All sub-faults are optional
+/// and combine freely.
+struct VcrdFaultSpec {
+  VmId vm{0};
+  /// From this time on, the VM's legitimate Monitoring Module reports are
+  /// swallowed (the module "went silent"; pair with ResilienceConfig::
+  /// vcrd_ttl to watch the staleness TTL demote the stuck-HIGH VM). 0 = off.
+  Cycles silence_after{0};
+  /// Flapping attack: starting at flap_start, toggle the VM's VCRD every
+  /// flap_period for flap_toggles hypercalls (toggles = 0 disables).
+  Cycles flap_start{0};
+  Cycles flap_period{0};
+  std::uint32_t flap_toggles{0};
+  /// Corrupt hypercalls: starting at corrupt_start, issue corrupt_ops
+  /// garbage do_vcrd_op calls (invalid VmId / out-of-range Vcrd) every
+  /// corrupt_period (corrupt_ops = 0 disables).
+  Cycles corrupt_start{0};
+  Cycles corrupt_period{0};
+  std::uint32_t corrupt_ops{0};
+
+  bool active() const {
+    return silence_after.v > 0 || flap_toggles > 0 || corrupt_ops > 0;
+  }
+};
+
+enum class VcpuFaultKind : std::uint8_t {
+  /// The guest stops honouring online/offline callbacks for this VCPU: it
+  /// keeps consuming PCPU time but never blocks or makes guest progress.
+  kHang,
+  /// The VCPU is forced into a permanent kBlocked (kicks are ignored).
+  kCrash,
+};
+
+struct VcpuFaultSpec {
+  VmId vm{0};
+  std::uint32_t vidx{0};
+  Cycles at{0};
+  VcpuFaultKind kind{VcpuFaultKind::kCrash};
+};
+
+struct FaultPlan {
+  IpiFaultSpec ipi{};
+  TickJitterSpec tick{};
+  std::vector<HotplugEvent> hotplug;
+  std::vector<VcrdFaultSpec> vcrd;
+  std::vector<VcpuFaultSpec> vcpu;
+  /// Seeds the injector's private RNG streams (independent of the
+  /// scenario seed, so adding faults never perturbs workload draws).
+  std::uint64_t seed{0xFA177ULL};
+
+  bool empty() const {
+    return !ipi.active() && !tick.active() && hotplug.empty() &&
+           vcrd.empty() && vcpu.empty();
+  }
+};
+
+}  // namespace asman::faults

@@ -1,0 +1,210 @@
+#include "faults/injector.h"
+
+#include <cassert>
+
+namespace asman::faults {
+
+void FaultInjector::SilencePort::do_vcrd_op(VmId vm, vmm::Vcrd vcrd) {
+  if (silenced) {
+    ++owner_.silenced_;
+    return;
+  }
+  inner_.do_vcrd_op(vm, vcrd);
+}
+
+void FaultInjector::HangPort::vcpu_online(std::uint32_t vidx) {
+  if (vidx < hung_.size() && hung_[vidx]) return;
+  if (vidx < guest_online_.size()) guest_online_[vidx] = true;
+  inner_->vcpu_online(vidx);
+}
+
+void FaultInjector::HangPort::vcpu_offline(std::uint32_t vidx) {
+  if (vidx < hung_.size() && hung_[vidx]) return;
+  if (vidx < guest_online_.size()) guest_online_[vidx] = false;
+  inner_->vcpu_offline(vidx);
+}
+
+void FaultInjector::HangPort::hang(std::uint32_t vidx) {
+  if (vidx >= hung_.size() || hung_[vidx]) return;
+  // Tell the inner guest this VCPU went away (it will never hear from it
+  // again) *before* raising the hung flag, so its own state stays sane.
+  if (guest_online_[vidx]) {
+    guest_online_[vidx] = false;
+    inner_->vcpu_offline(vidx);
+  }
+  hung_[vidx] = true;
+}
+
+FaultInjector::FaultInjector(sim::Simulator& simulation, vmm::Hypervisor& hv,
+                             FaultPlan plan)
+    : sim_(simulation),
+      hv_(hv),
+      plan_(std::move(plan)),
+      rng_ipi_(sim::Rng(plan_.seed).child(0x1717ULL)),
+      rng_tick_(sim::Rng(plan_.seed).child(0x71C7ULL)) {}
+
+FaultInjector::~FaultInjector() {
+  // The injector may die before the hypervisor; leave no dangling seams.
+  if (armed_) {
+    hv_.ipi_bus().set_fault_plan(nullptr);
+    hv_.set_fault_hook(nullptr);
+  }
+}
+
+FaultInjector::VmPorts& FaultInjector::ports_for(VmId id) {
+  for (auto& p : ports_)
+    if (p.vm == id) return p;
+  ports_.push_back(VmPorts{id, nullptr, nullptr});
+  return ports_.back();
+}
+
+vmm::HypervisorPort& FaultInjector::hypercall_port(VmId id) {
+  for (const VcrdFaultSpec& spec : plan_.vcrd) {
+    if (spec.vm != id || spec.silence_after.v == 0) continue;
+    VmPorts& p = ports_for(id);
+    if (!p.silence) p.silence = std::make_unique<SilencePort>(*this, hv_);
+    return *p.silence;
+  }
+  return hv_;
+}
+
+vmm::GuestPort* FaultInjector::wrap_guest(VmId id, vmm::GuestPort* inner) {
+  for (const VcpuFaultSpec& spec : plan_.vcpu) {
+    if (spec.vm != id || spec.kind != VcpuFaultKind::kHang) continue;
+    VmPorts& p = ports_for(id);
+    if (!p.hang)
+      p.hang = std::make_unique<HangPort>(
+          inner, static_cast<std::uint32_t>(hv_.vm(id).num_vcpus()));
+    return p.hang.get();
+  }
+  return inner;
+}
+
+void FaultInjector::arm_vcrd(const VcrdFaultSpec& spec) {
+  if (spec.vm >= hv_.num_vms()) return;
+  const VmId id = spec.vm;
+  if (spec.silence_after.v > 0) {
+    sim_.at(spec.silence_after, [this, id] {
+      for (auto& p : ports_)
+        if (p.vm == id && p.silence) p.silence->silenced = true;
+    });
+  }
+  if (spec.flap_toggles > 0 && spec.flap_period.v > 0) {
+    const std::uint32_t n = spec.flap_toggles;
+    sim_.at(spec.flap_start, [this, id, n] { flap_step(id, n); });
+  }
+  if (spec.corrupt_ops > 0 && spec.corrupt_period.v > 0) {
+    const std::uint32_t n = spec.corrupt_ops;
+    sim_.at(spec.corrupt_start, [this, id, n] { corrupt_step(id, n); });
+  }
+}
+
+void FaultInjector::flap_step(VmId vm, std::uint32_t left) {
+  if (left == 0) return;
+  // Impersonate a compromised Monitoring Module: alternate HIGH/LOW at a
+  // cadence no honest locality of synchronization produces. The VM's
+  // current VCRD is read back so consecutive calls always toggle.
+  const vmm::Vcrd next = hv_.vm(vm).vcrd == vmm::Vcrd::kHigh
+                             ? vmm::Vcrd::kLow
+                             : vmm::Vcrd::kHigh;
+  ++flaps_;
+  hv_.do_vcrd_op(vm, next);
+  const auto& spec_period = [this, vm]() -> Cycles {
+    for (const VcrdFaultSpec& s : plan_.vcrd)
+      if (s.vm == vm && s.flap_toggles > 0) return s.flap_period;
+    return Cycles{0};
+  };
+  const Cycles period = spec_period();
+  if (period.v == 0) return;
+  sim_.after(period, [this, vm, left] { flap_step(vm, left - 1); });
+}
+
+void FaultInjector::corrupt_step(VmId vm, std::uint32_t left) {
+  if (left == 0) return;
+  // Garbage arguments, alternating between an out-of-range VmId and an
+  // out-of-range Vcrd bit pattern. The hypervisor must reject both with a
+  // counted trace event (hypercall_rejects) and no state change.
+  ++corrupt_;
+  if ((left & 1u) != 0) {
+    hv_.do_vcrd_op(static_cast<VmId>(hv_.num_vms() + 17u), vmm::Vcrd::kHigh);
+  } else {
+    hv_.do_vcrd_op(vm, static_cast<vmm::Vcrd>(0x5A));
+  }
+  const auto period = [this, vm]() -> Cycles {
+    for (const VcrdFaultSpec& s : plan_.vcrd)
+      if (s.vm == vm && s.corrupt_ops > 0) return s.corrupt_period;
+    return Cycles{0};
+  }();
+  if (period.v == 0) return;
+  sim_.after(period, [this, vm, left] { corrupt_step(vm, left - 1); });
+}
+
+void FaultInjector::arm() {
+  assert(!armed_ && "arm() must be called exactly once");
+  armed_ = true;
+  hv_.arm_degradation();
+  if (plan_.ipi.active()) hv_.ipi_bus().set_fault_plan(this);
+  if (plan_.tick.active()) hv_.set_fault_hook(this);
+
+  for (const HotplugEvent& ev : plan_.hotplug) {
+    const PcpuId p = ev.pcpu;
+    sim_.at(ev.at, [this, p] {
+      ++hotplugs_;
+      hv_.fault_pcpu_offline(p);
+    });
+    if (ev.duration.v > 0) {
+      sim_.at(ev.at + ev.duration, [this, p] {
+        ++hotplugs_;
+        hv_.fault_pcpu_online(p);
+      });
+    }
+  }
+
+  for (const VcrdFaultSpec& spec : plan_.vcrd) arm_vcrd(spec);
+
+  for (const VcpuFaultSpec& spec : plan_.vcpu) {
+    if (spec.vm >= hv_.num_vms()) continue;
+    if (spec.vidx >= hv_.vm(spec.vm).num_vcpus()) continue;
+    const VmId id = spec.vm;
+    const std::uint32_t vidx = spec.vidx;
+    if (spec.kind == VcpuFaultKind::kCrash) {
+      sim_.at(spec.at, [this, id, vidx] {
+        ++crashes_;
+        hv_.fault_crash_vcpu(id, vidx);
+      });
+    } else {
+      sim_.at(spec.at, [this, id, vidx] {
+        for (auto& p : ports_) {
+          if (p.vm != id || !p.hang) continue;
+          ++hangs_;
+          p.hang->hang(vidx);
+        }
+      });
+    }
+  }
+}
+
+hw::IpiDecision FaultInjector::on_send(PcpuId from, PcpuId to,
+                                       std::uint32_t vector) {
+  (void)from;
+  (void)to;
+  (void)vector;
+  hw::IpiDecision d;
+  const IpiFaultSpec& s = plan_.ipi;
+  if (s.drop_p > 0 && rng_ipi_.bernoulli(s.drop_p)) {
+    d.drop = true;
+    return d;
+  }
+  if (s.dup_p > 0 && rng_ipi_.bernoulli(s.dup_p)) d.duplicate = true;
+  if (s.delay_p > 0 && s.max_delay.v > 0 && rng_ipi_.bernoulli(s.delay_p))
+    d.extra_delay = Cycles{rng_ipi_.uniform(1, s.max_delay.v)};
+  return d;
+}
+
+Cycles FaultInjector::tick_jitter(PcpuId p) {
+  (void)p;
+  if (plan_.tick.max_jitter.v == 0) return Cycles{0};
+  return Cycles{rng_tick_.next_below(plan_.tick.max_jitter.v + 1)};
+}
+
+}  // namespace asman::faults

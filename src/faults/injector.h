@@ -1,0 +1,145 @@
+// Deterministic fault injector: executes a FaultPlan against one run.
+//
+// The injector is the single owner of all injection state. It plugs into
+// the seams the substrate exposes — hw::IpiFaultPlan on the bus,
+// vmm::FaultHook for tick jitter, the hypervisor's fault_* entry points
+// for hotplug and crashes — and interposes thin port wrappers for the
+// guest-layer faults (silenced VCRD reports, hung VCPUs). Everything it
+// does is driven off the simulator event queue from its own seeded RNG
+// streams, so a run with a given (scenario seed, fault plan) pair is
+// bit-reproducible.
+//
+// Wiring order inside run_scenario():
+//   1. construct the injector (after the hypervisor),
+//   2. route each VM's hypercalls through hypercall_port(id) and its
+//      GuestPort through wrap_guest(id, ...),
+//   3. arm() once all VMs exist, before Hypervisor::start().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "hw/ipi.h"
+#include "simcore/rng.h"
+#include "simcore/simulator.h"
+#include "vmm/fault_hook.h"
+#include "vmm/hypervisor.h"
+#include "vmm/ports.h"
+
+namespace asman::faults {
+
+class FaultInjector final : public hw::IpiFaultPlan, public vmm::FaultHook {
+ public:
+  FaultInjector(sim::Simulator& simulation, vmm::Hypervisor& hv,
+                FaultPlan plan);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The hypercall port VM `id`'s guest-side components (guest kernel,
+  /// Monitoring Module) must use instead of the hypervisor. Returns the
+  /// hypervisor itself unless the plan silences this VM's VCRD reports.
+  vmm::HypervisorPort& hypercall_port(VmId id);
+
+  /// Wrap VM `id`'s GuestPort for hang injection; pass the result to
+  /// Hypervisor::attach_guest. Returns `inner` unchanged when the plan
+  /// holds no hang fault for this VM.
+  vmm::GuestPort* wrap_guest(VmId id, vmm::GuestPort* inner);
+
+  /// Install the bus/tick seams and schedule every timed fault of the
+  /// plan. Call exactly once, before Hypervisor::start().
+  void arm();
+
+  // --- hw::IpiFaultPlan ---
+  hw::IpiDecision on_send(PcpuId from, PcpuId to,
+                          std::uint32_t vector) override;
+
+  // --- vmm::FaultHook ---
+  Cycles tick_jitter(PcpuId p) override;
+
+  // --- injection statistics (RunResult surface) ---
+  std::uint64_t injected_flaps() const { return flaps_; }
+  std::uint64_t injected_corrupt_ops() const { return corrupt_; }
+  std::uint64_t silenced_reports() const { return silenced_; }
+  std::uint64_t hang_faults() const { return hangs_; }
+  std::uint64_t crash_faults() const { return crashes_; }
+  std::uint64_t hotplug_faults() const { return hotplugs_; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// HypervisorPort interposer: swallows do_vcrd_op once silenced, passes
+  /// every other hypercall through.
+  class SilencePort final : public vmm::HypervisorPort {
+   public:
+    SilencePort(FaultInjector& owner, vmm::HypervisorPort& inner)
+        : owner_(owner), inner_(inner) {}
+    void do_vcrd_op(VmId vm, vmm::Vcrd vcrd) override;
+    void vcpu_block(VmId vm, std::uint32_t vidx) override {
+      inner_.vcpu_block(vm, vidx);
+    }
+    void vcpu_kick(VmId vm, std::uint32_t vidx) override {
+      inner_.vcpu_kick(vm, vidx);
+    }
+    void vcpu_yield_hint(VmId vm, std::uint32_t vidx) override {
+      inner_.vcpu_yield_hint(vm, vidx);
+    }
+
+    bool silenced{false};
+
+   private:
+    FaultInjector& owner_;
+    vmm::HypervisorPort& inner_;
+  };
+
+  /// GuestPort interposer: once a VCPU is hung the guest stops receiving
+  /// its online/offline callbacks — guest-side progress on it freezes and
+  /// the VCPU never blocks, so VMM-side it runs (and burns credit) until
+  /// preempted, forever. A synthetic final offline keeps the inner guest's
+  /// own bookkeeping consistent.
+  class HangPort final : public vmm::GuestPort {
+   public:
+    explicit HangPort(vmm::GuestPort* inner, std::uint32_t n_vcpus)
+        : inner_(inner), hung_(n_vcpus, false), guest_online_(n_vcpus, false) {}
+    void vcpu_online(std::uint32_t vidx) override;
+    void vcpu_offline(std::uint32_t vidx) override;
+    /// Mark `vidx` hung (delivering the synthetic offline if needed).
+    void hang(std::uint32_t vidx);
+
+   private:
+    vmm::GuestPort* inner_;
+    std::vector<bool> hung_;
+    std::vector<bool> guest_online_;  // online as believed by inner_
+  };
+
+  void arm_vcrd(const VcrdFaultSpec& spec);
+  void flap_step(VmId vm, std::uint32_t left);
+  void corrupt_step(VmId vm, std::uint32_t left);
+
+  sim::Simulator& sim_;
+  vmm::Hypervisor& hv_;
+  FaultPlan plan_;
+  sim::Rng rng_ipi_;
+  sim::Rng rng_tick_;
+
+  struct VmPorts {
+    VmId vm{0};
+    std::unique_ptr<SilencePort> silence;
+    std::unique_ptr<HangPort> hang;
+  };
+  std::vector<VmPorts> ports_;
+  VmPorts& ports_for(VmId id);
+
+  bool armed_{false};
+  std::uint64_t flaps_{0};
+  std::uint64_t corrupt_{0};
+  std::uint64_t silenced_{0};
+  std::uint64_t hangs_{0};
+  std::uint64_t crashes_{0};
+  std::uint64_t hotplugs_{0};
+};
+
+}  // namespace asman::faults

@@ -5,6 +5,14 @@
 // (Algorithm 4). The bus models delivery latency and invokes a per-PCPU
 // handler in the target's context; it also counts traffic so benches can
 // report coscheduling overhead.
+//
+// Delivery is perfect by default. A pluggable IpiFaultPlan (installed by
+// the fault-injection subsystem, src/faults/) can drop, delay, or duplicate
+// individual sends; the bus keeps its ledger honest either way:
+//
+//   sent  = send() calls, delivered = handler invocations,
+//   dropped = sends that will never reach a handler (fault-injected drops,
+//             out-of-range targets, and arrivals with no handler installed).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +23,24 @@
 #include "simcore/simulator.h"
 
 namespace asman::hw {
+
+/// Per-send fate chosen by a fault plan. `extra_delay` adds to the bus
+/// latency; `duplicate` delivers a second copy (also after `extra_delay`).
+/// Drop wins over the other fields.
+struct IpiDecision {
+  bool drop{false};
+  bool duplicate{false};
+  Cycles extra_delay{0};
+};
+
+/// Fault-injection seam of the bus. Implementations must be deterministic
+/// functions of their own seeded state; the bus consults the plan exactly
+/// once per send(), in send order.
+class IpiFaultPlan {
+ public:
+  virtual ~IpiFaultPlan() = default;
+  virtual IpiDecision on_send(PcpuId from, PcpuId to, std::uint32_t vector) = 0;
+};
 
 class IpiBus {
  public:
@@ -27,25 +53,61 @@ class IpiBus {
 
   void set_handler(PcpuId pcpu, Handler h) { handlers_[pcpu] = std::move(h); }
 
-  /// Send an IPI; the target handler runs after the bus latency.
+  /// Install (or, with nullptr, remove) the fault plan. The plan must
+  /// outlive the bus or be removed first.
+  void set_fault_plan(IpiFaultPlan* plan) { plan_ = plan; }
+  /// True when a fault plan is installed, i.e. IPIs may be lost. The
+  /// scheduler arms its delivery-retry machinery only on a lossy bus, so
+  /// fault-free runs stay bit-identical to builds without the seam.
+  bool lossy() const { return plan_ != nullptr; }
+
+  /// Send an IPI; the target handler runs after the bus latency (plus any
+  /// fault-injected delay). A `to` outside the machine is counted dropped
+  /// rather than dereferenced.
   void send(PcpuId from, PcpuId to, std::uint32_t vector) {
     (void)from;
     ++sent_;
-    sim_.after(latency_, [this, to, vector] {
-      ++delivered_;
-      if (handlers_[to]) handlers_[to](to, vector);
-    });
+    if (to >= handlers_.size()) {
+      ++dropped_;
+      return;
+    }
+    IpiDecision d;
+    if (plan_) d = plan_->on_send(from, to, vector);
+    if (d.drop) {
+      ++dropped_;
+      return;
+    }
+    if (d.extra_delay.v > 0) ++delayed_;
+    const unsigned copies = d.duplicate ? 2u : 1u;
+    if (d.duplicate) ++duplicated_;
+    for (unsigned i = 0; i < copies; ++i) {
+      sim_.after(latency_ + d.extra_delay, [this, to, vector] {
+        if (handlers_[to]) {
+          ++delivered_;
+          handlers_[to](to, vector);
+        } else {
+          ++dropped_;
+        }
+      });
+    }
   }
 
   std::uint64_t sent() const { return sent_; }
   std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t delayed() const { return delayed_; }
+  std::uint64_t duplicated() const { return duplicated_; }
 
  private:
   sim::Simulator& sim_;
   Cycles latency_;
   std::vector<Handler> handlers_;
+  IpiFaultPlan* plan_{nullptr};
   std::uint64_t sent_{0};
   std::uint64_t delivered_{0};
+  std::uint64_t dropped_{0};
+  std::uint64_t delayed_{0};
+  std::uint64_t duplicated_{0};
 };
 
 }  // namespace asman::hw

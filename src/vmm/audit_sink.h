@@ -26,6 +26,8 @@ enum class AuditPoint : std::uint8_t {
   kBlock,            // vcpu_block hypercall done
   kKick,             // vcpu_kick hypercall done
   kIpi,              // coscheduling IPI handler done
+  kHotplug,          // PCPU offline/online (incl. evacuation) done
+  kFault,            // other fault-injection entry point (VCPU crash) done
 };
 
 const char* to_string(AuditPoint p);

@@ -1,0 +1,25 @@
+// Hardware-fault seam of the VMM scheduler.
+//
+// The hypervisor consults an installed FaultHook at the points where a
+// misbehaving substrate would perturb it; the production implementation is
+// faults::FaultInjector (src/faults/). Like the audit seam, this header
+// keeps the VMM free of any dependency on the fault library. With no hook
+// installed every query returns the benign answer, so fault-free runs are
+// bit-identical to the pre-seam scheduler.
+#pragma once
+
+#include "vmm/types.h"
+
+namespace asman::vmm {
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Extra delay added to the next slot tick of `p` (timer-tick jitter).
+  /// Called once per armed tick, in arming order; implementations must be
+  /// deterministic functions of their own seeded state.
+  virtual Cycles tick_jitter(PcpuId p) = 0;
+};
+
+}  // namespace asman::vmm

@@ -34,6 +34,10 @@ const char* to_string(AuditPoint p) {
       return "kick";
     case AuditPoint::kIpi:
       return "ipi";
+    case AuditPoint::kHotplug:
+      return "hotplug";
+    case AuditPoint::kFault:
+      return "fault";
   }
   return "?";
 }
@@ -48,6 +52,7 @@ Hypervisor::Hypervisor(sim::Simulator& simulation,
       rng_(seed ^ 0xA5A5A5A5ULL),
       ipi_(simulation, machine),
       pcpus_(machine.num_pcpus),
+      online_pcpus_(machine.num_pcpus),
       slot_len_(machine.slot_cycles()),
       timeslice_len_(machine.timeslice_cycles()),
       credit_cap_(2 * static_cast<Credit>(machine.slots_per_accounting) *
@@ -92,6 +97,15 @@ void Hypervisor::attach_guest(VmId id, GuestPort* guest) {
 void Hypervisor::start() {
   assert(!started_);
   started_ = true;
+  // Resolve the resilience knobs the caller left at "derive from machine".
+  if (resilience_.ipi_ack_timeout.v == 0)
+    resilience_.ipi_ack_timeout = Cycles{machine_.ipi_latency().v * 8};
+  if (resilience_.gang_watchdog.v == 0)
+    resilience_.gang_watchdog = Cycles{slot_len_.v * 2};
+  if (resilience_.flap_window.v == 0)
+    resilience_.flap_window = Cycles{slot_len_.v * 5};
+  if (resilience_.demote_backoff.v == 0)
+    resilience_.demote_backoff = Cycles{slot_len_.v * 12};
   in_scheduler_ = true;
   do_accounting();
   for (PcpuId i = 0; i < machine_.num_pcpus; ++i)
@@ -145,6 +159,176 @@ void Hypervisor::note_trace(sim::TraceCat cat, std::string msg) {
   if (trace_) trace_->emit(sim_.now(), cat, std::move(msg));
 }
 
+void Hypervisor::set_fault_hook(FaultHook* hook) {
+  fault_hook_ = hook;
+  if (hook) faults_armed_ = true;
+}
+
+std::uint64_t Hypervisor::vcrd_demotions() const {
+  std::uint64_t n = 0;
+  for (const auto& v : vms_) n += v->demotions;
+  return n;
+}
+
+std::uint64_t Hypervisor::stale_vcrd_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& v : vms_) n += v->stale_vcrd_drops;
+  return n;
+}
+
+// --- graceful degradation ---------------------------------------------------
+
+void Hypervisor::demote_vm(Vm& v, const char* why) {
+  v.degraded = true;
+  v.degraded_until = sim_.now() + resilience_.demote_backoff;
+  ++v.demotions;
+  note_trace(sim::TraceCat::kMonitor,
+             v.name + " demoted to stock credit treatment (" + why + ")");
+  // Strip gang privileges immediately: cancel the boosts and let every
+  // PCPU re-pick under stock rules (members with credit keep running as
+  // ordinary UNDER VCPUs — degradation is graceful, not punitive).
+  const bool was = in_scheduler_;
+  in_scheduler_ = true;
+  co_stop(v);
+  in_scheduler_ = was;
+}
+
+void Hypervisor::note_flap(Vm& v) {
+  const Cycles now = sim_.now();
+  if (v.flap_count == 0 ||
+      now - v.flap_window_start > resilience_.flap_window) {
+    v.flap_window_start = now;
+    v.flap_count = 0;
+  }
+  ++v.flap_count;
+  if (resilience_.flap_limit > 0 && v.flap_count > resilience_.flap_limit &&
+      !v.degraded)
+    demote_vm(v, "VCRD flap rate limit");
+}
+
+void Hypervisor::degradation_tick(Vm& v) {
+  const Cycles now = sim_.now();
+  if (v.degraded && now >= v.degraded_until) {
+    v.degraded = false;
+    v.flap_count = 0;
+    v.watchdog_streak = 0;
+    note_trace(sim::TraceCat::kMonitor, v.name + " degraded state lifted");
+    // While degraded the members ran under stock rules and may have drifted
+    // onto shared homes; a gang must regain coscheduling with a coherent
+    // placement or the next launch would double-book a PCPU.
+    if (cosched_eligible(v) && gang_homes_collide(v)) relocate_vm(v);
+  }
+  if (resilience_.vcrd_ttl.v > 0 && v.vcrd == Vcrd::kHigh &&
+      now - v.vcrd_last_report > resilience_.vcrd_ttl) {
+    // The Monitoring Module went silent while HIGH: a stale report must not
+    // hold coscheduling privileges forever. Mirrors do_vcrd_op's HIGH->LOW
+    // bookkeeping so the VCRD statistics stay exact.
+    v.vcrd = Vcrd::kLow;
+    v.vcrd_high_time += now - v.vcrd_high_since;
+    ++v.stale_vcrd_drops;
+    note_trace(sim::TraceCat::kMonitor, v.name + " VCRD stale -> LOW (TTL)");
+  }
+}
+
+void Hypervisor::arm_gang_watchdog(Vm& v) {
+  if (v.watchdog_ev.valid()) return;
+  v.watchdog_ev = sim_.after(resilience_.gang_watchdog,
+                             [this, id = v.id] { gang_watchdog_fire(id); });
+}
+
+void Hypervisor::gang_watchdog_fire(VmId id) {
+  Vm& v = *vms_[id];
+  v.watchdog_ev = {};
+  if (!cosched_eligible(v)) {
+    v.watchdog_streak = 0;
+    return;
+  }
+  std::uint32_t running = 0;
+  std::uint32_t absent = 0;  // runnable members that never came online
+  for (const Vcpu& w : v.vcpus) {
+    if (w.state == VcpuState::kRunning)
+      ++running;
+    else if (w.state == VcpuState::kRunnable)
+      ++absent;
+  }
+  if (running > 0 && absent > 0) {
+    ++gang_watchdog_fires_;
+    ++v.watchdog_streak;
+    note_trace(sim::TraceCat::kCosched,
+               v.name + " gang watchdog: partial gang released");
+    if (resilience_.watchdog_demote_after > 0 &&
+        v.watchdog_streak >= resilience_.watchdog_demote_after) {
+      demote_vm(v, "gang watchdog streak");  // includes the co-stop
+    } else {
+      in_scheduler_ = true;
+      co_stop(v);
+      in_scheduler_ = false;
+    }
+  } else {
+    v.watchdog_streak = 0;
+  }
+  if (cosched_eligible(v)) arm_gang_watchdog(v);
+}
+
+void Hypervisor::ipi_ack_check(VmId vm_id, std::uint32_t vidx,
+                               std::uint32_t attempt, bool strong) {
+  Vm& v = *vms_[vm_id];
+  if (!cosched_eligible(v)) return;
+  Vcpu& sib = v.vcpus[vidx];
+  // Arrived (running or boosted) or moot (blocked/crashed): nothing to do.
+  if (sib.state != VcpuState::kRunnable || sib.cosched_boost) return;
+  if (attempt > resilience_.ipi_max_retries) {
+    ++gang_ipi_aborts_;
+    note_trace(sim::TraceCat::kCosched,
+               v.name + " gang start abandoned for this slot (" +
+                   key_str(sib.key) + " unreachable after retries)");
+    return;
+  }
+  ++ipi_retries_;
+  const std::uint32_t vector = vm_id * 2 + (strong ? 1u : 0u);
+  note_trace(sim::TraceCat::kCosched,
+             "IPI retry " + std::to_string(attempt) + " for " +
+                 key_str(sib.key));
+  ipi_.send(sib.where, sib.where, vector);
+  sim_.after(resilience_.ipi_ack_timeout,
+             [this, vm_id, vidx, attempt, strong] {
+               ipi_ack_check(vm_id, vidx, attempt + 1, strong);
+             });
+}
+
+PcpuId Hypervisor::pick_online_home(VmId vm_for_collision) const {
+  // Least-loaded online PCPU; a home free of gang siblings is preferred so
+  // evacuation preserves pairwise-distinct placement (cosched_eligible
+  // guarantees one exists by pigeonhole: gang size <= online PCPUs).
+  const bool keep_distinct = cosched_eligible(vm(vm_for_collision));
+  PcpuId dest = machine_.num_pcpus;
+  std::size_t best_load = 0;
+  bool best_collides = true;
+  for (PcpuId p = 0; p < machine_.num_pcpus; ++p) {
+    const PcpuRec& pc = pcpus_[p];
+    if (!pc.online) continue;
+    const std::size_t load =
+        pc.runq.size() + (pc.current != nullptr ? 1u : 0u);
+    const bool collides = keep_distinct && would_collide(vm_for_collision, p);
+    if (dest == machine_.num_pcpus || (best_collides && !collides) ||
+        (best_collides == collides && load < best_load)) {
+      dest = p;
+      best_load = load;
+      best_collides = collides;
+    }
+  }
+  return dest;
+}
+
+bool Hypervisor::gang_homes_collide(const Vm& v) const {
+  std::vector<bool> used(machine_.num_pcpus, false);
+  for (const Vcpu& c : v.vcpus) {
+    if (!pcpus_[c.where].online || used[c.where]) return true;
+    used[c.where] = true;
+  }
+  return false;
+}
+
 // --- credit machinery ------------------------------------------------------
 
 void Hypervisor::burn(Vcpu& v, Cycles elapsed) {
@@ -175,6 +359,7 @@ void Hypervisor::do_accounting() {
   std::vector<bool> active(vms_.size(), true);
   for (std::size_t i = 0; i < vms_.size(); ++i) {
     Vm& v = *vms_[i];
+    degradation_tick(v);  // lift expired demotions, drop stale HIGH VCRDs
     if (mode_ == SchedMode::kWorkConserving && slots_elapsed() > 0) {
       // Active = wants to run (a queued-but-starved VM must keep earning,
       // or starvation would cut its income and become permanent) or ran.
@@ -294,12 +479,13 @@ Vcpu* Hypervisor::steal_for(PcpuId p, bool allow_over) {
   PcpuId src = 0;
   for (PcpuId q = 0; q < machine_.num_pcpus; ++q) {
     if (q == p) continue;
+    if (!pcpus_[q].online) continue;  // offline queues are empty anyway
     for (Vcpu* v : pcpus_[q].runq.entries()) {
       if (!allow_over && static_cast<int>(v->prio_class()) >
                              static_cast<int>(PrioClass::kUnder))
         continue;
       if (v->cosched_boost) continue;  // an IPI promised it to its queue
-      if (wants_cosched(vm(v->key.vm)) && would_collide(v->key.vm, p))
+      if (cosched_eligible(vm(v->key.vm)) && would_collide(v->key.vm, p))
         continue;
       if (best == nullptr || RunQueue::better(v, best)) {
         best = v;
@@ -318,6 +504,7 @@ Vcpu* Hypervisor::steal_for(PcpuId p, bool allow_over) {
 
 void Hypervisor::dispatch(PcpuId p) {
   PcpuRec& pc = pcpus_[p];
+  if (!pc.online) return;  // hot-unplugged: holds no work, picks none
   Vcpu* cur = pc.current;
   if (cur && !is_schedulable(*cur)) {
     // Algorithm 4 line 2: out of credit in the capped mode -> deschedule
@@ -401,7 +588,7 @@ void Hypervisor::dispatch(PcpuId p) {
   const bool entitled = strictness_ == Strictness::kStrict
                             ? true
                             : choice->credit >= 0;
-  if (entitled && wants_cosched(vm(choice->key.vm)) &&
+  if (entitled && cosched_eligible(vm(choice->key.vm)) &&
       cosched_mutex_at_ != sim_.now()) {
     cosched_mutex_at_ = sim_.now();
     ++cosched_events_;
@@ -425,7 +612,7 @@ void Hypervisor::preempt_current(PcpuId p) {
   Vm& owner = vm(cur->key.vm);
   go_offline(p);
   if (strictness_ == Strictness::kStrict && !in_co_stop_ &&
-      wants_cosched(owner))
+      cosched_eligible(owner))
     co_stop(owner);
 }
 
@@ -483,7 +670,24 @@ void Hypervisor::launch_cosched(PcpuId from, Vcpu& head) {
       continue;
     }
     ipi_.send(from, w.where, vector);
+    // On a lossy bus the IPI may never arrive; arm a bounded-retry ack
+    // check for this sibling. Fault-free buses skip the machinery entirely
+    // so the event stream (and thus the run) stays bit-identical.
+    if (ipi_.lossy() && resilience_.ipi_max_retries > 0 &&
+        resilience_.ipi_ack_timeout.v > 0) {
+      const VmId id = gang.id;
+      const std::uint32_t vidx = w.key.idx;
+      sim_.after(resilience_.ipi_ack_timeout, [this, id, vidx, strong] {
+        ipi_ack_check(id, vidx, 1, strong);
+      });
+    }
   }
+  // Strict gangs additionally get a co-stop watchdog: if a sibling never
+  // arrives (lost IPI, crashed VCPU) the gang must not hold its PCPUs
+  // hostage forever. Armed only when faults are in play.
+  if (strictness_ == Strictness::kStrict && degradation_armed() &&
+      resilience_.gang_watchdog.v > 0)
+    arm_gang_watchdog(gang);
 }
 
 void Hypervisor::ipi_handler(PcpuId target, std::uint32_t vector) {
@@ -550,7 +754,7 @@ void Hypervisor::pcpu_tick(PcpuId p) {
   if (strictness_ == Strictness::kStrict && pc.current &&
       pc.current->credit < 0) {
     Vm& owner = vm(pc.current->key.vm);
-    if (wants_cosched(owner)) {
+    if (cosched_eligible(owner)) {
       bool any_entitled = false;
       for (const Vcpu& w : owner.vcpus)
         if (w.credit >= 0) {
@@ -563,7 +767,11 @@ void Hypervisor::pcpu_tick(PcpuId p) {
   dispatch(p);
   in_scheduler_ = false;
   audit_event(AuditPoint::kTick);
-  sim_.after(slot_len_, [this, p] { pcpu_tick(p); });
+  // Timer-tick jitter (fault injection): the hook shifts the next tick of
+  // this PCPU; with no hook the cadence is the exact slot length.
+  Cycles next = slot_len_;
+  if (fault_hook_) next = next + fault_hook_->tick_jitter(p);
+  sim_.after(next, [this, p] { pcpu_tick(p); });
 }
 
 void Hypervisor::accounting_event() {
@@ -572,7 +780,7 @@ void Hypervisor::accounting_event() {
   // Newly topped-up (unparked) VCPUs may be waiting while PCPUs idle.
   for (PcpuId i = 0; i < machine_.num_pcpus; ++i) {
     const PcpuId p = (dispatch_start_ + i) % machine_.num_pcpus;
-    if (pcpus_[p].current == nullptr) dispatch(p);
+    if (pcpus_[p].online && pcpus_[p].current == nullptr) dispatch(p);
   }
   dispatch_start_ = (dispatch_start_ + 1) % machine_.num_pcpus;
   in_scheduler_ = false;
@@ -583,17 +791,30 @@ void Hypervisor::accounting_event() {
 // --- hypercalls --------------------------------------------------------------
 
 void Hypervisor::do_vcrd_op(VmId id, Vcrd vcrd) {
+  // Validate before the re-entrancy defer so a rejected hypercall is
+  // counted exactly once. A guest (or the fault injector impersonating
+  // one) may pass any VmId / any enum bit pattern; garbage must bounce
+  // without touching scheduler state.
+  if (id >= vms_.size() || (vcrd != Vcrd::kLow && vcrd != Vcrd::kHigh)) {
+    ++hypercall_rejects_;
+    note_trace(sim::TraceCat::kMonitor,
+               "do_vcrd_op rejected (vm=" + std::to_string(id) + " vcrd=" +
+                   std::to_string(static_cast<int>(vcrd)) + ")");
+    return;
+  }
   if (in_scheduler_) {
     sim_.after(Cycles{0}, [this, id, vcrd] { do_vcrd_op(id, vcrd); });
     return;
   }
   Vm& v = vm(id);
+  v.vcrd_last_report = sim_.now();  // feeds the staleness TTL
   if (v.vcrd == vcrd) return;
   const Vcrd previous = v.vcrd;
   v.vcrd = vcrd;
   if (vcrd == Vcrd::kHigh) {
     ++v.vcrd_high_transitions;
     v.vcrd_high_since = sim_.now();
+    note_flap(v);  // may demote a flapping guest before any relocation
   } else {
     v.vcrd_high_time += sim_.now() - v.vcrd_high_since;
   }
@@ -604,6 +825,10 @@ void Hypervisor::do_vcrd_op(VmId id, Vcrd vcrd) {
 }
 
 void Hypervisor::vcpu_block(VmId id, std::uint32_t vidx) {
+  if (id >= vms_.size() || vidx >= vm(id).vcpus.size()) {
+    ++hypercall_rejects_;
+    return;
+  }
   if (in_scheduler_) {
     sim_.after(Cycles{0}, [this, id, vidx] { vcpu_block(id, vidx); });
     return;
@@ -640,15 +865,30 @@ void Hypervisor::vcpu_block(VmId id, std::uint32_t vidx) {
 }
 
 void Hypervisor::vcpu_kick(VmId id, std::uint32_t vidx) {
+  if (id >= vms_.size() || vidx >= vm(id).vcpus.size()) {
+    ++hypercall_rejects_;
+    return;
+  }
   if (in_scheduler_) {
     sim_.after(Cycles{0}, [this, id, vidx] { vcpu_kick(id, vidx); });
     return;
   }
   Vcpu& v = vm(id).vcpus[vidx];
+  if (v.crashed) {
+    ++ignored_kicks_;  // a crashed VCPU stays blocked forever
+    return;
+  }
   if (v.state != VcpuState::kBlocked) return;
   v.state = VcpuState::kRunnable;
   audit_transition(v.key, VcpuState::kBlocked, VcpuState::kRunnable);
   v.wake_boost = v.credit > 0;  // Xen-style BOOST only for UNDER VCPUs
+  if (!pcpus_[v.where].online) {
+    // The wake home went offline while this VCPU was blocked; re-home it
+    // lazily now (credit travels with the VCPU).
+    v.where = pick_online_home(id);
+    ++v.migrations;
+    ++migrations_;
+  }
   const PcpuId home = v.where;
   pcpus_[home].runq.push(&v);
   in_scheduler_ = true;
@@ -673,15 +913,15 @@ void Hypervisor::relocate_vm(Vm& v) {
     if (c.state == VcpuState::kRunning) claimed[c.where] = true;
   for (Vcpu& c : v.vcpus) {
     if (c.state == VcpuState::kRunning) continue;
-    if (!claimed[c.where]) {
+    if (!claimed[c.where] && pcpus_[c.where].online) {
       claimed[c.where] = true;
       continue;
     }
-    // Choose the least-loaded unclaimed PCPU (lowest id breaks ties).
+    // Choose the least-loaded unclaimed online PCPU (lowest id breaks ties).
     PcpuId dest = machine_.num_pcpus;
     std::size_t best_load = 0;
     for (PcpuId p = 0; p < machine_.num_pcpus; ++p) {
-      if (claimed[p]) continue;
+      if (claimed[p] || !pcpus_[p].online) continue;
       const std::size_t load = pcpus_[p].runq.size();
       if (dest == machine_.num_pcpus || load < best_load) {
         dest = p;
@@ -701,6 +941,123 @@ void Hypervisor::relocate_vm(Vm& v) {
     claimed[dest] = true;
   }
   note_trace(sim::TraceCat::kCosched, v.name + " relocated");
+}
+
+// --- fault-injection entry points --------------------------------------------
+
+void Hypervisor::fault_pcpu_offline(PcpuId p) {
+  if (p >= machine_.num_pcpus || !pcpus_[p].online) return;
+  if (online_pcpus_ <= 1) {
+    note_trace(sim::TraceCat::kSched,
+               "P" + std::to_string(p) +
+                   " offline refused (last online PCPU)");
+    return;
+  }
+  faults_armed_ = true;
+  ++pcpu_offline_events_;
+  note_trace(sim::TraceCat::kSched, "P" + std::to_string(p) + " offline");
+  PcpuRec& pc = pcpus_[p];
+  in_scheduler_ = true;
+  // Preempt whoever is running (through the normal burn/charge/requeue
+  // path) so it joins the queue and is evacuated with everyone else.
+  Vm* victim = nullptr;
+  if (pc.current != nullptr) {
+    victim = &vm(pc.current->key.vm);
+    go_offline(p);
+  }
+  pc.online = false;
+  --online_pcpus_;
+  // Evacuate the run queue onto online PCPUs, credit intact — credit is
+  // per-VCPU state and travels with the record, so conservation holds.
+  const std::vector<Vcpu*> evac = pc.runq.entries();
+  for (Vcpu* w : evac) {
+    pc.runq.remove(w);
+    const PcpuId dest = pick_online_home(w->key.vm);
+    w->where = dest;
+    pcpus_[dest].runq.push(w);
+    ++w->migrations;
+    ++migrations_;
+    ++evacuated_vcpus_;
+  }
+  if (!pc.idle_marked) {
+    pc.idle_marked = true;
+    pc.idle_since = sim_.now();
+  }
+  // A strict gang that lost a member (or no longer fits the machine) must
+  // not keep partial boosts; release it and let stock rules re-pick.
+  if (victim && strictness_ == Strictness::kStrict && !in_co_stop_ &&
+      wants_cosched(*victim))
+    co_stop(*victim);
+  // Idle online PCPUs pick up the evacuees right away.
+  for (PcpuId q = 0; q < machine_.num_pcpus; ++q)
+    if (pcpus_[q].online && pcpus_[q].current == nullptr) dispatch(q);
+  in_scheduler_ = false;
+  audit_event(AuditPoint::kHotplug);
+}
+
+void Hypervisor::fault_pcpu_online(PcpuId p) {
+  if (p >= machine_.num_pcpus || pcpus_[p].online) return;
+  pcpus_[p].online = true;
+  ++online_pcpus_;
+  note_trace(sim::TraceCat::kSched, "P" + std::to_string(p) + " online");
+  in_scheduler_ = true;
+  // Gangs that were infeasible while this PCPU was down were evacuated onto
+  // shared homes; now that they fit again, spread them back out before any
+  // launch (or audit pass) sees a double-booked PCPU.
+  for (const auto& vp : vms_) {
+    Vm& v = *vp;
+    if (cosched_eligible(v) && gang_homes_collide(v)) relocate_vm(v);
+  }
+  dispatch(p);  // steal work immediately instead of idling until its tick
+  in_scheduler_ = false;
+  audit_event(AuditPoint::kHotplug);
+}
+
+void Hypervisor::fault_crash_vcpu(VmId vm_id, std::uint32_t vidx) {
+  if (vm_id >= vms_.size() || vidx >= vm(vm_id).vcpus.size()) return;
+  Vm& owner = vm(vm_id);
+  Vcpu& v = owner.vcpus[vidx];
+  if (v.crashed) return;
+  v.crashed = true;
+  faults_armed_ = true;
+  note_trace(sim::TraceCat::kSched, key_str(v.key) + " crashed");
+  if (v.cosched_clear_ev.valid()) {
+    sim_.cancel(v.cosched_clear_ev);
+    v.cosched_clear_ev = {};
+  }
+  v.cosched_boost = false;
+  v.cosched_weak = false;
+  v.wake_boost = false;
+  in_scheduler_ = true;
+  switch (v.state) {
+    case VcpuState::kRunning: {
+      const PcpuId p = v.where;
+      Vcpu* u = unmap_current(p);
+      u->state = VcpuState::kBlocked;
+      audit_transition(u->key, VcpuState::kRunnable, VcpuState::kBlocked);
+      if (strictness_ == Strictness::kStrict && !in_co_stop_ &&
+          cosched_eligible(owner))
+        co_stop(owner);
+      dispatch(p);
+      if (pcpus_[p].current == nullptr && !pcpus_[p].idle_marked) {
+        pcpus_[p].idle_marked = true;
+        pcpus_[p].idle_since = sim_.now();
+      }
+      break;
+    }
+    case VcpuState::kRunnable: {
+      const bool removed = pcpus_[v.where].runq.remove(&v);
+      assert(removed);
+      (void)removed;
+      v.state = VcpuState::kBlocked;
+      audit_transition(v.key, VcpuState::kRunnable, VcpuState::kBlocked);
+      break;
+    }
+    case VcpuState::kBlocked:
+      break;  // already blocked; the crashed flag pins it there
+  }
+  in_scheduler_ = false;
+  audit_event(AuditPoint::kFault);
 }
 
 }  // namespace asman::vmm

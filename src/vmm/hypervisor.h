@@ -29,11 +29,48 @@
 #include "simcore/simulator.h"
 #include "simcore/trace.h"
 #include "vmm/audit_sink.h"
+#include "vmm/fault_hook.h"
 #include "vmm/ports.h"
 #include "vmm/runqueue.h"
 #include "vmm/vcpu.h"
 
 namespace asman::vmm {
+
+/// Graceful-degradation knobs (docs/MODEL.md "Fault model & graceful
+/// degradation"). Zero-valued Cycles fields are derived from the machine
+/// configuration at start(). The flap rate-limiter is always armed (it
+/// defends against misbehaving guests, which need no fault injection); the
+/// IPI retry and gang watchdog paths arm themselves only when the substrate
+/// can actually misbehave — a lossy IPI bus or an installed fault surface —
+/// so fault-free runs stay bit-identical to the pre-resilience scheduler.
+struct ResilienceConfig {
+  /// Re-send a coscheduling IPI whose target sibling never came online,
+  /// this many times per launch, before abandoning the gang start for the
+  /// slot. Active only on a lossy bus (hw::IpiBus::lossy).
+  std::uint32_t ipi_max_retries{2};
+  /// Ack deadline per IPI attempt (0 = 8x the bus one-way latency).
+  Cycles ipi_ack_timeout{0};
+  /// Strict-gang watchdog period: a gang still partial (some members
+  /// running, an eligible sibling absent) after this long is released via
+  /// co-stop instead of stalling forever (0 = 2 slots).
+  Cycles gang_watchdog{0};
+  /// Consecutive watchdog fires that demote the VM to stock credit
+  /// treatment (0 = never demote from the watchdog path).
+  std::uint32_t watchdog_demote_after{3};
+  /// VCRD staleness TTL: a VM holding VCRD HIGH longer than this without a
+  /// fresh do_vcrd_op report is forced back to LOW at the next accounting
+  /// pass (0 = disabled; the honest Monitoring Module only hypercalls on
+  /// transitions, so the TTL is for runs whose guests may go silent).
+  Cycles vcrd_ttl{0};
+  /// Flap rate-limiter: more than this many LOW->HIGH transitions inside
+  /// one window demotes the VM (Zhou-style scheduler attack).
+  std::uint32_t flap_limit{8};
+  /// Flap window length (0 = 5 slots).
+  Cycles flap_window{0};
+  /// How long a demoted VM stays degraded (0 = 12 slots). Degradation is
+  /// lifted at the first accounting pass after the backoff expires.
+  Cycles demote_backoff{0};
+};
 
 class Hypervisor : public HypervisorPort {
  public:
@@ -67,6 +104,36 @@ class Hypervisor : public HypervisorPort {
   void set_cosched_strictness(Strictness s) { strictness_ = s; }
   Strictness cosched_strictness() const { return strictness_; }
 
+  /// Replace the graceful-degradation knobs. Set before start().
+  void set_resilience(const ResilienceConfig& r) { resilience_ = r; }
+  const ResilienceConfig& resilience() const { return resilience_; }
+
+  // --- fault-injection surface (src/faults/) --------------------------------
+  // These entry points model substrate faults; production scheduling never
+  // calls them. They keep every invariant the auditor checks: state changes
+  // go through the audited transition paths and credit is preserved.
+
+  /// Install (or remove) the hardware-fault hook (timer-tick jitter). Arms
+  /// the degradation machinery.
+  void set_fault_hook(FaultHook* hook);
+  /// Declare that a fault plan is active even if no hook is installed
+  /// (e.g. guest- or vmm-layer faults only): arms the gang watchdog.
+  void arm_degradation() { faults_armed_ = true; }
+
+  /// Take a PCPU offline: the current VCPU is preempted and, like the rest
+  /// of the queue, evacuated onto online PCPUs with credit preserved.
+  /// Blocked VCPUs homed here are re-homed when kicked. No-op if already
+  /// offline or if this is the last online PCPU (the machine never loses
+  /// its final processor, mirroring cpu-hotplug rules).
+  void fault_pcpu_offline(PcpuId p);
+  /// Bring a PCPU back online and let it pick up work.
+  void fault_pcpu_online(PcpuId p);
+
+  /// Crash a VCPU: it is forced into kBlocked (through the audited
+  /// transition path) and every later kick is ignored — a permanent guest
+  /// halt. Idempotent.
+  void fault_crash_vcpu(VmId vm, std::uint32_t vidx);
+
   // --- HypervisorPort (guest-visible hypercalls) ---
   void do_vcrd_op(VmId vm, Vcrd vcrd) override;
   void vcpu_block(VmId vm, std::uint32_t vidx) override;
@@ -85,8 +152,13 @@ class Hypervisor : public HypervisorPort {
   double nominal_online_rate(VmId id) const;
 
   /// Whether this VM's VCPUs are gang-scheduled at scheduling events right
-  /// now (public view of the wants_cosched knob, for auditing and tests).
-  bool gang_scheduled(VmId id) const { return wants_cosched(vm(id)); }
+  /// now (public view for auditing and tests): the scheduler's
+  /// wants_cosched knob gated by graceful degradation — a demoted VM, or
+  /// one whose gang no longer fits the online PCPUs, gets stock credit
+  /// treatment until conditions recover.
+  bool gang_scheduled(VmId id) const { return cosched_eligible(vm(id)); }
+  /// Degradation state of one VM (tests, metrics).
+  bool vm_degraded(VmId id) const { return vm(id).degraded; }
   /// Credit saturation bound: every VCPU credit stays in [-cap, +cap].
   Credit credit_cap() const { return credit_cap_; }
 
@@ -105,6 +177,9 @@ class Hypervisor : public HypervisorPort {
   /// Number of this VM's VCPUs mapped onto PCPUs right now.
   std::uint32_t vm_online_count(VmId id) const;
 
+  bool pcpu_is_online(PcpuId p) const { return pcpus_[p].online; }
+  std::uint32_t online_pcpus() const { return online_pcpus_; }
+
   Cycles pcpu_idle_total(PcpuId p) const;
   const RunQueue& runqueue(PcpuId p) const { return pcpus_[p].runq; }
   const Vcpu* running_on(PcpuId p) const { return pcpus_[p].current; }
@@ -116,13 +191,34 @@ class Hypervisor : public HypervisorPort {
   std::uint64_t co_stops() const { return co_stops_; }
   std::uint64_t context_switches() const { return context_switches_; }
   const hw::IpiBus& ipi_bus() const { return ipi_; }
+  hw::IpiBus& ipi_bus() { return ipi_; }
   std::uint64_t slots_elapsed() const { return pcpus_[0].ticks; }
+
+  // --- degradation counters (RunResult surface) ---
+  std::uint64_t ipi_retries() const { return ipi_retries_; }
+  std::uint64_t gang_ipi_aborts() const { return gang_ipi_aborts_; }
+  std::uint64_t gang_watchdog_fires() const { return gang_watchdog_fires_; }
+  std::uint64_t evacuated_vcpus() const { return evacuated_vcpus_; }
+  std::uint64_t pcpu_offline_events() const { return pcpu_offline_events_; }
+  std::uint64_t hypercall_rejects() const { return hypercall_rejects_; }
+  std::uint64_t ignored_kicks() const { return ignored_kicks_; }
+  /// Total flap/watchdog demotions and TTL drops across all VMs.
+  std::uint64_t vcrd_demotions() const;
+  std::uint64_t stale_vcrd_drops() const;
 
  protected:
   /// Should this VM's VCPUs be gang-scheduled at scheduling events?
   virtual bool wants_cosched(const Vm& v) const {
     (void)v;
     return false;
+  }
+  /// wants_cosched gated by graceful degradation: a demoted VM, or one
+  /// whose gang cannot fit the online PCPUs (hotplug), falls back to stock
+  /// credit treatment. Every dispatch-path decision uses this, never the
+  /// raw knob.
+  bool cosched_eligible(const Vm& v) const {
+    return wants_cosched(v) && !v.degraded &&
+           v.num_vcpus() <= online_pcpus_;
   }
   /// Hook invoked after the VCRD of `v` changed via do_vcrd_op.
   virtual void on_vcrd_changed(Vm& v, Vcrd previous) {
@@ -144,6 +240,7 @@ class Hypervisor : public HypervisorPort {
   struct PcpuRec {
     Vcpu* current{nullptr};
     RunQueue runq;
+    bool online{true};  // offline PCPUs hold no work and dispatch nothing
     bool idle_marked{true};
     Cycles idle_since{0};
     Cycles idle_total{0};
@@ -195,6 +292,28 @@ class Hypervisor : public HypervisorPort {
   bool would_collide(VmId vm_id, PcpuId p) const;
   void note_trace(sim::TraceCat cat, std::string msg);
 
+  // --- graceful degradation --------------------------------------------------
+  /// Least-loaded online PCPU (tie: lowest id), preferring homes free of
+  /// gang siblings, for evacuation and wake re-homing. Returns num_pcpus
+  /// when none qualify (never happens while one PCPU stays online).
+  PcpuId pick_online_home(VmId vm_for_collision) const;
+  /// True when two members share a home or a home went offline — placement
+  /// a gang must not launch with. Only meaningful for cosched VMs.
+  bool gang_homes_collide(const Vm& v) const;
+  /// Record a LOW->HIGH transition in the flap window; demote on overflow.
+  void note_flap(Vm& v);
+  void demote_vm(Vm& v, const char* why);
+  /// Lift expired demotions and stale-HIGH VCRDs (accounting boundary).
+  void degradation_tick(Vm& v);
+  /// Verify the sibling an IPI targeted actually arrived; re-send up to the
+  /// retry budget, then abandon the gang start for this slot.
+  void ipi_ack_check(VmId vm_id, std::uint32_t vidx, std::uint32_t attempt,
+                     bool strong);
+  /// Arm (if not already armed) the per-VM partial-gang watchdog.
+  void arm_gang_watchdog(Vm& v);
+  void gang_watchdog_fire(VmId id);
+  bool degradation_armed() const { return faults_armed_ || ipi_.lossy(); }
+
   // Audit notification helpers; compiled to nothing with ASMAN_AUDIT=OFF so
   // the hot paths carry no audit branches in benchmark builds.
 #ifdef ASMAN_AUDIT_ENABLED
@@ -217,10 +336,12 @@ class Hypervisor : public HypervisorPort {
   SchedMode mode_;
   sim::Trace* trace_;
   AuditSink* audit_{nullptr};
+  FaultHook* fault_hook_{nullptr};
   sim::Rng rng_;
   hw::IpiBus ipi_;
   std::vector<std::unique_ptr<Vm>> vms_;
   std::vector<PcpuRec> pcpus_;
+  std::uint32_t online_pcpus_{0};
 
   Cycles slot_len_;
   Cycles timeslice_len_;
@@ -233,6 +354,9 @@ class Hypervisor : public HypervisorPort {
   bool in_co_stop_{false};    // prevents co-stop cascades
   Strictness strictness_{Strictness::kStrict};
 
+  ResilienceConfig resilience_;
+  bool faults_armed_{false};
+
   Credit credit_cap_;
   std::uint64_t migrations_{0};
   std::uint64_t strong_launches_{0};
@@ -240,6 +364,13 @@ class Hypervisor : public HypervisorPort {
   std::uint64_t co_stops_{0};
   std::uint64_t cosched_events_{0};
   std::uint64_t context_switches_{0};
+  std::uint64_t ipi_retries_{0};
+  std::uint64_t gang_ipi_aborts_{0};
+  std::uint64_t gang_watchdog_fires_{0};
+  std::uint64_t evacuated_vcpus_{0};
+  std::uint64_t pcpu_offline_events_{0};
+  std::uint64_t hypercall_rejects_{0};
+  std::uint64_t ignored_kicks_{0};
 };
 
 /// The stock Xen Credit scheduler: proportional share, load balancing, no

@@ -38,6 +38,10 @@ struct Vcpu {
   sim::EventId cosched_clear_ev{};
   bool wake_boost{false};
 
+  /// Fault state: a crashed VCPU is permanently blocked — the fault layer
+  /// forced it into kBlocked and the scheduler ignores every later kick.
+  bool crashed{false};
+
   /// When this VCPU last went online (for burn/online-time accounting).
   Cycles online_since{0};
   /// Start of the current round-robin timeslice (set when dispatched from
@@ -66,7 +70,26 @@ struct Vm {
   GuestPort* guest{nullptr};
   std::vector<Vcpu> vcpus;
 
+  // -- graceful degradation --
+  /// A degraded VM gets stock credit treatment (no gang scheduling, no
+  /// relocation) until `degraded_until`, re-evaluated at accounting passes.
+  /// Installed by the VCRD flap rate-limiter and by repeated gang-watchdog
+  /// fires; see Hypervisor::cosched_eligible.
+  bool degraded{false};
+  Cycles degraded_until{0};
+  /// Sliding-window state of the flap rate-limiter (LOW->HIGH transitions
+  /// inside the current window).
+  Cycles flap_window_start{0};
+  std::uint32_t flap_count{0};
+  /// When the VM last issued an accepted do_vcrd_op (VCRD staleness TTL).
+  Cycles vcrd_last_report{0};
+  /// Consecutive gang-watchdog fires without an intervening complete gang.
+  std::uint32_t watchdog_streak{0};
+  sim::EventId watchdog_ev{};
+
   // -- statistics --
+  std::uint64_t demotions{0};        // flap/watchdog demotions to degraded
+  std::uint64_t stale_vcrd_drops{0}; // HIGH forced to LOW by the TTL
   Cycles total_online{0};
   std::uint64_t vcrd_high_transitions{0};
   Cycles vcrd_high_time{0};

@@ -1,0 +1,222 @@
+// Fault subsystem unit tests: the IPI bus fault seam, hypercall argument
+// hardening, and bit-reproducibility of fault-injected runs (same seed +
+// same FaultPlan => bit-identical results; different injector seeds must
+// actually diverge).
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "core/schedulers.h"
+#include "experiments/chaos.h"
+#include "experiments/scenario.h"
+#include "faults/injector.h"
+#include "hw/ipi.h"
+#include "simcore/simulator.h"
+
+namespace asman::experiments {
+namespace {
+
+Cycles ms(std::uint64_t n) { return sim::kDefaultClock.from_ms(n); }
+
+// --- IPI bus fault seam ------------------------------------------------------
+
+/// Scripted plan: returns canned decisions in sequence.
+class ScriptedPlan final : public hw::IpiFaultPlan {
+ public:
+  explicit ScriptedPlan(std::vector<hw::IpiDecision> seq)
+      : seq_(std::move(seq)) {}
+  hw::IpiDecision on_send(hw::PcpuId, hw::PcpuId, std::uint32_t) override {
+    if (i_ >= seq_.size()) return {};
+    return seq_[i_++];
+  }
+
+ private:
+  std::vector<hw::IpiDecision> seq_;
+  std::size_t i_{0};
+};
+
+TEST(IpiFaultSeam, DropDuplicateDelayAreAppliedAndCounted) {
+  sim::Simulator s;
+  hw::MachineConfig m;
+  m.num_pcpus = 2;
+  m.freq_hz = 1'000'000'000ULL;
+  m.ipi_latency_us = 3;  // 3000 cycles
+  hw::IpiBus bus(s, m);
+  int hits = 0;
+  bus.set_handler(1, [&hits](hw::PcpuId, std::uint32_t) { ++hits; });
+
+  ScriptedPlan plan({
+      {.drop = true},                                  // send 1: dropped
+      {.duplicate = true},                             // send 2: two copies
+      {.drop = false, .duplicate = false,
+       .extra_delay = sim::Cycles{7'000}},             // send 3: late
+  });
+  bus.set_fault_plan(&plan);
+  EXPECT_TRUE(bus.lossy());
+
+  bus.send(0, 1, 1);
+  bus.send(0, 1, 2);
+  bus.send(0, 1, 3);
+  EXPECT_EQ(bus.sent(), 3u);
+
+  s.run_until(sim::Cycles{3'000});  // bus latency: duplicate pair arrives
+  EXPECT_EQ(hits, 2);
+  s.run_until(sim::Cycles{9'999});
+  EXPECT_EQ(hits, 2);  // delayed copy still in flight
+  s.run_all();
+  EXPECT_EQ(hits, 3);
+
+  EXPECT_EQ(bus.delivered(), 3u);
+  EXPECT_EQ(bus.dropped(), 1u);
+  EXPECT_EQ(bus.duplicated(), 1u);
+  EXPECT_EQ(bus.delayed(), 1u);
+
+  bus.set_fault_plan(nullptr);
+  EXPECT_FALSE(bus.lossy());
+}
+
+// --- hypercall argument hardening -------------------------------------------
+
+TEST(HypercallHardening, GarbageVcrdOpIsRejectedAndCounted) {
+  sim::Simulator s;
+  core::AdaptiveScheduler hv(s, hw::MachineConfig{},
+                             vmm::SchedMode::kNonWorkConserving);
+  const vmm::VmId id = hv.create_vm("V0", 256, 2);
+  hv.start();
+
+  // Invalid VM id: out of range by one and by a lot.
+  hv.do_vcrd_op(id + 1, vmm::Vcrd::kHigh);
+  hv.do_vcrd_op(9999, vmm::Vcrd::kLow);
+  // Valid VM id, garbage enum bit pattern.
+  hv.do_vcrd_op(id, static_cast<vmm::Vcrd>(0x7F));
+  s.run_until(ms(5));  // run_all never drains: pcpu ticks re-arm forever
+
+  EXPECT_EQ(hv.hypercall_rejects(), 3u);
+  EXPECT_EQ(hv.vm(id).vcrd, vmm::Vcrd::kLow) << "garbage must not mutate";
+
+  // A well-formed call still works after the rejects.
+  hv.do_vcrd_op(id, vmm::Vcrd::kHigh);
+  EXPECT_EQ(hv.vm(id).vcrd, vmm::Vcrd::kHigh);
+  EXPECT_EQ(hv.hypercall_rejects(), 3u);
+}
+
+TEST(HypercallHardening, BlockAndKickBoundsChecked) {
+  sim::Simulator s;
+  core::AdaptiveScheduler hv(s, hw::MachineConfig{},
+                             vmm::SchedMode::kNonWorkConserving);
+  const vmm::VmId id = hv.create_vm("V0", 256, 2);
+  hv.start();
+
+  hv.vcpu_block(id + 3, 0);  // bad VM
+  hv.vcpu_block(id, 17);     // bad VCPU index
+  hv.vcpu_kick(id + 3, 0);
+  hv.vcpu_kick(id, 17);
+  s.run_until(ms(5));
+  EXPECT_EQ(hv.hypercall_rejects(), 4u);
+}
+
+TEST(HypercallHardening, CrashedVcpuIgnoresKicks) {
+  sim::Simulator s;
+  core::AdaptiveScheduler hv(s, hw::MachineConfig{},
+                             vmm::SchedMode::kNonWorkConserving);
+  const vmm::VmId id = hv.create_vm("V0", 256, 2);
+  hv.start();
+  s.run_until(ms(5));
+
+  hv.fault_crash_vcpu(id, 1);
+  EXPECT_EQ(hv.vm(id).vcpus[1].state, vmm::VcpuState::kBlocked);
+  hv.vcpu_kick(id, 1);
+  hv.vcpu_kick(id, 1);
+  s.run_until(ms(10));
+  EXPECT_EQ(hv.vm(id).vcpus[1].state, vmm::VcpuState::kBlocked);
+  EXPECT_EQ(hv.ignored_kicks(), 2u);
+  // Idempotent: a second crash changes nothing.
+  hv.fault_crash_vcpu(id, 1);
+  EXPECT_EQ(hv.vm(id).vcpus[1].state, vmm::VcpuState::kBlocked);
+}
+
+// --- fault-injected determinism ---------------------------------------------
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+/// Exact serialization including every fault/degradation counter, so
+/// equality is bit-equality of the entire observable run.
+std::string fault_fingerprint(const RunResult& rr) {
+  std::string fp;
+  append(fp, "sched=%s elapsed=%a events=%" PRIu64 "\n",
+         core::to_string(rr.scheduler), rr.elapsed_seconds, rr.events);
+  append(fp, "mig=%" PRIu64 " cosched=%" PRIu64 " ipi=%" PRIu64
+             " ctx=%" PRIu64 " idle=%a\n",
+         rr.migrations, rr.cosched_events, rr.ipi_sent, rr.context_switches,
+         rr.idle_fraction);
+  append(fp, "drop=%" PRIu64 " delay=%" PRIu64 " dup=%" PRIu64
+             " retry=%" PRIu64 " abort=%" PRIu64 " wdog=%" PRIu64 "\n",
+         rr.ipi_dropped, rr.ipi_delayed, rr.ipi_duplicated, rr.ipi_retries,
+         rr.gang_ipi_aborts, rr.gang_watchdog_fires);
+  append(fp, "demote=%" PRIu64 " stale=%" PRIu64 " rej=%" PRIu64
+             " ignk=%" PRIu64 " evac=%" PRIu64 " offl=%" PRIu64 "\n",
+         rr.vcrd_demotions, rr.stale_vcrd_drops, rr.hypercall_rejects,
+         rr.ignored_kicks, rr.evacuated_vcpus, rr.pcpu_offline_events);
+  append(fp, "flap=%" PRIu64 " corrupt=%" PRIu64 " silenced=%" PRIu64 "\n",
+         rr.injected_flaps, rr.injected_corrupt_ops, rr.silenced_reports);
+  for (const VmResult& v : rr.vms)
+    append(fp, "%s rt=%a online=%a vcrd=%" PRIu64 " high=%a work=%" PRIu64
+               " dem=%" PRIu64 " deg=%d\n",
+           v.name.c_str(), v.runtime_seconds, v.observed_online_rate,
+           v.vcrd_transitions, v.vcrd_high_fraction, v.work_units,
+           v.demotions, v.degraded ? 1 : 0);
+  return fp;
+}
+
+TEST(FaultDeterminism, SameSeedSamePlanBitIdentical) {
+  for (const core::SchedulerKind sched :
+       {core::SchedulerKind::kCredit, core::SchedulerKind::kCon,
+        core::SchedulerKind::kAsman}) {
+    const Scenario sc =
+        chaos_scenario(sched, ChaosClass::kEverything, 42);
+    const std::string a = fault_fingerprint(run_scenario(sc));
+    const std::string b = fault_fingerprint(run_scenario(sc));
+    EXPECT_GT(a.size(), 0u);
+    EXPECT_EQ(a, b) << core::to_string(sched)
+                    << " chaos run is nondeterministic";
+  }
+}
+
+TEST(FaultDeterminism, DifferentInjectorSeedsDiverge) {
+  Scenario a = chaos_scenario(core::SchedulerKind::kAsman,
+                              ChaosClass::kEverything, 42);
+  Scenario b = a;
+  b.faults.seed ^= 0xDEADBEEFULL;  // same workload seed, new fault draws
+  EXPECT_NE(fault_fingerprint(run_scenario(a)),
+            fault_fingerprint(run_scenario(b)));
+}
+
+TEST(FaultDeterminism, EmptyPlanMatchesNoPlan) {
+  // A default-constructed FaultPlan must leave the run untouched: the
+  // injector is not even created, so results equal a plain scenario's.
+  Scenario plain = chaos_scenario(core::SchedulerKind::kAsman,
+                                  ChaosClass::kEverything, 7);
+  plain.faults = faults::FaultPlan{};
+  plain.resilience = vmm::ResilienceConfig{};
+  ASSERT_TRUE(plain.faults.empty());
+  const std::string a = fault_fingerprint(run_scenario(plain));
+  const std::string b = fault_fingerprint(run_scenario(plain));
+  EXPECT_EQ(a, b);
+  const RunResult rr = run_scenario(plain);
+  EXPECT_EQ(rr.ipi_dropped, 0u);
+  EXPECT_EQ(rr.vcrd_demotions + rr.stale_vcrd_drops, 0u);
+  EXPECT_EQ(rr.hypercall_rejects, 0u);
+}
+
+}  // namespace
+}  // namespace asman::experiments

@@ -53,6 +53,8 @@ TEST(IpiBus, DeliversAfterLatency) {
 }
 
 TEST(IpiBus, MissingHandlerIsCountedButHarmless) {
+  // A send whose target has no handler installed is accounted as dropped,
+  // never delivered: `delivered` means "a handler ran".
   sim::Simulator s;
   MachineConfig m;
   m.num_pcpus = 2;
@@ -60,7 +62,21 @@ TEST(IpiBus, MissingHandlerIsCountedButHarmless) {
   bus.send(1, 0, 7);
   s.run_all();
   EXPECT_EQ(bus.sent(), 1u);
-  EXPECT_EQ(bus.delivered(), 1u);
+  EXPECT_EQ(bus.delivered(), 0u);
+  EXPECT_EQ(bus.dropped(), 1u);
+}
+
+TEST(IpiBus, OutOfRangeTargetIsDroppedNotDereferenced) {
+  sim::Simulator s;
+  MachineConfig m;
+  m.num_pcpus = 2;
+  IpiBus bus(s, m);
+  bus.send(0, 5, 7);   // beyond the machine
+  bus.send(0, 2, 7);   // one past the end
+  s.run_all();
+  EXPECT_EQ(bus.sent(), 2u);
+  EXPECT_EQ(bus.delivered(), 0u);
+  EXPECT_EQ(bus.dropped(), 2u);
 }
 
 TEST(IpiBus, ManyInFlight) {
