@@ -1,0 +1,122 @@
+// Churn demo: runtime VM lifecycle churn end to end, in one run.
+//
+// Runs the churn scenario (the chaos base host plus an Elastic resize
+// target) under ASMan: hot creates arrive throughout the run, some depart
+// again, the Elastic VM is resized through 1-4 VCPUs, and the gang
+// candidate is destroyed mid-gang — all legal scheduling events, audited
+// live. Compose a fault class on top with --class, or run the
+// admission-saturated arrival storm with --saturated to watch the
+// controller reject tenants and the overload governor shed coscheduling.
+//
+// Shares its CLI shape with chaos_demo:
+//
+//   $ ./churn_demo [--class=NAME] [--vms=N] [--seed=N] [--list]
+//                  [--saturated]
+#include <cstdio>
+
+#include "demo_cli.h"
+#include "experiments/churn.h"
+#include "experiments/tables.h"
+
+using namespace asman;
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: churn_demo [--class=NAME] [--vms=N] [--seed=N] [--list]"
+    " [--saturated]\n"
+    "  --class=NAME  compose a chaos class onto the churn (default: none)\n"
+    "  --vms=N       hot arrivals over the run (default: 6)\n"
+    "  --seed=N      scenario seed (default: 42)\n"
+    "  --list        print the chaos classes and exit\n"
+    "  --saturated   run the admission-saturated arrival storm instead\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace ex = asman::experiments;
+
+  examples::DemoOptions opt;
+  if (!examples::parse_demo_args(argc, argv, opt, kUsage,
+                                 /*allow_saturated=*/true)) {
+    return 2;
+  }
+  if (opt.list) {
+    examples::print_chaos_classes();
+    return 0;
+  }
+
+  ex::Scenario sc;
+  const char* flavor = "fault-free";
+  if (opt.saturated) {
+    sc = ex::saturated_churn_scenario(core::SchedulerKind::kAsman, opt.seed);
+    flavor = "saturated";
+  } else {
+    ex::ChurnConfig cfg;
+    if (opt.vms > 0) cfg.arrivals = opt.vms;
+    if (!opt.chaos.empty()) {
+      ex::ChaosClass cls;
+      if (!examples::lookup_chaos_class(opt.chaos, cls)) {
+        std::fprintf(stderr, "unknown chaos class '%s'\n", opt.chaos.c_str());
+        examples::print_chaos_classes();
+        return 2;
+      }
+      sc = ex::churn_chaos_scenario(core::SchedulerKind::kAsman, cls,
+                                    opt.seed, cfg);
+      flavor = ex::to_string(cls);
+    } else {
+      sc = ex::churn_scenario(core::SchedulerKind::kAsman, opt.seed, cfg);
+    }
+  }
+  sc.audit = true;  // run with the runtime invariant auditor attached
+  const ex::RunResult r = ex::run_scenario(sc);
+
+  std::printf("churn run: ASMan, %s, seed %llu, %0.2f simulated seconds\n\n",
+              flavor, static_cast<unsigned long long>(opt.seed),
+              r.elapsed_seconds);
+
+  ex::TextTable lifecycle({"lifecycle event", "count"});
+  lifecycle.add_row({"hot creates", std::to_string(r.vm_creates)});
+  lifecycle.add_row({"destroys", std::to_string(r.vm_destroys)});
+  lifecycle.add_row({"resizes", std::to_string(r.vm_resizes)});
+  lifecycle.add_row({"admission rejects",
+                     std::to_string(r.admission_rejects)});
+  lifecycle.add_row({"overload sheds", std::to_string(r.overload_sheds)});
+  lifecycle.add_row({"overload restores",
+                     std::to_string(r.overload_restores)});
+  lifecycle.add_row({"hypercalls bounced off tombstones",
+                     std::to_string(r.hypercall_rejects)});
+  std::printf("%s\n", lifecycle.str().c_str());
+
+  // Every VM that ever existed reports under its stable VmId — destroyed
+  // tenants keep their row (runtime up to destruction, online rate over
+  // their lifetime) instead of vanishing from the result.
+  ex::TextTable vms({"id", "VM", "fate", "runtime (s)", "online rate",
+                     "work units"});
+  for (const ex::VmResult& v : r.vms) {
+    char rt[32];
+    std::snprintf(rt, sizeof rt, "%.3f", v.runtime_seconds);
+    vms.add_row({std::to_string(v.id), v.name,
+                 v.destroyed ? "destroyed" : "alive", rt,
+                 ex::fmt_pct(v.observed_online_rate),
+                 std::to_string(v.work_units)});
+  }
+  std::printf("%s\n", vms.str().c_str());
+
+  if (r.audit_checks > 0)
+    std::printf("auditor: %llu checks, %llu violation(s)\n%s",
+                static_cast<unsigned long long>(r.audit_checks),
+                static_cast<unsigned long long>(r.audit_violations),
+                r.audit_violations > 0 ? r.audit_summary.c_str() : "");
+
+  std::printf(
+      "\nEvery lifecycle operation above landed at a live scheduling "
+      "event:\n"
+      "new VMs were minted credits at the next accounting period without\n"
+      "touching existing shares, destroyed VMs were drained from every "
+      "run\n"
+      "queue (the mid-gang destruction aborted its gang cleanly), and "
+      "the\n"
+      "auditor's shadow state machine followed every transition.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared CLI shape for the chaos and churn demos:
+//
+//   --class=NAME   chaos class to inject (see --list)
+//   --vms=N        scenario size (chaos: total VMs; churn: hot arrivals)
+//   --seed=N       scenario seed (bit-reproducible per seed)
+//   --list         print the chaos classes and exit
+//
+// Both demos parse exactly this set so flags learned on one carry to the
+// other; churn_demo additionally accepts --saturated.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "experiments/chaos.h"
+
+namespace asman::examples {
+
+struct DemoOptions {
+  std::string chaos;       // empty = demo-specific default
+  std::uint32_t vms{0};    // 0 = demo-specific default
+  std::uint64_t seed{42};
+  bool list{false};
+  bool saturated{false};   // churn_demo only
+};
+
+inline void print_chaos_classes() {
+  std::printf("chaos classes:\n");
+  for (const experiments::ChaosClass c : experiments::all_chaos_classes())
+    std::printf("  %s\n", experiments::to_string(c));
+}
+
+inline bool lookup_chaos_class(const std::string& name,
+                               experiments::ChaosClass& out) {
+  for (const experiments::ChaosClass c : experiments::all_chaos_classes()) {
+    if (name == experiments::to_string(c)) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Returns false (after printing `usage` to stderr) on an unknown flag or
+/// malformed value. `allow_saturated` admits churn_demo's extra flag.
+inline bool parse_demo_args(int argc, char** argv, DemoOptions& opt,
+                            const char* usage, bool allow_saturated = false) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&a](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (a == "--list") {
+      opt.list = true;
+    } else if (allow_saturated && a == "--saturated") {
+      opt.saturated = true;
+    } else if (const char* v = value("--class=")) {
+      opt.chaos = v;
+    } else if (const char* n = value("--vms=")) {
+      opt.vms = static_cast<std::uint32_t>(std::strtoul(n, nullptr, 10));
+    } else if (const char* s = value("--seed=")) {
+      opt.seed = std::strtoull(s, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n%s", a.c_str(), usage);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace asman::examples

@@ -22,6 +22,8 @@ const char* state_name(vmm::VcpuState s) {
       return "Runnable";
     case vmm::VcpuState::kBlocked:
       return "Blocked";
+    case vmm::VcpuState::kDestroyed:
+      return "Destroyed";
   }
   return "?";
 }
@@ -147,7 +149,9 @@ void Auditor::on_state_change(vmm::VcpuKey k, vmm::VcpuState from,
       (from == vmm::VcpuState::kRunnable && to == vmm::VcpuState::kRunning) ||
       (from == vmm::VcpuState::kRunning && to == vmm::VcpuState::kRunnable) ||
       (from == vmm::VcpuState::kRunnable && to == vmm::VcpuState::kBlocked) ||
-      (from == vmm::VcpuState::kBlocked && to == vmm::VcpuState::kRunnable);
+      (from == vmm::VcpuState::kBlocked && to == vmm::VcpuState::kRunnable) ||
+      (from == vmm::VcpuState::kRunnable && to == vmm::VcpuState::kDestroyed) ||
+      (from == vmm::VcpuState::kBlocked && to == vmm::VcpuState::kDestroyed);
   if (!legal)
     flag(Invariant::kStateMachine, key_str(k) + " illegal transition " +
                                        state_name(from) + " -> " +
@@ -193,6 +197,37 @@ void Auditor::on_accounting(vmm::VmId id, std::int64_t minted) {
                " VCPUs)");
       return;
     }
+  }
+}
+
+void Auditor::on_vm_created(vmm::VmId id) {
+  ++report_.events;
+  observe_time();
+  // Extend the shadow with the new VM's rows before the kLifecycle scan
+  // compares them (its VCPUs are kRunnable and already queued).
+  while (shadow_.size() < hv_.num_vms()) {
+    const auto nid = static_cast<vmm::VmId>(shadow_.size());
+    const vmm::Vm& v = hv_.vm(nid);
+    std::vector<vmm::VcpuState> row;
+    row.reserve(v.num_vcpus());
+    for (const vmm::Vcpu& c : v.vcpus) row.push_back(c.state);
+    shadow_.push_back(std::move(row));
+  }
+  (void)id;
+}
+
+void Auditor::on_vm_resized(vmm::VmId id) {
+  ++report_.events;
+  observe_time();
+  if (id >= shadow_.size()) return;
+  const vmm::Vm& v = hv_.vm(id);
+  std::vector<vmm::VcpuState>& row = shadow_[id];
+  if (v.num_vcpus() < row.size()) {
+    // Shrink: the drained records' ->Destroyed transitions already advanced
+    // the shadow; just drop the tails with them.
+    row.resize(v.num_vcpus());
+  } else {
+    while (row.size() < v.num_vcpus()) row.push_back(v.vcpus[row.size()].state);
   }
 }
 

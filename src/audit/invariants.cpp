@@ -118,6 +118,14 @@ std::uint64_t check_queue_partition(const vmm::Hypervisor& hv,
                      std::to_string(q) + ", running " + std::to_string(r) +
                      ")"});
           break;
+        case vmm::VcpuState::kDestroyed:
+          if (q != 0 || r != 0)
+            out.push_back(
+                {Invariant::kQueuePartition,
+                 key_str(c.key) + " destroyed but still referenced (queued " +
+                     std::to_string(q) + ", running " + std::to_string(r) +
+                     ")"});
+          break;
       }
     }
   }

@@ -12,7 +12,8 @@ namespace {
 Cycles ms(std::uint64_t n) { return sim::kDefaultClock.from_ms(n); }
 Cycles us(std::uint64_t n) { return sim::kDefaultClock.from_us(n); }
 
-Scenario chaos_base(core::SchedulerKind sched, std::uint64_t seed) {
+Scenario chaos_base(core::SchedulerKind sched, std::uint64_t seed,
+                    std::uint32_t n_vms) {
   Scenario sc;
   sc.machine.num_pcpus = 4;
   sc.scheduler = sched;
@@ -46,6 +47,20 @@ Scenario chaos_base(core::SchedulerKind sched, std::uint64_t seed) {
     return std::make_unique<workloads::CpuHogWorkload>(2, us(200), s);
   };
   sc.vms.push_back(std::move(hog));
+
+  // Fleet sizing beyond the 3-VM base: extra 1-VCPU background hogs with
+  // small weights, so big fleets stress bookkeeping without drowning the
+  // gang candidate.
+  for (std::uint32_t i = 3; i < n_vms; ++i) {
+    VmSpec extra;
+    extra.name = "Hog" + std::to_string(i - 2);
+    extra.weight = 64;
+    extra.vcpus = 1;
+    extra.workload = [](sim::Simulator&, std::uint64_t s) {
+      return std::make_unique<workloads::CpuHogWorkload>(1, us(200), s);
+    };
+    sc.vms.push_back(std::move(extra));
+  }
   return sc;
 }
 
@@ -144,10 +159,12 @@ const std::vector<ChaosClass>& all_chaos_classes() {
   return kAll;
 }
 
-Scenario chaos_scenario(core::SchedulerKind sched, ChaosClass c,
-                        std::uint64_t seed) {
-  Scenario sc = chaos_base(sched, seed);
-  sc.faults.seed = seed ^ 0xC4A05ULL;
+Scenario chaos_base_scenario(core::SchedulerKind sched, std::uint64_t seed,
+                             std::uint32_t n_vms) {
+  return chaos_base(sched, seed, n_vms);
+}
+
+void apply_chaos(Scenario& sc, ChaosClass c) {
   switch (c) {
     case ChaosClass::kIpiLoss:
       add_ipi_loss(sc);
@@ -184,6 +201,13 @@ Scenario chaos_scenario(core::SchedulerKind sched, ChaosClass c,
       add_vcpu_crash(sc);
       break;
   }
+}
+
+Scenario chaos_scenario(core::SchedulerKind sched, ChaosClass c,
+                        std::uint64_t seed, std::uint32_t n_vms) {
+  Scenario sc = chaos_base(sched, seed, n_vms);
+  sc.faults.seed = seed ^ 0xC4A05ULL;
+  apply_chaos(sc, c);
   return sc;
 }
 

@@ -30,10 +30,24 @@ enum class ChaosClass : std::uint8_t {
 const char* to_string(ChaosClass c);
 const std::vector<ChaosClass>& all_chaos_classes();
 
+/// The fault-free consolidated-host base every chaos (and churn) scenario
+/// shares: an idle Dom0, the 4-VCPU gang candidate as VM 1, and background
+/// hogs. `n_vms` as in chaos_scenario.
+Scenario chaos_base_scenario(core::SchedulerKind sched, std::uint64_t seed = 1,
+                             std::uint32_t n_vms = 3);
+
+/// Overlay the fault plan (and any resilience knobs) of one chaos class
+/// onto an existing scenario whose VM layout matches the chaos base (VM 1
+/// is the gang candidate). Leaves sc.faults.seed alone — the caller owns
+/// the seeding. This is how churn scenarios compose with chaos.
+void apply_chaos(Scenario& sc, ChaosClass c);
+
 /// Build the chaos scenario for one scheduler and fault class. The seed
 /// feeds both the workload and the injector streams, so the same
-/// (scheduler, class, seed) triple reproduces bit-identically.
+/// (scheduler, class, seed) triple reproduces bit-identically. `n_vms`
+/// sizes the fleet (minimum 3: Dom0, the gang candidate, and a hog; every
+/// extra VM is a 1-VCPU background hog).
 Scenario chaos_scenario(core::SchedulerKind sched, ChaosClass c,
-                        std::uint64_t seed = 1);
+                        std::uint64_t seed = 1, std::uint32_t n_vms = 3);
 
 }  // namespace asman::experiments

@@ -1,0 +1,107 @@
+#include "experiments/churn.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "simcore/rng.h"
+#include "workloads/synthetic.h"
+
+namespace asman::experiments {
+
+namespace {
+
+Cycles ms(std::uint64_t n) { return sim::kDefaultClock.from_ms(n); }
+Cycles us(std::uint64_t n) { return sim::kDefaultClock.from_us(n); }
+
+/// Append the Elastic resize target and the scripted lifecycle schedule.
+/// All times are drawn here, up front, from a stream keyed off the
+/// scenario seed — the schedule itself is part of the scenario value, so
+/// two runs of the same scenario are bit-identical.
+void add_churn(Scenario& sc, std::uint64_t seed, const ChurnConfig& cfg) {
+  sc.admission = cfg.admission;
+
+  VmSpec elastic;
+  elastic.name = "Elastic";
+  elastic.weight = 128;
+  elastic.vcpus = 1;  // idle guest: tolerates any hot VCPU count
+  sc.vms.push_back(std::move(elastic));
+
+  sim::SplitMix64 gen(seed ^ 0x0C11A05ULL);
+
+  for (std::uint32_t i = 0; i < cfg.arrivals; ++i) {
+    ChurnEvent ev;
+    ev.kind = ChurnEvent::Kind::kCreate;
+    ev.at = ms(200 + gen.next() % 1'300);
+    ev.spec.name = "Churn" + std::to_string(i + 1);
+    ev.spec.weight = (i % 2 == 0) ? 64 : 128;
+    ev.spec.vcpus = 1 + static_cast<std::uint32_t>(gen.next() % 2);
+    if (i % 2 == 0) {
+      const std::uint32_t threads = ev.spec.vcpus;
+      ev.spec.workload = [threads](sim::Simulator&, std::uint64_t s) {
+        return std::make_unique<workloads::CpuHogWorkload>(threads, us(200),
+                                                           s);
+      };
+    }
+    const Cycles arrived = ev.at;
+    sc.churn.push_back(std::move(ev));
+    if (i < cfg.departures) {
+      ChurnEvent dep;
+      dep.kind = ChurnEvent::Kind::kDestroy;
+      dep.target = "Churn" + std::to_string(i + 1);
+      dep.at = arrived + ms(300 + gen.next() % 200);
+      sc.churn.push_back(std::move(dep));
+    }
+  }
+
+  for (std::uint32_t i = 0; i < cfg.resizes; ++i) {
+    ChurnEvent rz;
+    rz.kind = ChurnEvent::Kind::kResize;
+    rz.target = "Elastic";
+    rz.at = ms(250 + gen.next() % 1'500);
+    rz.new_vcpus = 1 + static_cast<std::uint32_t>(gen.next() % 4);
+    sc.churn.push_back(std::move(rz));
+  }
+
+  if (cfg.destroy_gang) {
+    ChurnEvent gone;
+    gone.kind = ChurnEvent::Kind::kDestroy;
+    gone.target = "Gang";
+    gone.at = ms(1'000);
+    sc.churn.push_back(std::move(gone));
+  }
+}
+
+}  // namespace
+
+Scenario churn_scenario(core::SchedulerKind sched, std::uint64_t seed,
+                        const ChurnConfig& cfg) {
+  Scenario sc = chaos_base_scenario(sched, seed);
+  add_churn(sc, seed, cfg);
+  return sc;
+}
+
+Scenario churn_chaos_scenario(core::SchedulerKind sched, ChaosClass c,
+                              std::uint64_t seed, const ChurnConfig& cfg) {
+  Scenario sc = chaos_scenario(sched, c, seed);
+  add_churn(sc, seed, cfg);
+  return sc;
+}
+
+Scenario saturated_churn_scenario(core::SchedulerKind sched,
+                                  std::uint64_t seed) {
+  // Base load: Dom0 2.0 + Gang 4.0 + Hog 1.0 + Elastic 0.5 = 7.5 weighted
+  // VCPUs on 4 PCPUs (1.875 per PCPU). The 2.5 cap admits only a couple
+  // of weighted-VCPU units of churn, so a 12-arrival storm must see
+  // rejections; the governor sheds past 2.125 per PCPU and cannot restore
+  // (the fleet never shrinks back under 1.5 per PCPU).
+  ChurnConfig cfg;
+  cfg.arrivals = 12;
+  cfg.departures = 2;
+  cfg.resizes = 4;
+  cfg.destroy_gang = false;
+  cfg.admission.max_vcpus_per_pcpu = 2.5;
+  return churn_scenario(sched, seed, cfg);
+}
+
+}  // namespace asman::experiments

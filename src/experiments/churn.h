@@ -1,0 +1,51 @@
+// Churn scenarios: seeded runtime VM lifecycle storms for tests, the soak
+// harness and demos.
+//
+// A churn scenario extends the chaos base host (Dom0, the gang candidate
+// as VM 1, a hog) with an idle "Elastic" VM (the resize target) and a
+// pre-generated, seeded schedule of hot creates, destroys and resizes.
+// The whole schedule is drawn up front from its own SplitMix64 stream, so
+// the same (scheduler, seed, config) triple reproduces bit-identically —
+// and composing a chaos class on top (churn_chaos_scenario) keeps that
+// property, which is what the soak harness sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "experiments/chaos.h"
+#include "experiments/scenario.h"
+
+namespace asman::experiments {
+
+struct ChurnConfig {
+  /// Hot creates ("Churn1".."ChurnN"): alternating 1–2 VCPU hog and idle
+  /// tenants arriving throughout the run.
+  std::uint32_t arrivals{6};
+  /// How many of the arrivals are destroyed again before the horizon.
+  std::uint32_t departures{3};
+  /// resize_vm operations cycling the Elastic VM through 1–4 VCPUs.
+  std::uint32_t resizes{4};
+  /// Destroy the gang candidate mid-run (the mid-gang destruction path:
+  /// the gang aborts cleanly and later fault ops against it must bounce).
+  bool destroy_gang{true};
+  /// Admission/overload knobs for the run (default: admission disabled).
+  vmm::AdmissionConfig admission{};
+};
+
+/// Fault-free churn over the chaos base host.
+Scenario churn_scenario(core::SchedulerKind sched, std::uint64_t seed = 1,
+                        const ChurnConfig& cfg = {});
+
+/// Churn composed with one chaos fault class — the soak harness's unit of
+/// work. Same layout, so the class's fault plan targets the same VMs.
+Scenario churn_chaos_scenario(core::SchedulerKind sched, ChaosClass c,
+                              std::uint64_t seed = 1,
+                              const ChurnConfig& cfg = {});
+
+/// Churn against a capped host: enough arrivals to saturate the admission
+/// controller, so the run must show counted rejections (and typically an
+/// overload shed) while existing VMs' credit shares stay untouched.
+Scenario saturated_churn_scenario(core::SchedulerKind sched,
+                                  std::uint64_t seed = 1);
+
+}  // namespace asman::experiments

@@ -25,6 +25,12 @@ const VmResult& RunResult::vm(const std::string& name) const {
   throw std::out_of_range("no VM named " + name);
 }
 
+const VmResult& RunResult::vm_by_id(vmm::VmId id) const {
+  for (const auto& v : vms)
+    if (v.id == id) return v;
+  throw std::out_of_range("no VM with id " + std::to_string(id));
+}
+
 RunResult run_scenario(const Scenario& sc) {
   sim::Simulator simulation;
   const sim::ClockDomain clock = sc.machine.clock();
@@ -32,6 +38,7 @@ RunResult run_scenario(const Scenario& sc) {
   auto hv = core::make_scheduler(sc.scheduler, simulation, sc.machine, sc.mode);
   hv->set_cosched_strictness(sc.strictness);
   hv->set_resilience(sc.resilience);
+  hv->set_admission(sc.admission);
 
   // Attach the fault injector only when the plan names a fault: an empty
   // plan leaves no seam installed, so the run is bit-identical to builds
@@ -43,6 +50,7 @@ RunResult run_scenario(const Scenario& sc) {
 
   struct VmRuntime {
     vmm::VmId id{};
+    std::string name;
     std::unique_ptr<guest::GuestKernel> kernel;
     std::unique_ptr<guest::IdleGuest> idle;
     std::unique_ptr<core::MonitoringModule> monitor;
@@ -50,12 +58,21 @@ RunResult run_scenario(const Scenario& sc) {
     bool finite{false};
   };
   std::vector<VmRuntime> rts;
-  rts.reserve(sc.vms.size());
+  rts.reserve(sc.vms.size() + sc.churn.size());
 
   sim::SplitMix64 seeds(sc.seed);
-  for (const VmSpec& spec : sc.vms) {
+  // Instantiate one VM plus its guest stack, drawing any needed seeds from
+  // `sstream`. Boot-time VMs draw from the primary stream (in the exact
+  // order earlier builds did); hot-created VMs draw from a dedicated churn
+  // stream so adding churn never perturbs the boot-time VMs' workloads.
+  // Returns false when the admission controller rejects the create — the
+  // request then leaves nothing behind but the reject counter.
+  const auto instantiate = [&](const VmSpec& spec,
+                               sim::SplitMix64& sstream) -> bool {
     VmRuntime rt;
+    rt.name = spec.name;
     rt.id = hv->create_vm(spec.name, spec.weight, spec.vcpus, spec.type);
+    if (rt.id == vmm::kInvalidVmId) return false;
     // Guest-side components hypercall through the injector's port wrapper
     // (which silences VCRD reports when the plan says so) or straight into
     // the hypervisor.
@@ -68,32 +85,61 @@ RunResult run_scenario(const Scenario& sc) {
                                   ? injector->wrap_guest(rt.id, rt.idle.get())
                                   : rt.idle.get());
       rts.push_back(std::move(rt));
-      continue;
+      return true;
     }
     guest::GuestKernel::Config gc = spec.guest;
     gc.n_vcpus = spec.vcpus;
-    gc.seed = seeds.next();
+    gc.seed = sstream.next();
     gc.keep_wait_samples = sc.keep_wait_samples;
     gc.over_threshold = Cycles{1ULL << sc.monitor.delta_exp};
     rt.kernel = std::make_unique<guest::GuestKernel>(simulation, port, rt.id,
                                                      gc);
     if (spec.monitor && sc.scheduler == core::SchedulerKind::kAsman) {
       core::MonitorConfig mc = sc.monitor;
-      mc.learning.seed = seeds.next();
+      mc.learning.seed = sstream.next();
       rt.monitor = std::make_unique<core::MonitoringModule>(simulation, port,
                                                             rt.id, mc);
       rt.kernel->set_observer(rt.monitor.get());
     }
-    rt.workload = spec.workload(simulation, seeds.next());
+    rt.workload = spec.workload(simulation, sstream.next());
     rt.workload->deploy(*rt.kernel);
     rt.finite = rt.workload->finite();
     hv->attach_guest(rt.id, injector
                                 ? injector->wrap_guest(rt.id, rt.kernel.get())
                                 : rt.kernel.get());
     rts.push_back(std::move(rt));
-  }
+    return true;
+  };
+  for (const VmSpec& spec : sc.vms) instantiate(spec, seeds);
 
   if (injector) injector->arm();
+
+  // Schedule the scripted lifecycle events. Targets resolve by name at
+  // fire time (latest creation wins), so a list can destroy a VM that an
+  // earlier event created; a vanished target is a silent no-op, keeping
+  // churn lists composable with chaos plans that crash VMs.
+  sim::SplitMix64 churn_seeds(sc.seed ^ 0xC1124E5EEDULL);
+  const auto find_vm = [&rts](const std::string& name) -> VmRuntime* {
+    for (auto it = rts.rbegin(); it != rts.rend(); ++it)
+      if (it->name == name) return &*it;
+    return nullptr;
+  };
+  for (const ChurnEvent& ev : sc.churn) {
+    simulation.at(ev.at, [&, ev] {
+      switch (ev.kind) {
+        case ChurnEvent::Kind::kCreate:
+          instantiate(ev.spec, churn_seeds);
+          break;
+        case ChurnEvent::Kind::kDestroy:
+          if (VmRuntime* rt = find_vm(ev.target)) hv->destroy_vm(rt->id);
+          break;
+        case ChurnEvent::Kind::kResize:
+          if (VmRuntime* rt = find_vm(ev.target))
+            hv->resize_vm(rt->id, ev.new_vcpus);
+          break;
+      }
+    });
+  }
 
 #ifdef ASMAN_AUDIT_ENABLED
   // Attach after VM creation, before start(): the auditor snapshots the
@@ -108,11 +154,12 @@ RunResult run_scenario(const Scenario& sc) {
 
   hv->start();
 
-  const auto all_work_finished = [&rts, &sc]() -> bool {
+  const auto all_work_finished = [&rts, &sc, &hv]() -> bool {
     bool any = false;
     for (const auto& rt : rts) {
       if (!rt.workload) continue;
       if (!rt.finite) continue;  // throughput workloads run to the horizon
+      if (!hv->vm_alive(rt.id)) continue;  // destroyed mid-run by churn
       any = true;
       if (sc.stop_after_rounds > 0) {
         // Round-target protocol: stop once every round-tracking workload
@@ -157,6 +204,12 @@ RunResult run_scenario(const Scenario& sc) {
     rr.injected_corrupt_ops = injector->injected_corrupt_ops();
     rr.silenced_reports = injector->silenced_reports();
   }
+  rr.admission_rejects = hv->admission_rejects();
+  rr.vm_creates = hv->vm_creates();
+  rr.vm_destroys = hv->vm_destroys();
+  rr.vm_resizes = hv->vm_resizes();
+  rr.overload_sheds = hv->overload_sheds();
+  rr.overload_restores = hv->overload_restores();
   double idle = 0.0;
   for (hw::PcpuId p = 0; p < sc.machine.num_pcpus; ++p)
     idle += hv->pcpu_idle_total(p).ratio(elapsed);
@@ -174,22 +227,29 @@ RunResult run_scenario(const Scenario& sc) {
     const VmRuntime& rt = rts[i];
     const vmm::Vm& v = hv->vm(rt.id);
     VmResult res;
+    res.id = rt.id;
     res.name = v.name;
+    res.destroyed = !v.alive;
+    // A destroyed VM's tombstone record still carries its statistics; its
+    // measurement window closes at the destruction instant.
+    const Cycles window = v.alive ? elapsed : v.destroyed_at;
     if (rt.workload) res.workload_name = rt.workload->name();
     if (rt.kernel) {
       res.stats = rt.kernel->stats();
       res.finished = rt.finite && rt.kernel->all_threads_done();
       res.runtime_seconds = clock.to_seconds(
-          res.finished ? rt.kernel->last_finish_time() : elapsed);
+          res.finished ? rt.kernel->last_finish_time() : window);
+    } else if (!v.alive) {
+      res.runtime_seconds = clock.to_seconds(window);
     }
     const double denom =
-        static_cast<double>(v.num_vcpus()) * static_cast<double>(elapsed.v);
+        static_cast<double>(v.num_vcpus()) * static_cast<double>(window.v);
     res.observed_online_rate =
         denom > 0 ? static_cast<double>(v.total_online.v) / denom : 0.0;
     res.vcrd_transitions = v.vcrd_high_transitions;
     Cycles high = v.vcrd_high_time;
     if (v.vcrd == vmm::Vcrd::kHigh) high += elapsed - v.vcrd_high_since;
-    res.vcrd_high_fraction = high.ratio(elapsed);
+    res.vcrd_high_fraction = high.ratio(window);
     if (rt.workload) {
       res.work_units = rt.workload->work_units();
       const auto times = rt.workload->round_times();

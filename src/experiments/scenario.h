@@ -19,6 +19,7 @@
 #include "faults/fault_plan.h"
 #include "guest/guest_kernel.h"
 #include "hw/machine.h"
+#include "vmm/admission.h"
 #include "workloads/workload.h"
 
 namespace asman::experiments {
@@ -41,6 +42,23 @@ struct VmSpec {
   /// Attach a Monitoring Module (meaningful under the ASMan scheduler).
   bool monitor{true};
   guest::GuestKernel::Config guest{};
+};
+
+/// One scripted runtime lifecycle operation, applied at sim time `at`
+/// while the run is in flight. Creates go through the hypervisor's
+/// admission controller: a rejected create leaves only a counter behind
+/// (no VmResult entry). Targets are resolved by VM name at fire time, so
+/// a churn list can destroy a VM an earlier event created.
+struct ChurnEvent {
+  enum class Kind : std::uint8_t { kCreate, kDestroy, kResize };
+  Cycles at{0};
+  Kind kind{Kind::kCreate};
+  /// kCreate: the VM to hot-create (null workload = idle guest).
+  VmSpec spec{};
+  /// kDestroy / kResize: name of the target VM (boot-time or hot-created).
+  std::string target;
+  /// kResize: new VCPU count.
+  std::uint32_t new_vcpus{0};
 };
 
 struct Scenario {
@@ -71,11 +89,27 @@ struct Scenario {
   faults::FaultPlan faults{};
   /// Graceful-degradation knobs forwarded to the hypervisor.
   vmm::ResilienceConfig resilience{};
+  /// Admission-control / overload-governor knobs forwarded to the
+  /// hypervisor (default: admission disabled).
+  vmm::AdmissionConfig admission{};
+  /// Scripted runtime lifecycle events (hot create/destroy/resize). An
+  /// empty list leaves the run bit-identical to earlier builds. Workload
+  /// seeds for hot-created VMs come from a dedicated stream, so adding
+  /// churn never perturbs the boot-time VMs' seeds.
+  std::vector<ChurnEvent> churn;
 };
 
 struct VmResult {
+  /// Stable hypervisor id (docs/MODEL.md "VM lifecycle & admission"): ids
+  /// are dense creation-order indices and are never reused, so a result
+  /// keyed by id refers to the same VM across the whole run even after
+  /// the VM was destroyed mid-run.
+  vmm::VmId id{0};
   std::string name;
   std::string workload_name;
+  /// True when the VM was destroyed by a churn event before the horizon;
+  /// its stats cover [creation, destroyed_at].
+  bool destroyed{false};
   bool finished{false};
   double runtime_seconds{0};  // workload completion (finite) or horizon
   double observed_online_rate{0};
@@ -127,8 +161,17 @@ struct RunResult {
   std::uint64_t injected_flaps{0};
   std::uint64_t injected_corrupt_ops{0};
   std::uint64_t silenced_reports{0};
+  // Runtime lifecycle + admission counters (all zero without churn).
+  std::uint64_t admission_rejects{0};
+  std::uint64_t vm_creates{0};
+  std::uint64_t vm_destroys{0};
+  std::uint64_t vm_resizes{0};
+  std::uint64_t overload_sheds{0};
+  std::uint64_t overload_restores{0};
 
   const VmResult& vm(const std::string& name) const;
+  /// Lookup by stable hypervisor id (works for destroyed VMs too).
+  const VmResult& vm_by_id(vmm::VmId id) const;
 };
 
 RunResult run_scenario(const Scenario& sc);

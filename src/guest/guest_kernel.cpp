@@ -601,6 +601,13 @@ void GuestKernel::maybe_deliver_pending(std::uint32_t v) {
 // --- VMM callbacks -------------------------------------------------------------------
 
 void GuestKernel::vcpu_online(std::uint32_t v) {
+  if (v >= vcpus_.size()) {
+    // A VCPU hot-added past our configured width (resize_vm growth): this
+    // kernel has no runnable work for it, so park it (deferred — the VMM is
+    // mid-dispatch when this callback fires).
+    sim_.after(Cycles{1'000}, [this, v] { hv_.vcpu_block(vm_id_, v); });
+    return;
+  }
   VcpuCtx& c = vcpus_[v];
   assert(!c.online);
   c.online = true;
@@ -624,6 +631,7 @@ void GuestKernel::vcpu_online(std::uint32_t v) {
 }
 
 void GuestKernel::vcpu_offline(std::uint32_t v) {
+  if (v >= vcpus_.size()) return;  // hot-added VCPU we never tracked
   VcpuCtx& c = vcpus_[v];
   assert(c.online);
   c.online = false;

@@ -28,6 +28,7 @@ enum class AuditPoint : std::uint8_t {
   kIpi,              // coscheduling IPI handler done
   kHotplug,          // PCPU offline/online (incl. evacuation) done
   kFault,            // other fault-injection entry point (VCPU crash) done
+  kLifecycle,        // hot create_vm / destroy_vm / resize_vm done
 };
 
 const char* to_string(AuditPoint p);
@@ -41,13 +42,27 @@ class AuditSink {
 
   /// VCPU `k` legally moves `from` -> `to` exactly when the pair is one of
   /// Runnable->Running, Running->Runnable, Runnable->Blocked,
-  /// Blocked->Runnable (see VcpuState).
+  /// Blocked->Runnable, Runnable->Destroyed, Blocked->Destroyed (see
+  /// VcpuState; a running VCPU is first unmapped, so Running->Destroyed
+  /// never fires directly).
   virtual void on_state_change(VcpuKey k, VcpuState from, VcpuState to) = 0;
 
   /// Credit accounting granted `minted` milli-credits to `vm` this period
-  /// (0 for VMs outside the active set). Fired after the VM's credits were
-  /// rewritten but before the scheduler's on_accounting hook runs.
+  /// (0 for VMs outside the active set; dead VMs are skipped entirely).
+  /// Fired after the VM's credits were rewritten but before the
+  /// scheduler's on_accounting hook runs.
   virtual void on_accounting(VmId vm, std::int64_t minted) = 0;
+
+  /// A VM was hot-created (`vm` is its id; its VCPUs are kRunnable and
+  /// already queued). Fired before the kLifecycle sched event so sinks can
+  /// extend per-VM tracking structures first. Default: ignore.
+  virtual void on_vm_created(VmId vm) { (void)vm; }
+
+  /// A live VM's VCPU count changed via resize_vm. For growth the new
+  /// VCPUs are kRunnable and queued; for shrinkage the drained records are
+  /// already gone (their ->Destroyed transitions fired beforehand).
+  /// Default: ignore.
+  virtual void on_vm_resized(VmId vm) { (void)vm; }
 };
 
 }  // namespace asman::vmm

@@ -38,6 +38,8 @@ const char* to_string(AuditPoint p) {
       return "hotplug";
     case AuditPoint::kFault:
       return "fault";
+    case AuditPoint::kLifecycle:
+      return "lifecycle";
   }
   return "?";
 }
@@ -65,32 +67,10 @@ Hypervisor::Hypervisor(sim::Simulator& simulation,
   }
 }
 
-VmId Hypervisor::create_vm(std::string name, std::uint32_t weight,
-                           std::uint32_t n_vcpus, VmType type) {
-  assert(!started_ && "create VMs before start()");
-  assert(weight > 0 && n_vcpus > 0);
-  const VmId id = static_cast<VmId>(vms_.size());
-  auto v = std::make_unique<Vm>();
-  v->id = id;
-  v->name = std::move(name);
-  v->weight = weight;
-  v->type = type;
-  v->vcpus.resize(n_vcpus);
-  for (std::uint32_t i = 0; i < n_vcpus; ++i) {
-    Vcpu& c = v->vcpus[i];
-    c.key = VcpuKey{id, i};
-    c.state = VcpuState::kRunnable;
-    // Spread VCPUs round-robin over PCPUs, offset per VM so equally sized
-    // VMs do not all pile onto the low-numbered queues.
-    c.where = static_cast<PcpuId>((id + i) % machine_.num_pcpus);
-    pcpus_[c.where].runq.push(&c);
-  }
-  vms_.push_back(std::move(v));
-  return id;
-}
-
 void Hypervisor::attach_guest(VmId id, GuestPort* guest) {
-  assert(!started_);
+  // Legal before start() and right after a hot create_vm; never re-wire a
+  // tombstone (destroy_vm detached its guest for good).
+  assert(vm(id).alive);
   vm(id).guest = guest;
 }
 
@@ -106,7 +86,10 @@ void Hypervisor::start() {
     resilience_.flap_window = Cycles{slot_len_.v * 5};
   if (resilience_.demote_backoff.v == 0)
     resilience_.demote_backoff = Cycles{slot_len_.v * 12};
+  if (admission_.restore_backoff.v == 0)
+    admission_.restore_backoff = Cycles{slot_len_.v * 12};
   in_scheduler_ = true;
+  maybe_shed_overload();  // a boot-time fleet may already exceed the level
   do_accounting();
   for (PcpuId i = 0; i < machine_.num_pcpus; ++i)
     dispatch((dispatch_start_ + i) % machine_.num_pcpus);
@@ -124,8 +107,10 @@ void Hypervisor::start() {
 }
 
 double Hypervisor::weight_proportion(VmId id) const {
+  if (!vm(id).alive) return 0.0;
   std::uint64_t total = 0;
-  for (const auto& v : vms_) total += v->weight;
+  for (const auto& v : vms_)
+    if (v->alive) total += v->weight;
   return total == 0 ? 0.0
                     : static_cast<double>(vm(id).weight) /
                           static_cast<double>(total);
@@ -274,6 +259,7 @@ void Hypervisor::ipi_ack_check(VmId vm_id, std::uint32_t vidx,
                                std::uint32_t attempt, bool strong) {
   Vm& v = *vms_[vm_id];
   if (!cosched_eligible(v)) return;
+  if (vidx >= v.num_vcpus()) return;  // resized away while the ack was armed
   Vcpu& sib = v.vcpus[vidx];
   // Arrived (running or boosted) or moot (blocked/crashed): nothing to do.
   if (sib.state != VcpuState::kRunnable || sib.cosched_boost) return;
@@ -347,6 +333,10 @@ void Hypervisor::charge(Vcpu& v, Cycles elapsed) {
 
 void Hypervisor::do_accounting() {
   audit_event(AuditPoint::kAccountingBegin);
+  // Overload governor boundary: restore coscheduling (after the backoff,
+  // if load has fallen) before credit is assigned, so relocation hooks in
+  // on_accounting see the final eligibility for this period.
+  maybe_restore_overload();
   // Active set (work-conserving mode only, like Xen's csched_acct): credit
   // is divided among VMs that actually consumed CPU last period. Without
   // this, an idle VM's share is minted, capped away, and effectively
@@ -359,6 +349,10 @@ void Hypervisor::do_accounting() {
   std::vector<bool> active(vms_.size(), true);
   for (std::size_t i = 0; i < vms_.size(); ++i) {
     Vm& v = *vms_[i];
+    if (!v.alive) {  // tombstone: earns nothing, holds nothing
+      active[i] = false;
+      continue;
+    }
     degradation_tick(v);  // lift expired demotions, drop stale HIGH VCRDs
     if (mode_ == SchedMode::kWorkConserving && slots_elapsed() > 0) {
       // Active = wants to run (a queued-but-starved VM must keep earning,
@@ -377,6 +371,7 @@ void Hypervisor::do_accounting() {
   }
   if (total_weight == 0) {
     for (std::size_t i = 0; i < vms_.size(); ++i) {
+      if (!vms_[i]->alive) continue;
       active[i] = true;
       total_weight += vms_[i]->weight;
     }
@@ -392,6 +387,7 @@ void Hypervisor::do_accounting() {
                        kCreditPerSlot * machine_.slots_per_accounting;
   for (std::size_t i = 0; i < vms_.size(); ++i) {
     Vm& v = *vms_[i];
+    if (!v.alive) continue;
     const Credit inc =
         active[i]
             ? static_cast<Credit>((static_cast<__int128>(total) * v.weight) /
@@ -795,7 +791,8 @@ void Hypervisor::do_vcrd_op(VmId id, Vcrd vcrd) {
   // counted exactly once. A guest (or the fault injector impersonating
   // one) may pass any VmId / any enum bit pattern; garbage must bounce
   // without touching scheduler state.
-  if (id >= vms_.size() || (vcrd != Vcrd::kLow && vcrd != Vcrd::kHigh)) {
+  if (id >= vms_.size() || !vms_[id]->alive ||
+      (vcrd != Vcrd::kLow && vcrd != Vcrd::kHigh)) {
     ++hypercall_rejects_;
     note_trace(sim::TraceCat::kMonitor,
                "do_vcrd_op rejected (vm=" + std::to_string(id) + " vcrd=" +
@@ -825,7 +822,10 @@ void Hypervisor::do_vcrd_op(VmId id, Vcrd vcrd) {
 }
 
 void Hypervisor::vcpu_block(VmId id, std::uint32_t vidx) {
-  if (id >= vms_.size() || vidx >= vm(id).vcpus.size()) {
+  // A destroyed VM's guest may still have in-flight events; its hypercalls
+  // bounce here (counted) and the tombstone stays untouched.
+  if (id >= vms_.size() || !vms_[id]->alive ||
+      vidx >= vm(id).vcpus.size()) {
     ++hypercall_rejects_;
     return;
   }
@@ -836,6 +836,7 @@ void Hypervisor::vcpu_block(VmId id, std::uint32_t vidx) {
   Vcpu& v = vm(id).vcpus[vidx];
   switch (v.state) {
     case VcpuState::kBlocked:
+    case VcpuState::kDestroyed:  // unreachable: alive-guarded above
       return;
     case VcpuState::kRunning: {
       const PcpuId p = v.where;
@@ -865,7 +866,8 @@ void Hypervisor::vcpu_block(VmId id, std::uint32_t vidx) {
 }
 
 void Hypervisor::vcpu_kick(VmId id, std::uint32_t vidx) {
-  if (id >= vms_.size() || vidx >= vm(id).vcpus.size()) {
+  if (id >= vms_.size() || !vms_[id]->alive ||
+      vidx >= vm(id).vcpus.size()) {
     ++hypercall_rejects_;
     return;
   }
@@ -967,6 +969,9 @@ void Hypervisor::fault_pcpu_offline(PcpuId p) {
   }
   pc.online = false;
   --online_pcpus_;
+  // Fewer online PCPUs means a higher weighted load per PCPU; the overload
+  // governor may need to shed coscheduling before the evacuation lands.
+  maybe_shed_overload();
   // Evacuate the run queue onto online PCPUs, credit intact — credit is
   // per-VCPU state and travels with the record, so conservation holds.
   const std::vector<Vcpu*> evac = pc.runq.entries();
@@ -1001,6 +1006,9 @@ void Hypervisor::fault_pcpu_online(PcpuId p) {
   ++online_pcpus_;
   note_trace(sim::TraceCat::kSched, "P" + std::to_string(p) + " online");
   in_scheduler_ = true;
+  // Load per online PCPU just fell; the governor may restore coscheduling
+  // (still gated by the shed backoff).
+  maybe_restore_overload();
   // Gangs that were infeasible while this PCPU was down were evacuated onto
   // shared homes; now that they fit again, spread them back out before any
   // launch (or audit pass) sees a double-booked PCPU.
@@ -1014,7 +1022,8 @@ void Hypervisor::fault_pcpu_online(PcpuId p) {
 }
 
 void Hypervisor::fault_crash_vcpu(VmId vm_id, std::uint32_t vidx) {
-  if (vm_id >= vms_.size() || vidx >= vm(vm_id).vcpus.size()) return;
+  if (vm_id >= vms_.size() || !vms_[vm_id]->alive ||
+      vidx >= vm(vm_id).vcpus.size()) return;
   Vm& owner = vm(vm_id);
   Vcpu& v = owner.vcpus[vidx];
   if (v.crashed) return;
@@ -1054,6 +1063,7 @@ void Hypervisor::fault_crash_vcpu(VmId vm_id, std::uint32_t vidx) {
       break;
     }
     case VcpuState::kBlocked:
+    case VcpuState::kDestroyed:  // unreachable: alive-guarded above
       break;  // already blocked; the crashed flag pins it there
   }
   in_scheduler_ = false;

@@ -26,6 +26,7 @@
 #include "hw/ipi.h"
 #include "hw/machine.h"
 #include "simcore/rng.h"
+#include "vmm/admission.h"
 #include "simcore/simulator.h"
 #include "simcore/trace.h"
 #include "vmm/audit_sink.h"
@@ -83,12 +84,35 @@ class Hypervisor : public HypervisorPort {
   Hypervisor& operator=(const Hypervisor&) = delete;
 
   /// Create a VM with `n_vcpus` VCPUs and a proportional-share `weight`.
-  /// VCPUs start runnable, spread round-robin across PCPU run queues.
+  /// VCPUs start runnable, spread round-robin across (online) PCPU run
+  /// queues. Legal before start() *and* at any scheduling event afterwards:
+  /// a hot-created VM starts with zero credit and is minted its share at
+  /// the next accounting period, so existing VMs' credits are untouched.
+  /// Returns kInvalidVmId when the admission controller rejects the
+  /// request (counted in admission_rejects()).
   VmId create_vm(std::string name, std::uint32_t weight, std::uint32_t n_vcpus,
                  VmType type = VmType::kGeneral);
 
+  /// Destroy a live VM at any scheduling event: boosts and watchdogs are
+  /// cancelled, running VCPUs are unmapped (burn/charge as usual), queued
+  /// ones are drained from their run queues, and every record becomes a
+  /// kDestroyed tombstone (statistics stay readable under the same id —
+  /// ids are never reused). A mid-gang destruction aborts the gang cleanly;
+  /// the freed PCPUs re-dispatch immediately. Residual credit leaves with
+  /// the VM. Returns false for an unknown or already-dead id.
+  bool destroy_vm(VmId vm);
+
+  /// Resize a live VM's VCPU count at any scheduling event. Growth admits
+  /// the extra VCPUs through the admission controller (false + counted
+  /// reject on saturation) and enqueues them runnable with zero credit;
+  /// shrinkage drains the top indices (gang survivors are re-spread onto
+  /// pairwise-distinct PCPUs when coscheduled). Returns false for an
+  /// unknown/dead id, n_vcpus == 0, or an admission reject.
+  bool resize_vm(VmId vm, std::uint32_t n_vcpus);
+
   /// Attach the guest kernel that will receive online/offline callbacks.
-  /// Must be called before start().
+  /// Call before start() for boot-time VMs, or right after a hot
+  /// create_vm before the next scheduling event dispatches the new VCPUs.
   void attach_guest(VmId vm, GuestPort* guest);
 
   /// Arm the periodic slot tick; performs the initial credit assignment and
@@ -107,6 +131,11 @@ class Hypervisor : public HypervisorPort {
   /// Replace the graceful-degradation knobs. Set before start().
   void set_resilience(const ResilienceConfig& r) { resilience_ = r; }
   const ResilienceConfig& resilience() const { return resilience_; }
+
+  /// Replace the admission-control / overload-governor knobs. Set before
+  /// start() (zero-valued restore_backoff is derived there).
+  void set_admission(const AdmissionConfig& a) { admission_ = a; }
+  const AdmissionConfig& admission() const { return admission_; }
 
   // --- fault-injection surface (src/faults/) --------------------------------
   // These entry points model substrate faults; production scheduling never
@@ -145,6 +174,14 @@ class Hypervisor : public HypervisorPort {
   std::size_t num_vms() const { return vms_.size(); }
   Vm& vm(VmId id) { return *vms_[id]; }
   const Vm& vm(VmId id) const { return *vms_[id]; }
+  /// False for destroyed (tombstone) VMs and out-of-range ids.
+  bool vm_alive(VmId id) const { return id < vms_.size() && vms_[id]->alive; }
+  /// Live VMs right now (tombstones excluded).
+  std::size_t num_live_vms() const;
+  /// Current weighted VCPU load per online PCPU: sum over live VMs of
+  /// num_vcpus x (weight / kReferenceWeight), divided by online PCPUs
+  /// (the admission controller's saturation metric).
+  double weighted_vcpu_load() const;
   /// Weight proportion omega(Vi) per Equation (1).
   double weight_proportion(VmId id) const;
   /// Expected VCPU online rate per Equation (2) (may exceed 1 for
@@ -194,6 +231,17 @@ class Hypervisor : public HypervisorPort {
   hw::IpiBus& ipi_bus() { return ipi_; }
   std::uint64_t slots_elapsed() const { return pcpus_[0].ticks; }
 
+  // --- lifecycle / admission counters (RunResult surface) ---
+  std::uint64_t admission_rejects() const { return admission_rejects_; }
+  /// Hot lifecycle operations (post-start; boot-time create_vm not counted).
+  std::uint64_t vm_creates() const { return vm_creates_; }
+  std::uint64_t vm_destroys() const { return vm_destroys_; }
+  std::uint64_t vm_resizes() const { return vm_resizes_; }
+  std::uint64_t overload_sheds() const { return overload_sheds_; }
+  std::uint64_t overload_restores() const { return overload_restores_; }
+  /// True while the overload governor is shedding coscheduling.
+  bool overload_shed_active() const { return overload_shed_; }
+
   // --- degradation counters (RunResult surface) ---
   std::uint64_t ipi_retries() const { return ipi_retries_; }
   std::uint64_t gang_ipi_aborts() const { return gang_ipi_aborts_; }
@@ -212,12 +260,13 @@ class Hypervisor : public HypervisorPort {
     (void)v;
     return false;
   }
-  /// wants_cosched gated by graceful degradation: a demoted VM, or one
-  /// whose gang cannot fit the online PCPUs (hotplug), falls back to stock
-  /// credit treatment. Every dispatch-path decision uses this, never the
-  /// raw knob.
+  /// wants_cosched gated by graceful degradation and the overload
+  /// governor: a dead or demoted VM, one whose gang cannot fit the online
+  /// PCPUs (hotplug), or any gang while the host sheds overload, falls
+  /// back to stock credit treatment. Every dispatch-path decision uses
+  /// this, never the raw knob.
   bool cosched_eligible(const Vm& v) const {
-    return wants_cosched(v) && !v.degraded &&
+    return v.alive && wants_cosched(v) && !v.degraded && !overload_shed_ &&
            v.num_vcpus() <= online_pcpus_;
   }
   /// Hook invoked after the VCRD of `v` changed via do_vcrd_op.
@@ -314,6 +363,29 @@ class Hypervisor : public HypervisorPort {
   void gang_watchdog_fire(VmId id);
   bool degradation_armed() const { return faults_armed_ || ipi_.lossy(); }
 
+  // --- runtime lifecycle / admission (lifecycle.cpp) -------------------------
+  /// Weighted load the host would carry with `extra` more weighted VCPUs;
+  /// used by create_vm/resize_vm admission checks.
+  double prospective_load(double extra) const;
+  bool admission_enabled() const {
+    return admission_.max_vcpus_per_pcpu > 0.0;
+  }
+  /// Pick a home for a fresh VCPU: round-robin over online PCPUs, offset
+  /// like boot-time placement so sibling VCPUs spread out.
+  PcpuId place_new_vcpu(VmId id, std::uint32_t vidx) const;
+  /// Retire one VCPU record: cancel boosts, drain it from its queue (or
+  /// unmap it, burning/charging as usual), emit the audited ->Destroyed
+  /// transition. Appends the freed PCPU to `freed` when it was running.
+  void drain_vcpu(Vcpu& w, std::vector<PcpuId>& freed);
+  /// Re-dispatch `freed` plus any idle online PCPU (post-lifecycle-op).
+  void redispatch_freed(const std::vector<PcpuId>& freed);
+  /// Overload governor: shed coscheduling when load crosses the shed
+  /// threshold (called when load rises)...
+  void maybe_shed_overload();
+  /// ...and restore it after the backoff once load has fallen (called at
+  /// accounting boundaries and when load falls).
+  void maybe_restore_overload();
+
   // Audit notification helpers; compiled to nothing with ASMAN_AUDIT=OFF so
   // the hot paths carry no audit branches in benchmark builds.
 #ifdef ASMAN_AUDIT_ENABLED
@@ -326,10 +398,18 @@ class Hypervisor : public HypervisorPort {
   void audit_minted(VmId id, Credit inc) {
     if (audit_) audit_->on_accounting(id, inc);
   }
+  void audit_created(VmId id) {
+    if (audit_) audit_->on_vm_created(id);
+  }
+  void audit_resized(VmId id) {
+    if (audit_) audit_->on_vm_resized(id);
+  }
 #else
   void audit_event(AuditPoint) {}
   void audit_transition(VcpuKey, VcpuState, VcpuState) {}
   void audit_minted(VmId, Credit) {}
+  void audit_created(VmId) {}
+  void audit_resized(VmId) {}
 #endif
 
   hw::MachineConfig machine_;
@@ -357,6 +437,12 @@ class Hypervisor : public HypervisorPort {
   ResilienceConfig resilience_;
   bool faults_armed_{false};
 
+  AdmissionConfig admission_;
+  /// Overload governor state: while set, cosched_eligible is false for
+  /// every VM (gangs run under stock credit rules).
+  bool overload_shed_{false};
+  Cycles overload_until_{0};  // earliest restore after the last shed
+
   Credit credit_cap_;
   std::uint64_t migrations_{0};
   std::uint64_t strong_launches_{0};
@@ -371,6 +457,12 @@ class Hypervisor : public HypervisorPort {
   std::uint64_t pcpu_offline_events_{0};
   std::uint64_t hypercall_rejects_{0};
   std::uint64_t ignored_kicks_{0};
+  std::uint64_t admission_rejects_{0};
+  std::uint64_t vm_creates_{0};
+  std::uint64_t vm_destroys_{0};
+  std::uint64_t vm_resizes_{0};
+  std::uint64_t overload_sheds_{0};
+  std::uint64_t overload_restores_{0};
 };
 
 /// The stock Xen Credit scheduler: proportional share, load balancing, no

@@ -1,0 +1,328 @@
+// Runtime VM lifecycle: hot create/destroy/resize, the admission
+// controller, and the overload governor (docs/MODEL.md "VM lifecycle &
+// admission").
+//
+// Lifecycle operations are legal at any scheduling event. The rules that
+// keep every invariant intact:
+//
+//   * a hot-created VM starts with zero credit; its share is minted at the
+//     next accounting period, so existing VMs' credits are never touched,
+//   * a destroyed VM is marked dead *first* (no dispatch path re-picks
+//     it), then every VCPU is drained through the audited transition
+//     machinery into a kDestroyed tombstone — records and statistics stay
+//     behind, ids are never reused,
+//   * a mid-gang destruction aborts the gang cleanly (boosts + watchdog
+//     cancelled per member) and the freed PCPUs re-dispatch; a gang shrunk
+//     by resize_vm re-spreads its survivors onto pairwise-distinct PCPUs,
+//   * admission rejections leave no trace in scheduler state beyond the
+//     counter: the request simply never happened.
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "vmm/hypervisor.h"
+
+namespace asman::vmm {
+
+std::size_t Hypervisor::num_live_vms() const {
+  std::size_t n = 0;
+  for (const auto& v : vms_)
+    if (v->alive) ++n;
+  return n;
+}
+
+double Hypervisor::prospective_load(double extra) const {
+  double load = extra;
+  for (const auto& v : vms_)
+    if (v->alive)
+      load += static_cast<double>(v->num_vcpus()) *
+              (static_cast<double>(v->weight) / kReferenceWeight);
+  return online_pcpus_ == 0 ? load : load / online_pcpus_;
+}
+
+double Hypervisor::weighted_vcpu_load() const { return prospective_load(0.0); }
+
+PcpuId Hypervisor::place_new_vcpu(VmId id, std::uint32_t vidx) const {
+  // Round-robin offset per VM (same formula as boot-time placement, so
+  // fault-free pre-start runs stay bit-identical to earlier builds),
+  // advanced past hot-unplugged PCPUs.
+  const std::uint32_t n = machine_.num_pcpus;
+  auto p = static_cast<PcpuId>((id + vidx) % n);
+  for (std::uint32_t step = 0; step < n; ++step) {
+    if (pcpus_[p].online) return p;
+    p = static_cast<PcpuId>((p + 1) % n);
+  }
+  return p;  // unreachable: the last online PCPU refuses to die
+}
+
+VmId Hypervisor::create_vm(std::string name, std::uint32_t weight,
+                           std::uint32_t n_vcpus, VmType type) {
+  assert(weight > 0 && n_vcpus > 0);
+  if (admission_enabled()) {
+    const double extra =
+        static_cast<double>(n_vcpus) *
+        (static_cast<double>(weight) / kReferenceWeight);
+    const double load = prospective_load(extra);
+    if (load > admission_.max_vcpus_per_pcpu) {
+      ++admission_rejects_;
+      char buf[128];
+      std::snprintf(buf, sizeof buf,
+                    "admission reject: %s (+%u VCPUs would load %.2f/%.2f "
+                    "per PCPU)",
+                    name.c_str(), n_vcpus, load,
+                    admission_.max_vcpus_per_pcpu);
+      note_trace(sim::TraceCat::kSched, buf);
+      return kInvalidVmId;
+    }
+  }
+  const VmId id = static_cast<VmId>(vms_.size());
+  auto v = std::make_unique<Vm>();
+  v->id = id;
+  v->name = std::move(name);
+  v->weight = weight;
+  v->type = type;
+  v->vcpus.resize(n_vcpus);
+  for (std::uint32_t i = 0; i < n_vcpus; ++i) {
+    Vcpu& c = v->vcpus[i];
+    c.key = VcpuKey{id, i};
+    c.state = VcpuState::kRunnable;
+    // Spread VCPUs round-robin over (online) PCPUs, offset per VM so
+    // equally sized VMs do not all pile onto the low-numbered queues.
+    c.where = place_new_vcpu(id, i);
+    pcpus_[c.where].runq.push(&c);
+  }
+  vms_.push_back(std::move(v));
+  if (started_) {
+    ++vm_creates_;
+    note_trace(sim::TraceCat::kSched,
+               vm(id).name + " hot-created (" + std::to_string(n_vcpus) +
+                   " VCPUs, weight " + std::to_string(weight) + ")");
+    audit_created(id);
+    maybe_shed_overload();
+    // Let idle PCPUs pick the new VCPUs up right away — deferred one
+    // event so the caller can attach_guest first (go_online must find the
+    // guest port wired); busy PCPUs collect them at their next tick.
+    sim_.after(Cycles{0}, [this] {
+      in_scheduler_ = true;
+      for (PcpuId q = 0; q < machine_.num_pcpus; ++q)
+        if (pcpus_[q].online && pcpus_[q].current == nullptr) dispatch(q);
+      in_scheduler_ = false;
+    });
+    audit_event(AuditPoint::kLifecycle);
+  }
+  return id;
+}
+
+void Hypervisor::drain_vcpu(Vcpu& w, std::vector<PcpuId>& freed) {
+  if (w.cosched_clear_ev.valid()) {
+    sim_.cancel(w.cosched_clear_ev);
+    w.cosched_clear_ev = {};
+  }
+  w.cosched_boost = false;
+  w.cosched_weak = false;
+  w.wake_boost = false;
+  switch (w.state) {
+    case VcpuState::kRunning: {
+      // Burn/charge through the normal unmap path (the guest sees its
+      // offline callback), then tombstone from kRunnable.
+      const PcpuId p = w.where;
+      Vcpu* u = unmap_current(p);
+      u->state = VcpuState::kDestroyed;
+      audit_transition(u->key, VcpuState::kRunnable, VcpuState::kDestroyed);
+      freed.push_back(p);
+      break;
+    }
+    case VcpuState::kRunnable: {
+      const bool removed = pcpus_[w.where].runq.remove(&w);
+      assert(removed);
+      (void)removed;
+      w.state = VcpuState::kDestroyed;
+      audit_transition(w.key, VcpuState::kRunnable, VcpuState::kDestroyed);
+      break;
+    }
+    case VcpuState::kBlocked:
+      w.state = VcpuState::kDestroyed;
+      audit_transition(w.key, VcpuState::kBlocked, VcpuState::kDestroyed);
+      break;
+    case VcpuState::kDestroyed:
+      break;
+  }
+  // Residual credit leaves with the VCPU: a tombstone holds no stake in
+  // the next redistribution (the mint is split among live VMs only).
+  w.credit = 0;
+}
+
+void Hypervisor::redispatch_freed(const std::vector<PcpuId>& freed) {
+  for (const PcpuId p : freed) {
+    if (!pcpus_[p].online) continue;
+    if (pcpus_[p].current == nullptr) dispatch(p);
+    if (pcpus_[p].current == nullptr && !pcpus_[p].idle_marked) {
+      pcpus_[p].idle_marked = true;
+      pcpus_[p].idle_since = sim_.now();
+    }
+  }
+}
+
+bool Hypervisor::destroy_vm(VmId id) {
+  if (id >= vms_.size() || !vms_[id]->alive) return false;
+  Vm& v = *vms_[id];
+  // Dead first: from here on no dispatch, steal, IPI or hypercall path
+  // touches this VM (cosched_eligible and the hypercall guards all check
+  // `alive` before anything else).
+  v.alive = false;
+  v.destroyed_at = sim_.now();
+  ++vm_destroys_;
+  note_trace(sim::TraceCat::kSched, v.name + " destroyed");
+  const bool was = in_scheduler_;
+  in_scheduler_ = true;
+  if (v.watchdog_ev.valid()) {
+    sim_.cancel(v.watchdog_ev);
+    v.watchdog_ev = {};
+  }
+  if (v.vcrd == Vcrd::kHigh) {  // close the HIGH interval for statistics
+    v.vcrd_high_time += sim_.now() - v.vcrd_high_since;
+    v.vcrd = Vcrd::kLow;
+  }
+  // Mid-gang destruction aborts the gang cleanly: each member's boost is
+  // cancelled and it is drained through the audited transition paths —
+  // running members unmap (burn/charge as usual), queued members leave
+  // their run queues, blocked members tombstone in place.
+  std::vector<PcpuId> freed;
+  for (Vcpu& w : v.vcpus) drain_vcpu(w, freed);
+  v.guest = nullptr;  // after the drains, so offline callbacks reached it
+  redispatch_freed(freed);
+  maybe_restore_overload();  // load fell; the shed backoff still gates
+  in_scheduler_ = was;
+  audit_event(AuditPoint::kLifecycle);
+  return true;
+}
+
+bool Hypervisor::resize_vm(VmId id, std::uint32_t n_vcpus) {
+  if (id >= vms_.size() || n_vcpus == 0 || !vms_[id]->alive) return false;
+  Vm& v = *vms_[id];
+  const auto n_old = static_cast<std::uint32_t>(v.num_vcpus());
+  if (n_vcpus == n_old) return true;
+  const bool was = in_scheduler_;
+  if (n_vcpus > n_old) {
+    if (admission_enabled()) {
+      const double extra =
+          static_cast<double>(n_vcpus - n_old) *
+          (static_cast<double>(v.weight) / kReferenceWeight);
+      const double load = prospective_load(extra);
+      if (load > admission_.max_vcpus_per_pcpu) {
+        ++admission_rejects_;
+        char buf[128];
+        std::snprintf(buf, sizeof buf,
+                      "admission reject: resize %s to %u VCPUs (load "
+                      "%.2f/%.2f per PCPU)",
+                      v.name.c_str(), n_vcpus, load,
+                      admission_.max_vcpus_per_pcpu);
+        note_trace(sim::TraceCat::kSched, buf);
+        return false;
+      }
+    }
+    in_scheduler_ = true;
+    // Grow: fresh runnable VCPUs with zero credit (the VM's pool is
+    // re-split over the new count at the next accounting). Vm::vcpus is a
+    // deque, so push_back leaves references to siblings intact.
+    for (std::uint32_t i = n_old; i < n_vcpus; ++i) {
+      v.vcpus.emplace_back();
+      Vcpu& c = v.vcpus.back();
+      c.key = VcpuKey{id, i};
+      c.state = VcpuState::kRunnable;
+      c.where = place_new_vcpu(id, i);
+      pcpus_[c.where].runq.push(&c);
+    }
+    audit_resized(id);
+    maybe_shed_overload();
+    // A grown gang may now collide with itself; re-spread before launch.
+    if (cosched_eligible(v) && gang_homes_collide(v)) relocate_vm(v);
+    if (started_)
+      sim_.after(Cycles{0}, [this] {
+        in_scheduler_ = true;
+        for (PcpuId q = 0; q < machine_.num_pcpus; ++q)
+          if (pcpus_[q].online && pcpus_[q].current == nullptr) dispatch(q);
+        in_scheduler_ = false;
+      });
+  } else {
+    in_scheduler_ = true;
+    // Shrink: drain the top indices through the audited paths, then pop
+    // the tombstones (lower indices keep their keys and queue slots).
+    std::vector<PcpuId> freed;
+    for (std::uint32_t i = n_old; i-- > n_vcpus;) {
+      drain_vcpu(v.vcpus[i], freed);
+      v.vcpus.pop_back();
+    }
+    audit_resized(id);
+    // Mid-gang shrink: survivors must hold pairwise-distinct PCPUs before
+    // the next launch (the drained members may have pinned shared homes).
+    if (cosched_eligible(v) && gang_homes_collide(v)) relocate_vm(v);
+    redispatch_freed(freed);
+    maybe_restore_overload();
+  }
+  ++vm_resizes_;
+  note_trace(sim::TraceCat::kSched,
+             v.name + " resized " + std::to_string(n_old) + " -> " +
+                 std::to_string(n_vcpus) + " VCPUs");
+  in_scheduler_ = was;
+  audit_event(AuditPoint::kLifecycle);
+  return true;
+}
+
+// --- overload governor -------------------------------------------------------
+
+void Hypervisor::maybe_shed_overload() {
+  if (!admission_enabled() || overload_shed_) return;
+  const double load = weighted_vcpu_load();
+  if (load <= admission_.shed_level * admission_.max_vcpus_per_pcpu) return;
+  overload_shed_ = true;
+  overload_until_ = sim_.now() + admission_.restore_backoff;
+  ++overload_sheds_;
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "overload shed: coscheduling off (load %.2f/%.2f per PCPU)",
+                load, admission_.max_vcpus_per_pcpu);
+  note_trace(sim::TraceCat::kMonitor, buf);
+  // Gangs that were eligible a moment ago still hold boosts and watchdogs;
+  // strip them so every PCPU re-picks under stock credit rules. Fairness
+  // is untouched — the members keep running as ordinary UNDER VCPUs.
+  const bool was = in_scheduler_;
+  in_scheduler_ = true;
+  for (auto& vp : vms_) {
+    Vm& v = *vp;
+    if (!v.alive) continue;
+    if (v.watchdog_ev.valid()) {
+      sim_.cancel(v.watchdog_ev);
+      v.watchdog_ev = {};
+    }
+    if (wants_cosched(v) && !v.degraded) co_stop(v);
+  }
+  in_scheduler_ = was;
+}
+
+void Hypervisor::maybe_restore_overload() {
+  if (!overload_shed_) return;
+  if (sim_.now() < overload_until_) return;
+  const double load = weighted_vcpu_load();
+  if (load > admission_.restore_level * admission_.max_vcpus_per_pcpu)
+    return;
+  overload_shed_ = false;
+  ++overload_restores_;
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "overload restored: coscheduling on (load %.2f/%.2f per "
+                "PCPU)",
+                load, admission_.max_vcpus_per_pcpu);
+  note_trace(sim::TraceCat::kMonitor, buf);
+  // While shed, gang members drifted onto shared homes under stock rules;
+  // regaining eligibility with a colliding placement would double-book a
+  // PCPU at the next launch.
+  for (auto& vp : vms_) {
+    Vm& v = *vp;
+    if (cosched_eligible(v) && gang_homes_collide(v)) relocate_vm(v);
+  }
+}
+
+}  // namespace asman::vmm

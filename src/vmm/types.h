@@ -14,7 +14,14 @@ using hw::PcpuId;
 
 /// Dense VM identifier (0 = administrator VM / Domain-0 by convention in
 /// the paper's scenarios, but the VMM itself assigns ids in creation order).
+/// Ids are never reused: a destroyed VM keeps its id as a tombstone so
+/// statistics collected under that id stay addressable (docs/MODEL.md
+/// "VM lifecycle & admission").
 using VmId = std::uint32_t;
+
+/// Returned by Hypervisor::create_vm when the admission controller
+/// rejects the request; never a valid VM id.
+inline constexpr VmId kInvalidVmId = 0xFFFFFFFFu;
 
 /// Identifies one virtual CPU inside one VM.
 struct VcpuKey {
@@ -43,9 +50,10 @@ enum class SchedMode : std::uint8_t { kNonWorkConserving, kWorkConserving };
 
 /// Where a VCPU currently is, from the scheduler's point of view.
 enum class VcpuState : std::uint8_t {
-  kRunning,   // mapped onto a PCPU right now (online)
-  kRunnable,  // waiting in some PCPU's run queue
-  kBlocked,   // halted by the guest (idle — no runnable guest work)
+  kRunning,    // mapped onto a PCPU right now (online)
+  kRunnable,   // waiting in some PCPU's run queue
+  kBlocked,    // halted by the guest (idle — no runnable guest work)
+  kDestroyed,  // drained by destroy_vm/resize_vm; terminal, never scheduled
 };
 
 /// Run-queue priority classes, highest first. kCosched is the temporarily

@@ -2,8 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
-#include <vector>
 
 #include "simcore/event_queue.h"
 #include "vmm/ports.h"
@@ -68,7 +68,17 @@ struct Vm {
   VmType type{VmType::kGeneral};
   Vcrd vcrd{Vcrd::kLow};
   GuestPort* guest{nullptr};
-  std::vector<Vcpu> vcpus;
+  /// Deque, not vector: run queues and PcpuRec::current hold raw Vcpu*
+  /// into this container, and hot resize_vm must be able to grow/shrink it
+  /// without invalidating references to the surviving elements.
+  std::deque<Vcpu> vcpus;
+
+  // -- runtime lifecycle --
+  /// Cleared by destroy_vm. A dead VM's VCPU records stay behind as
+  /// kDestroyed tombstones so per-VM statistics survive to collection;
+  /// every scheduling decision and hypercall checks this flag first.
+  bool alive{true};
+  Cycles destroyed_at{0};
 
   // -- graceful degradation --
   /// A degraded VM gets stock credit treatment (no gang scheduling, no

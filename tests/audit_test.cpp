@@ -215,6 +215,52 @@ TEST(Auditor, DetectsGangIncoherence) {
   EXPECT_GE(violations(r.auditor, Invariant::kGangCoherence), 1u);
 }
 
+TEST(Auditor, LifecycleChurnAuditsCleanAndExtendsTheShadow) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  // Hot lifecycle ops are legal scheduling events: destroy one boot VM,
+  // create another, resize it — the shadow state machine follows along.
+  ASSERT_TRUE(r.hv.destroy_vm(r.v1));
+  const VmId hot = r.hv.create_vm("Hot", 256, 2);
+  ASSERT_EQ(hot, 2u);
+  r.sim.run_until(seconds(0.2));
+  ASSERT_TRUE(r.hv.resize_vm(hot, 4));
+  r.sim.run_until(seconds(0.3));
+  ASSERT_TRUE(r.hv.resize_vm(hot, 1));
+  r.sim.run_until(seconds(0.4));
+  r.auditor.check_now();
+  EXPECT_TRUE(r.auditor.report().clean()) << r.auditor.report().summary();
+}
+
+TEST(Auditor, DetectsTombstoneResurrectedIntoARunQueue) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  ASSERT_TRUE(r.hv.destroy_vm(r.v1));
+  // Push a destroyed VCPU's record back onto a queue — the exact
+  // use-after-destroy bug class the partition invariant now covers.
+  Vcpu& ghost = r.hv.vm(r.v1).vcpus[0];
+  ASSERT_EQ(ghost.state, VcpuState::kDestroyed);
+  r.hv.mutable_runqueue(ghost.where).push(&ghost);
+  r.auditor.check_now();
+  EXPECT_GE(violations(r.auditor, Invariant::kQueuePartition), 1u);
+  ASSERT_TRUE(r.hv.mutable_runqueue(ghost.where).remove(&ghost));
+}
+
+TEST(Auditor, DetectsIllegalTransitionOutOfDestroyed) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  ASSERT_TRUE(r.hv.destroy_vm(r.v1));
+  // A tombstone is terminal; Running -> Destroyed is also never direct.
+  r.auditor.on_state_change(vmm::VcpuKey{r.v1, 0}, VcpuState::kDestroyed,
+                            VcpuState::kRunnable);
+  r.auditor.on_state_change(vmm::VcpuKey{r.v1, 1}, VcpuState::kRunning,
+                            VcpuState::kDestroyed);
+  EXPECT_GE(violations(r.auditor, Invariant::kStateMachine), 2u);
+}
+
 TEST(Auditor, DetectsNonMonotonicTime) {
   Rig r;
   sim::Cycles fake{1000};

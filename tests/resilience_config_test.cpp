@@ -1,0 +1,112 @@
+// ResilienceConfig (and AdmissionConfig) zero-value defaulting: a
+// zero-valued duration knob means "derive the documented default from the
+// machine at start()", independently per field, and a caller-supplied
+// non-zero value is never overridden. vcrd_ttl is the exception: zero
+// means disabled, not defaulted.
+#include <gtest/gtest.h>
+
+#include "core/schedulers.h"
+#include "simcore/simulator.h"
+#include "vmm/admission.h"
+#include "vmm/hypervisor.h"
+
+namespace asman::vmm {
+namespace {
+
+hw::MachineConfig small_machine(std::uint32_t pcpus) {
+  hw::MachineConfig m;
+  m.num_pcpus = pcpus;
+  return m;
+}
+
+/// Start a hypervisor with the given knobs and return the resolved config.
+ResilienceConfig resolved(const ResilienceConfig& r) {
+  sim::Simulator s;
+  core::AdaptiveScheduler hv(s, small_machine(2),
+                             SchedMode::kNonWorkConserving);
+  hv.set_resilience(r);
+  hv.create_vm("A", 256, 1);
+  hv.start();
+  return hv.resilience();
+}
+
+TEST(ResilienceDefaults, IpiAckTimeoutZeroDerivesEightBusLatencies) {
+  const hw::MachineConfig m = small_machine(2);
+  const ResilienceConfig got = resolved({});
+  EXPECT_EQ(got.ipi_ack_timeout.v, m.ipi_latency().v * 8);
+}
+
+TEST(ResilienceDefaults, GangWatchdogZeroDerivesTwoSlots) {
+  const hw::MachineConfig m = small_machine(2);
+  EXPECT_EQ(resolved({}).gang_watchdog.v, m.slot_cycles().v * 2);
+}
+
+TEST(ResilienceDefaults, FlapWindowZeroDerivesFiveSlots) {
+  const hw::MachineConfig m = small_machine(2);
+  EXPECT_EQ(resolved({}).flap_window.v, m.slot_cycles().v * 5);
+}
+
+TEST(ResilienceDefaults, DemoteBackoffZeroDerivesTwelveSlots) {
+  const hw::MachineConfig m = small_machine(2);
+  EXPECT_EQ(resolved({}).demote_backoff.v, m.slot_cycles().v * 12);
+}
+
+TEST(ResilienceDefaults, VcrdTtlZeroMeansDisabledNotDefaulted) {
+  EXPECT_EQ(resolved({}).vcrd_ttl.v, 0u);
+}
+
+TEST(ResilienceDefaults, EachFieldDefaultsIndependently) {
+  // Setting one field must not stop the others from deriving.
+  ResilienceConfig r;
+  r.gang_watchdog = Cycles{12'345};
+  const hw::MachineConfig m = small_machine(2);
+  const ResilienceConfig got = resolved(r);
+  EXPECT_EQ(got.gang_watchdog.v, 12'345u);
+  EXPECT_EQ(got.ipi_ack_timeout.v, m.ipi_latency().v * 8);
+  EXPECT_EQ(got.flap_window.v, m.slot_cycles().v * 5);
+  EXPECT_EQ(got.demote_backoff.v, m.slot_cycles().v * 12);
+}
+
+TEST(ResilienceDefaults, NonZeroValuesSurviveStartUntouched) {
+  ResilienceConfig r;
+  r.ipi_ack_timeout = Cycles{111};
+  r.gang_watchdog = Cycles{222};
+  r.flap_window = Cycles{333};
+  r.demote_backoff = Cycles{444};
+  r.vcrd_ttl = Cycles{555};
+  r.ipi_max_retries = 9;
+  r.watchdog_demote_after = 7;
+  r.flap_limit = 3;
+  const ResilienceConfig got = resolved(r);
+  EXPECT_EQ(got.ipi_ack_timeout.v, 111u);
+  EXPECT_EQ(got.gang_watchdog.v, 222u);
+  EXPECT_EQ(got.flap_window.v, 333u);
+  EXPECT_EQ(got.demote_backoff.v, 444u);
+  EXPECT_EQ(got.vcrd_ttl.v, 555u);
+  EXPECT_EQ(got.ipi_max_retries, 9u);
+  EXPECT_EQ(got.watchdog_demote_after, 7u);
+  EXPECT_EQ(got.flap_limit, 3u);
+}
+
+TEST(ResilienceDefaults, AdmissionRestoreBackoffZeroDerivesTwelveSlots) {
+  sim::Simulator s;
+  const hw::MachineConfig m = small_machine(2);
+  core::AdaptiveScheduler hv(s, m, SchedMode::kNonWorkConserving);
+  AdmissionConfig a;
+  a.max_vcpus_per_pcpu = 4.0;
+  hv.set_admission(a);
+  hv.create_vm("A", 256, 1);
+  hv.start();
+  EXPECT_EQ(hv.admission().restore_backoff.v, m.slot_cycles().v * 12);
+
+  sim::Simulator s2;
+  core::AdaptiveScheduler hv2(s2, m, SchedMode::kNonWorkConserving);
+  a.restore_backoff = Cycles{777};
+  hv2.set_admission(a);
+  hv2.create_vm("A", 256, 1);
+  hv2.start();
+  EXPECT_EQ(hv2.admission().restore_backoff.v, 777u);
+}
+
+}  // namespace
+}  // namespace asman::vmm

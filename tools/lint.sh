@@ -39,9 +39,12 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
 fi
 
 # First-party translation units only (third-party/test-framework TUs that
-# end up in the compile database are not ours to lint).
-mapfile -t FILES < <(git ls-files 'src/*.cpp' 'tests/*.cpp' 'bench/*.cpp' \
-                                  'examples/*.cpp')
+# end up in the compile database are not ours to lint). --others picks up
+# files not yet committed (e.g. a freshly added src/vmm TU) so pre-commit
+# runs lint what is about to land, not just what already did.
+mapfile -t FILES < <(git ls-files --cached --others --exclude-standard \
+                                  'src/*.cpp' 'tests/*.cpp' 'bench/*.cpp' \
+                                  'examples/*.cpp' | sort -u)
 
 echo "lint.sh: $TIDY over ${#FILES[@]} files (database: $BUILD_DIR)" >&2
 STATUS=0
