@@ -17,22 +17,14 @@
 
 using namespace asman;
 
-namespace {
-
-constexpr char kUsage[] =
-    "usage: chaos_demo [--class=NAME] [--vms=N] [--seed=N] [--list]\n"
-    "  --class=NAME  fault class to arm (default: everything)\n"
-    "  --vms=N       total VMs on the host, N >= 3 (default: 3)\n"
-    "  --seed=N      scenario seed (default: 42)\n"
-    "  --list        print the chaos classes and exit\n";
-
-}  // namespace
-
 int main(int argc, char** argv) {
   namespace ex = asman::experiments;
 
+  const std::string usage = examples::demo_usage(
+      "chaos_demo", "fault class to arm (default: everything)",
+      "total VMs on the host, N >= 3 (default: 3)");
   examples::DemoOptions opt;
-  if (!examples::parse_demo_args(argc, argv, opt, kUsage)) return 2;
+  if (!examples::parse_demo_args(argc, argv, opt, usage.c_str())) return 2;
   if (opt.list) {
     examples::print_chaos_classes();
     return 0;

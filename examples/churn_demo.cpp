@@ -20,24 +20,14 @@
 
 using namespace asman;
 
-namespace {
-
-constexpr char kUsage[] =
-    "usage: churn_demo [--class=NAME] [--vms=N] [--seed=N] [--list]"
-    " [--saturated]\n"
-    "  --class=NAME  compose a chaos class onto the churn (default: none)\n"
-    "  --vms=N       hot arrivals over the run (default: 6)\n"
-    "  --seed=N      scenario seed (default: 42)\n"
-    "  --list        print the chaos classes and exit\n"
-    "  --saturated   run the admission-saturated arrival storm instead\n";
-
-}  // namespace
-
 int main(int argc, char** argv) {
   namespace ex = asman::experiments;
 
+  const std::string usage = examples::demo_usage(
+      "churn_demo", "compose a chaos class onto the churn (default: none)",
+      "hot arrivals over the run (default: 6)", /*allow_saturated=*/true);
   examples::DemoOptions opt;
-  if (!examples::parse_demo_args(argc, argv, opt, kUsage,
+  if (!examples::parse_demo_args(argc, argv, opt, usage.c_str(),
                                  /*allow_saturated=*/true)) {
     return 2;
   }

@@ -1,12 +1,14 @@
-// Shared CLI shape for the chaos and churn demos:
+// Shared CLI shape for the chaos, churn, and topology demos:
 //
 //   --class=NAME   chaos class to inject (see --list)
 //   --vms=N        scenario size (chaos: total VMs; churn: hot arrivals)
 //   --seed=N       scenario seed (bit-reproducible per seed)
 //   --list         print the chaos classes and exit
 //
-// Both demos parse exactly this set so flags learned on one carry to the
-// other; churn_demo additionally accepts --saturated.
+// All demos parse exactly this set so flags learned on one carry to the
+// others, and build their usage text with demo_usage() so the shared
+// flags are described identically everywhere; churn_demo additionally
+// accepts --saturated.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +28,29 @@ struct DemoOptions {
   bool list{false};
   bool saturated{false};   // churn_demo only
 };
+
+/// Build the uniform usage text: the demo supplies its name and the
+/// demo-specific meanings of --class/--vms, the shared flags (--seed,
+/// --list, and optionally --saturated) are described identically for
+/// every consumer.
+inline std::string demo_usage(const char* prog, const char* class_help,
+                              const char* vms_help,
+                              bool allow_saturated = false) {
+  std::string u = "usage: ";
+  u += prog;
+  u += " [--class=NAME] [--vms=N] [--seed=N] [--list]";
+  if (allow_saturated) u += " [--saturated]";
+  u += "\n  --class=NAME  ";
+  u += class_help;
+  u += "\n  --vms=N       ";
+  u += vms_help;
+  u +=
+      "\n  --seed=N      scenario seed (default: 42)\n"
+      "  --list        print the chaos classes and exit\n";
+  if (allow_saturated)
+    u += "  --saturated   run the admission-saturated arrival storm instead\n";
+  return u;
+}
 
 inline void print_chaos_classes() {
   std::printf("chaos classes:\n");

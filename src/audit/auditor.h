@@ -70,6 +70,7 @@ class Auditor final : public vmm::AuditSink {
   void on_accounting(vmm::VmId vm, std::int64_t minted) override;
   void on_vm_created(vmm::VmId vm) override;
   void on_vm_resized(vmm::VmId vm) override;
+  void on_relocated(vmm::VmId vm) override;
 
  private:
   void observe_time();

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "vmm/types.h"
+
 namespace asman::vmm {
 class Hypervisor;
 }
@@ -39,9 +41,14 @@ enum class Invariant : std::uint8_t {
   kGangCoherence,
   /// Audit-observed event times never decrease (EventQueue pop order).
   kTimeMonotonic,
+  /// Right after a relocation, a gang-scheduled VM occupies no more
+  /// sockets than the minimal packing its running members allow (the
+  /// topology-aware placement contract; vacuous on flat topologies and
+  /// under topology-blind placement).
+  kTopologyPlacement,
 };
 
-inline constexpr std::size_t kNumInvariants = 6;
+inline constexpr std::size_t kNumInvariants = 7;
 
 const char* to_string(Invariant inv);
 
@@ -58,5 +65,11 @@ std::uint64_t check_queue_partition(const vmm::Hypervisor& hv,
                                     std::vector<Violation>& out);
 std::uint64_t check_gang_coherence(const vmm::Hypervisor& hv,
                                    std::vector<Violation>& out);
+// Event-scoped: meaningful only at relocation instants (the auditor calls
+// it from on_relocated for the relocated VM, and over all VMs in the
+// post-relocation full scan a seeded test drives directly).
+std::uint64_t check_topology_placement(const vmm::Hypervisor& hv,
+                                       vmm::VmId vm,
+                                       std::vector<Violation>& out);
 
 }  // namespace asman::audit

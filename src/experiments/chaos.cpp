@@ -122,6 +122,19 @@ void add_vcpu_crash(Scenario& sc) {
       {kGangVm, 2, ms(400), faults::VcpuFaultKind::kCrash});
 }
 
+void add_socket_offline(Scenario& sc) {
+  // The only chaos class that rewrites the machine: the whole of socket 1
+  // (P4-P7 on the paper's 2x4 topology) goes away in a staggered burst, so
+  // evacuation and topology-aware relocation must repack the fleet onto
+  // socket 0, then re-spread when P4-P6 return. P7 stays down permanently.
+  sc.machine.num_pcpus = 8;
+  sc.machine.topology = hw::Topology::paper();
+  sc.faults.hotplug.push_back({4, ms(300), ms(500)});
+  sc.faults.hotplug.push_back({5, ms(350), ms(450)});
+  sc.faults.hotplug.push_back({6, ms(400), ms(400)});
+  sc.faults.hotplug.push_back({7, ms(450), Cycles{0}});
+}
+
 }  // namespace
 
 const char* to_string(ChaosClass c) {
@@ -142,6 +155,8 @@ const char* to_string(ChaosClass c) {
       return "vcpu-hang";
     case ChaosClass::kVcpuCrash:
       return "vcpu-crash";
+    case ChaosClass::kSocketOffline:
+      return "socket-offline";
     case ChaosClass::kEverything:
       return "everything";
   }
@@ -154,7 +169,7 @@ const std::vector<ChaosClass>& all_chaos_classes() {
       ChaosClass::kHotplug,     ChaosClass::kVcrdSilence,
       ChaosClass::kVcrdFlap,    ChaosClass::kVcrdCorrupt,
       ChaosClass::kVcpuHang,    ChaosClass::kVcpuCrash,
-      ChaosClass::kEverything,
+      ChaosClass::kSocketOffline, ChaosClass::kEverything,
   };
   return kAll;
 }
@@ -190,7 +205,12 @@ void apply_chaos(Scenario& sc, ChaosClass c) {
     case ChaosClass::kVcpuCrash:
       add_vcpu_crash(sc);
       break;
+    case ChaosClass::kSocketOffline:
+      add_socket_offline(sc);
+      break;
     case ChaosClass::kEverything:
+      // kSocketOffline deliberately excluded: it overrides the machine
+      // config, which would change kEverything's established fingerprints.
       add_ipi_loss(sc);
       add_tick_jitter(sc);
       add_hotplug(sc);

@@ -22,9 +22,11 @@ enum class ChaosClass : std::uint8_t {
   kVcrdSilence,  // guest: Monitoring Module goes silent (staleness TTL)
   kVcrdFlap,     // guest: rapid LOW<->HIGH flapping (rate-limiter)
   kVcrdCorrupt,  // guest: corrupt do_vcrd_op arguments (rejected)
-  kVcpuHang,     // vmm: VCPU runs but never yields
-  kVcpuCrash,    // vmm: VCPU permanently blocked
-  kEverything,   // all of the above in one run
+  kVcpuHang,       // vmm: VCPU runs but never yields
+  kVcpuCrash,      // vmm: VCPU permanently blocked
+  kSocketOffline,  // hw: whole-socket hotplug on the paper's 2x4 topology
+  kEverything,     // all of the above in one run (except kSocketOffline,
+                   // which overrides the machine config)
 };
 
 const char* to_string(ChaosClass c);

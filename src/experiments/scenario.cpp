@@ -39,6 +39,7 @@ RunResult run_scenario(const Scenario& sc) {
   hv->set_cosched_strictness(sc.strictness);
   hv->set_resilience(sc.resilience);
   hv->set_admission(sc.admission);
+  hv->set_topology_aware(sc.topology_aware);
 
   // Attach the fault injector only when the plan names a fault: an empty
   // plan leaves no seam installed, so the run is bit-identical to builds
@@ -210,6 +211,10 @@ RunResult run_scenario(const Scenario& sc) {
   rr.vm_resizes = hv->vm_resizes();
   rr.overload_sheds = hv->overload_sheds();
   rr.overload_restores = hv->overload_restores();
+  rr.cross_llc_migrations = hv->cross_llc_migrations();
+  rr.cross_socket_migrations = hv->cross_socket_migrations();
+  rr.migration_penalty_cycles = hv->migration_penalty_cycles().v;
+  rr.topology_steal_rejects = hv->topology_steal_rejects();
   double idle = 0.0;
   for (hw::PcpuId p = 0; p < sc.machine.num_pcpus; ++p)
     idle += hv->pcpu_idle_total(p).ratio(elapsed);
@@ -266,6 +271,9 @@ RunResult run_scenario(const Scenario& sc) {
     res.demotions = v.demotions;
     res.stale_vcrd_drops = v.stale_vcrd_drops;
     res.degraded = v.degraded;
+    res.cross_llc_migrations = v.cross_llc_migrations;
+    res.cross_socket_migrations = v.cross_socket_migrations;
+    res.migration_penalty_cycles = v.migration_penalty.v;
     rr.vms.push_back(std::move(res));
   }
   return rr;

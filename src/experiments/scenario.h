@@ -97,6 +97,11 @@ struct Scenario {
   /// seeds for hot-created VMs come from a dedicated stream, so adding
   /// churn never perturbs the boot-time VMs' seeds.
   std::vector<ChurnEvent> churn;
+  /// Topology-aware placement (hypervisor::set_topology_aware). Only
+  /// meaningful when machine.topology is multi-domain; with it false the
+  /// scheduler still pays the migration cost model but places like the
+  /// flat scheduler (the bench's topology-blind baseline).
+  bool topology_aware{true};
 };
 
 struct VmResult {
@@ -125,6 +130,10 @@ struct VmResult {
   std::uint64_t demotions{0};
   std::uint64_t stale_vcrd_drops{0};
   bool degraded{false};
+  // Topology cost-model counters (zero on flat topologies).
+  std::uint64_t cross_llc_migrations{0};
+  std::uint64_t cross_socket_migrations{0};
+  std::uint64_t migration_penalty_cycles{0};
 
   /// Mean of the first `n` rounds (or all, if fewer) in seconds.
   double mean_round_seconds(std::size_t n) const;
@@ -168,6 +177,11 @@ struct RunResult {
   std::uint64_t vm_resizes{0};
   std::uint64_t overload_sheds{0};
   std::uint64_t overload_restores{0};
+  // Topology cost-model counters (all zero on flat topologies).
+  std::uint64_t cross_llc_migrations{0};
+  std::uint64_t cross_socket_migrations{0};
+  std::uint64_t migration_penalty_cycles{0};
+  std::uint64_t topology_steal_rejects{0};
 
   const VmResult& vm(const std::string& name) const;
   /// Lookup by stable hypervisor id (works for destroyed VMs too).

@@ -1,0 +1,16 @@
+#include "experiments/topology.h"
+
+#include "experiments/chaos.h"
+
+namespace asman::experiments {
+
+Scenario topology_scenario(core::SchedulerKind sched, std::uint64_t seed,
+                           bool aware, std::uint32_t n_vms) {
+  Scenario sc = chaos_base_scenario(sched, seed, n_vms);
+  sc.machine.num_pcpus = 8;
+  sc.machine.topology = hw::Topology::paper();
+  sc.topology_aware = aware;
+  return sc;
+}
+
+}  // namespace asman::experiments

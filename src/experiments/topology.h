@@ -1,0 +1,25 @@
+// Topology scenarios: the paper's dual-socket host for placement studies.
+//
+// topology_scenario() is the chaos-base fleet transplanted onto the
+// paper's 2-socket x 2-LLC x 2-PCPU machine (dual Harpertown: each
+// package is two dual-core dies sharing an L2). The `aware` knob selects
+// topology-aware placement or the topology-blind baseline; both pay the
+// same migration cost model, so bench_topology compares the two at equal
+// cost and attributes any cross-socket delta to placement alone.
+#pragma once
+
+#include <cstdint>
+
+#include "experiments/scenario.h"
+
+namespace asman::experiments {
+
+/// The consolidated dual-socket host: idle Dom0, the 4-VCPU gang
+/// candidate as VM 1, and background hogs, on hw::Topology::paper()
+/// (8 PCPUs). `n_vms` as in chaos_scenario (minimum 3; extras are 1-VCPU
+/// hogs). `aware` false keeps the cost model but places like the flat
+/// scheduler.
+Scenario topology_scenario(core::SchedulerKind sched, std::uint64_t seed = 1,
+                           bool aware = true, std::uint32_t n_vms = 4);
+
+}  // namespace asman::experiments

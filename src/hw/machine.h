@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "hw/topology.h"
 #include "simcore/time.h"
 
 namespace asman::hw {
@@ -33,6 +34,21 @@ struct MachineConfig {
   /// Measured IPI round trips on Harpertown-class parts are a few
   /// microseconds; 2 us is used as the one-way cost.
   std::uint64_t ipi_latency_us{2};
+  /// Processor topology. Default-constructed ("unspecified") resolves to
+  /// the flat single-LLC topology over num_pcpus, which keeps scheduling
+  /// bit-identical to pre-topology builds. Topology::paper() is the
+  /// testbed's real shape (2 sockets x 2 shared-L2 pairs x 2 cores).
+  Topology topology{};
+  /// Warm-cache refill cost of moving a VCPU across LLC domains within a
+  /// socket (Harpertown: reload a shared 6 MB L2 working set). Charged
+  /// only while the source cache is still warm.
+  std::uint64_t cross_llc_penalty_us{20};
+  /// Warm-cache refill cost of moving a VCPU across the FSB to the other
+  /// package.
+  std::uint64_t cross_socket_penalty_us{60};
+  /// How long (in slots) a VCPU's last PCPU counts as cache-warm after it
+  /// stops running there.
+  std::uint32_t warm_cache_slots{2};
 
   sim::ClockDomain clock() const { return sim::ClockDomain{freq_hz}; }
   Cycles slot_cycles() const { return clock().from_ms(slot_ms); }
@@ -43,6 +59,20 @@ struct MachineConfig {
     return Cycles{slot_cycles().v * slots_per_timeslice};
   }
   Cycles ipi_latency() const { return clock().from_us(ipi_latency_us); }
+  Cycles cross_llc_penalty() const {
+    return clock().from_us(cross_llc_penalty_us);
+  }
+  Cycles cross_socket_penalty() const {
+    return clock().from_us(cross_socket_penalty_us);
+  }
+  Cycles warm_cache_window() const {
+    return Cycles{slot_cycles().v * warm_cache_slots};
+  }
+  /// The topology the scheduler actually runs on: the configured one when
+  /// specified, else the flat single-domain default.
+  Topology resolved_topology() const {
+    return topology.specified() ? topology : Topology::flat(num_pcpus);
+  }
 };
 
 }  // namespace asman::hw

@@ -1,0 +1,89 @@
+#include "hw/topology.h"
+
+#include "hw/machine.h"
+
+namespace asman::hw {
+
+const char* to_string(TopoDistance d) {
+  switch (d) {
+    case TopoDistance::kSelf:
+      return "self";
+    case TopoDistance::kSameLlc:
+      return "same-llc";
+    case TopoDistance::kSameSocket:
+      return "same-socket";
+    case TopoDistance::kCrossSocket:
+      return "cross-socket";
+  }
+  return "?";
+}
+
+const char* to_string(ConfigError e) {
+  switch (e) {
+    case ConfigError::kNoPcpus:
+      return "no-pcpus";
+    case ConfigError::kZeroFrequency:
+      return "zero-frequency";
+    case ConfigError::kZeroSlot:
+      return "zero-slot";
+    case ConfigError::kZeroAccounting:
+      return "zero-accounting";
+    case ConfigError::kZeroTimeslice:
+      return "zero-timeslice";
+    case ConfigError::kTopologyLeafMismatch:
+      return "topology-leaf-mismatch";
+  }
+  return "?";
+}
+
+Topology Topology::flat(std::uint32_t num_pcpus) {
+  return symmetric(1, 1, num_pcpus);
+}
+
+Topology Topology::symmetric(std::uint32_t sockets,
+                             std::uint32_t llcs_per_socket,
+                             std::uint32_t pcpus_per_llc) {
+  Topology t;
+  t.num_sockets_ = sockets;
+  t.num_llcs_ = sockets * llcs_per_socket;
+  const std::uint32_t n = sockets * llcs_per_socket * pcpus_per_llc;
+  t.socket_.reserve(n);
+  t.llc_.reserve(n);
+  t.by_socket_.resize(sockets);
+  for (std::uint32_t s = 0; s < sockets; ++s) {
+    for (std::uint32_t l = 0; l < llcs_per_socket; ++l) {
+      for (std::uint32_t c = 0; c < pcpus_per_llc; ++c) {
+        const PcpuId p = static_cast<PcpuId>(t.socket_.size());
+        t.socket_.push_back(s);
+        t.llc_.push_back(s * llcs_per_socket + l);
+        t.by_socket_[s].push_back(p);
+      }
+    }
+  }
+  return t;
+}
+
+std::vector<ConfigIssue> validate_config(const MachineConfig& m) {
+  std::vector<ConfigIssue> issues;
+  if (m.num_pcpus == 0)
+    issues.push_back({ConfigError::kNoPcpus, "num_pcpus must be > 0"});
+  if (m.freq_hz == 0)
+    issues.push_back({ConfigError::kZeroFrequency, "freq_hz must be > 0"});
+  if (m.slot_ms == 0)
+    issues.push_back({ConfigError::kZeroSlot, "slot_ms must be > 0"});
+  if (m.slots_per_accounting == 0)
+    issues.push_back(
+        {ConfigError::kZeroAccounting, "slots_per_accounting must be > 0"});
+  if (m.slots_per_timeslice == 0)
+    issues.push_back(
+        {ConfigError::kZeroTimeslice, "slots_per_timeslice must be > 0"});
+  if (m.topology.specified() && m.topology.num_pcpus() != m.num_pcpus)
+    issues.push_back({ConfigError::kTopologyLeafMismatch,
+                      "topology describes " +
+                          std::to_string(m.topology.num_pcpus()) +
+                          " PCPUs but num_pcpus is " +
+                          std::to_string(m.num_pcpus)});
+  return issues;
+}
+
+}  // namespace asman::hw

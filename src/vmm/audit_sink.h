@@ -63,6 +63,12 @@ class AuditSink {
   /// already gone (their ->Destroyed transitions fired beforehand).
   /// Default: ignore.
   virtual void on_vm_resized(VmId vm) { (void)vm; }
+
+  /// Algorithm 3's relocation just re-placed `vm`'s VCPUs (fired at the
+  /// end of relocate_vm, flat or topology-aware). The topology-placement
+  /// invariant is event-scoped to these instants: between relocations,
+  /// members legally drift via wakes and steals. Default: ignore.
+  virtual void on_relocated(VmId vm) { (void)vm; }
 };
 
 }  // namespace asman::vmm

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 #include <numeric>
+#include <stdexcept>
 #include <utility>
 
 namespace asman::vmm {
@@ -59,6 +60,21 @@ Hypervisor::Hypervisor(sim::Simulator& simulation,
       timeslice_len_(machine.timeslice_cycles()),
       credit_cap_(2 * static_cast<Credit>(machine.slots_per_accounting) *
                   kCreditPerSlot) {
+  // Reject a degenerate machine before any placement arithmetic can divide
+  // or modulo by zero. Validation must happen here, not at start():
+  // create_vm is legal pre-start and already places VCPUs.
+  const auto issues = hw::validate_config(machine_);
+  if (!issues.empty()) {
+    std::string what = "invalid MachineConfig:";
+    for (const auto& i : issues)
+      what += std::string(" [") + hw::to_string(i.kind) + "] " + i.what + ";";
+    throw std::invalid_argument(what);
+  }
+  topo_ = machine_.resolved_topology();
+  topo_flat_ = topo_.is_flat();
+  cross_llc_penalty_ = machine_.cross_llc_penalty();
+  cross_socket_penalty_ = machine_.cross_socket_penalty();
+  warm_window_ = machine_.warm_cache_window();
   for (PcpuId p = 0; p < machine_.num_pcpus; ++p) {
     pcpus_[p].idle_since = sim_.now();
     ipi_.set_handler(p, [this](PcpuId target, std::uint32_t vector) {
@@ -200,8 +216,11 @@ void Hypervisor::degradation_tick(Vm& v) {
     note_trace(sim::TraceCat::kMonitor, v.name + " degraded state lifted");
     // While degraded the members ran under stock rules and may have drifted
     // onto shared homes; a gang must regain coscheduling with a coherent
-    // placement or the next launch would double-book a PCPU.
-    if (cosched_eligible(v) && gang_homes_collide(v)) relocate_vm(v);
+    // placement or the next launch would double-book a PCPU. (Excess-socket
+    // drift is repacked too under topology-aware placement.)
+    if (cosched_eligible(v) &&
+        (gang_homes_collide(v) || gang_spans_excess_sockets(v)))
+      relocate_vm(v);
   }
   if (resilience_.vcrd_ttl.v > 0 && v.vcrd == Vcrd::kHigh &&
       now - v.vcrd_last_report > resilience_.vcrd_ttl) {
@@ -282,25 +301,43 @@ void Hypervisor::ipi_ack_check(VmId vm_id, std::uint32_t vidx,
              });
 }
 
-PcpuId Hypervisor::pick_online_home(VmId vm_for_collision) const {
+PcpuId Hypervisor::pick_online_home(VmId vm_for_collision,
+                                    PcpuId near) const {
   // Least-loaded online PCPU; a home free of gang siblings is preferred so
   // evacuation preserves pairwise-distinct placement (cosched_eligible
   // guarantees one exists by pigeonhole: gang size <= online PCPUs).
+  // Under topology-aware placement, collision-freedom still dominates but
+  // among equals a home closer to `near` wins (same-LLC, then same-socket,
+  // then remote) so evacuees and wakes stay near their warm cache.
   const bool keep_distinct = cosched_eligible(vm(vm_for_collision));
+  const bool by_distance = topo_place_active();
   PcpuId dest = machine_.num_pcpus;
   std::size_t best_load = 0;
   bool best_collides = true;
+  int best_dist = 0;
   for (PcpuId p = 0; p < machine_.num_pcpus; ++p) {
     const PcpuRec& pc = pcpus_[p];
     if (!pc.online) continue;
     const std::size_t load =
         pc.runq.size() + (pc.current != nullptr ? 1u : 0u);
     const bool collides = keep_distinct && would_collide(vm_for_collision, p);
-    if (dest == machine_.num_pcpus || (best_collides && !collides) ||
-        (best_collides == collides && load < best_load)) {
+    const int dist =
+        by_distance ? static_cast<int>(topo_.distance(near, p)) : 0;
+    bool better = false;
+    if (dest == machine_.num_pcpus) {
+      better = true;
+    } else if (collides != best_collides) {
+      better = !collides;
+    } else if (dist != best_dist) {
+      better = dist < best_dist;
+    } else {
+      better = load < best_load;
+    }
+    if (better) {
       dest = p;
       best_load = load;
       best_collides = collides;
+      best_dist = dist;
     }
   }
   return dest;
@@ -312,6 +349,109 @@ bool Hypervisor::gang_homes_collide(const Vm& v) const {
     if (!pcpus_[c.where].online || used[c.where]) return true;
     used[c.where] = true;
   }
+  return false;
+}
+
+// --- topology cost model & socket packing ------------------------------------
+
+Cycles Hypervisor::would_be_penalty(const Vcpu& v, PcpuId to) const {
+  if (!topo_cost_active() || !v.ever_ran) return Cycles{0};
+  if (sim_.now() - v.cache_home_at >= warm_window_) return Cycles{0};
+  switch (topo_.distance(v.cache_home, to)) {
+    case hw::TopoDistance::kSameSocket:
+      return cross_llc_penalty_;
+    case hw::TopoDistance::kCrossSocket:
+      return cross_socket_penalty_;
+    case hw::TopoDistance::kSelf:
+    case hw::TopoDistance::kSameLlc:
+      break;
+  }
+  return Cycles{0};
+}
+
+void Hypervisor::note_migration(Vcpu& v, PcpuId from, PcpuId to) {
+  if (!topo_cost_active()) return;
+  Vm& owner = vm(v.key.vm);
+  const hw::TopoDistance hop = topo_.distance(from, to);
+  switch (hop) {
+    case hw::TopoDistance::kSameSocket:
+      ++v.cross_llc_migrations;
+      ++owner.cross_llc_migrations;
+      ++cross_llc_migrations_;
+      break;
+    case hw::TopoDistance::kCrossSocket:
+      ++v.cross_socket_migrations;
+      ++owner.cross_socket_migrations;
+      ++cross_socket_migrations_;
+      break;
+    case hw::TopoDistance::kSelf:
+    case hw::TopoDistance::kSameLlc:
+      return;  // the shared LLC keeps the working set: free move
+  }
+  const Cycles pen = would_be_penalty(v, to);
+  if (pen.v == 0) return;  // cache already cold (or still same-LLC warm)
+  migration_penalty_cycles_ += pen;
+  owner.migration_penalty += pen;
+  // Deterministic debit at the slot-credit exchange rate. charge() samples
+  // the RNG per span; the cost model must not perturb that stream, or a
+  // flat-vs-aware comparison would diverge for reasons other than cost.
+  const Credit debit = static_cast<Credit>(
+      (static_cast<__int128>(pen.v) * kCreditPerSlot) / slot_len_.v);
+  v.credit = std::max<Credit>(v.credit - debit, -credit_cap_);
+  note_trace(sim::TraceCat::kSched,
+             key_str(v.key) + " " + std::string(hw::to_string(hop)) +
+                 " migration P" + std::to_string(from) + "->P" +
+                 std::to_string(to) + " penalty=" + std::to_string(pen.v));
+}
+
+std::vector<bool> Hypervisor::gang_socket_set(const Vm& v) const {
+  // Sockets pinned by running members, greedily extended (largest spare
+  // online-unclaimed capacity, tie lowest socket id) until the non-running
+  // members fit. Both relocate_vm_topo and the audit invariant derive
+  // "minimal" from this one function, so they can never disagree.
+  std::vector<bool> claimed(machine_.num_pcpus, false);
+  std::vector<bool> allowed(topo_.num_sockets(), false);
+  std::uint32_t remaining = 0;
+  for (const Vcpu& c : v.vcpus) {
+    if (c.state == VcpuState::kRunning) {
+      claimed[c.where] = true;
+      allowed[topo_.socket_of(c.where)] = true;
+    } else {
+      ++remaining;
+    }
+  }
+  const auto spare = [&](std::uint32_t s) {
+    std::uint32_t n = 0;
+    for (PcpuId p : topo_.pcpus_in_socket(s))
+      if (pcpus_[p].online && !claimed[p]) ++n;
+    return n;
+  };
+  std::uint32_t capacity = 0;
+  for (std::uint32_t s = 0; s < topo_.num_sockets(); ++s)
+    if (allowed[s]) capacity += spare(s);
+  while (capacity < remaining) {
+    std::uint32_t best = topo_.num_sockets();
+    std::uint32_t best_spare = 0;
+    for (std::uint32_t s = 0; s < topo_.num_sockets(); ++s) {
+      if (allowed[s]) continue;
+      const std::uint32_t sp = spare(s);
+      if (best == topo_.num_sockets() || sp > best_spare) {
+        best = s;
+        best_spare = sp;
+      }
+    }
+    if (best == topo_.num_sockets() || best_spare == 0) break;
+    allowed[best] = true;
+    capacity += best_spare;
+  }
+  return allowed;
+}
+
+bool Hypervisor::gang_spans_excess_sockets(const Vm& v) const {
+  if (!topo_place_active() || !cosched_eligible(v)) return false;
+  const std::vector<bool> allowed = gang_socket_set(v);
+  for (const Vcpu& c : v.vcpus)
+    if (!allowed[topo_.socket_of(c.where)]) return true;
   return false;
 }
 
@@ -332,7 +472,6 @@ void Hypervisor::charge(Vcpu& v, Cycles elapsed) {
 }
 
 void Hypervisor::do_accounting() {
-  audit_event(AuditPoint::kAccountingBegin);
   // Overload governor boundary: restore coscheduling (after the backoff,
   // if load has fallen) before credit is assigned, so relocation hooks in
   // on_accounting see the final eligibility for this period.
@@ -385,6 +524,11 @@ void Hypervisor::do_accounting() {
   // proportions are preserved.
   const Credit total = static_cast<Credit>(machine_.num_pcpus) *
                        kCreditPerSlot * machine_.slots_per_accounting;
+  // The audit pool snapshot happens here — not at function entry — because
+  // the overload restore and degradation ticks above may relocate a gang,
+  // and a relocation's migration-penalty debit would silently shrink the
+  // pool between an earlier snapshot and this read.
+  audit_event(AuditPoint::kAccountingBegin);
   for (std::size_t i = 0; i < vms_.size(); ++i) {
     Vm& v = *vms_[i];
     if (!v.alive) continue;
@@ -436,6 +580,11 @@ Vcpu* Hypervisor::unmap_current(PcpuId p) {
   charge(*v, elapsed);
   pc.current = nullptr;
   v->state = VcpuState::kRunnable;
+  // Cache-affinity bookkeeping: this PCPU now holds the VCPU's warm working
+  // set (pure statistics on flat topologies — never read there).
+  v->ever_ran = true;
+  v->cache_home = p;
+  v->cache_home_at = sim_.now();
   audit_transition(v->key, VcpuState::kRunning, VcpuState::kRunnable);
   note_trace(sim::TraceCat::kSched, key_str(v->key) + " offline from P" +
                                         std::to_string(p));
@@ -471,26 +620,56 @@ bool Hypervisor::would_collide(VmId vm_id, PcpuId p) const {
 // --- dispatch (Algorithm 4) -------------------------------------------------
 
 Vcpu* Hypervisor::steal_for(PcpuId p, bool allow_over) {
+  // Topology-aware placement ranks source queues by distance first (prefer
+  // same-LLC, then same-socket, then remote) and applies a penalty-adjusted
+  // gain gate: a steal buys at most about one slot of progress before the
+  // next scheduling event, so a warm-cache refill costing a slot or more is
+  // a net loss and the candidate is skipped (counted). Flat topologies take
+  // the classic distance-blind path bit-identically.
+  const bool by_distance = topo_place_active();
   Vcpu* best = nullptr;
   PcpuId src = 0;
+  int best_dist = 0;
   for (PcpuId q = 0; q < machine_.num_pcpus; ++q) {
     if (q == p) continue;
     if (!pcpus_[q].online) continue;  // offline queues are empty anyway
+    const int dist =
+        by_distance ? static_cast<int>(topo_.distance(q, p)) : 0;
+    // Cross-socket stealing is conservative, like a NUMA sched domain: a
+    // queue with a single waiter is not overloaded — its VCPU runs next
+    // slot on its warm home anyway, so hauling it over the FSB trades a
+    // cache refill for one slot of latency. Only genuinely backed-up
+    // remote queues (two or more waiters) are worth raiding.
+    if (by_distance && dist == static_cast<int>(hw::TopoDistance::kCrossSocket) &&
+        pcpus_[q].runq.size() < 2)
+      continue;
     for (Vcpu* v : pcpus_[q].runq.entries()) {
       if (!allow_over && static_cast<int>(v->prio_class()) >
                              static_cast<int>(PrioClass::kUnder))
         continue;
       if (v->cosched_boost) continue;  // an IPI promised it to its queue
-      if (cosched_eligible(vm(v->key.vm)) && would_collide(v->key.vm, p))
+      const bool gang = cosched_eligible(vm(v->key.vm));
+      if (gang && would_collide(v->key.vm, p)) continue;
+      // Never pull a packed gang's member across the FSB: the next
+      // relocation would only repatriate it, paying the hop twice.
+      if (by_distance && gang &&
+          dist == static_cast<int>(hw::TopoDistance::kCrossSocket))
         continue;
-      if (best == nullptr || RunQueue::better(v, best)) {
+      if (by_distance && would_be_penalty(*v, p) >= slot_len_) {
+        ++topology_steal_rejects_;
+        continue;
+      }
+      if (best == nullptr || dist < best_dist ||
+          (dist == best_dist && RunQueue::better(v, best))) {
         best = v;
         src = q;
+        best_dist = dist;
       }
     }
   }
   if (best) {
     pcpus_[src].runq.remove(best);
+    note_migration(*best, best->where, p);
     best->where = p;
     ++best->migrations;
     ++migrations_;
@@ -887,9 +1066,11 @@ void Hypervisor::vcpu_kick(VmId id, std::uint32_t vidx) {
   if (!pcpus_[v.where].online) {
     // The wake home went offline while this VCPU was blocked; re-home it
     // lazily now (credit travels with the VCPU).
-    v.where = pick_online_home(id);
+    const PcpuId stale = v.where;
+    v.where = pick_online_home(id, stale);
     ++v.migrations;
     ++migrations_;
+    note_migration(v, stale, v.where);
   }
   const PcpuId home = v.where;
   pcpus_[home].runq.push(&v);
@@ -909,6 +1090,12 @@ void Hypervisor::vcpu_kick(VmId id, std::uint32_t vidx) {
 // --- Algorithm 3 lines 8-16 ---------------------------------------------------
 
 void Hypervisor::relocate_vm(Vm& v) {
+  if (topo_place_active()) {
+    relocate_vm_topo(v);
+    note_trace(sim::TraceCat::kCosched, v.name + " relocated");
+    audit_relocated(v.id);
+    return;
+  }
   std::vector<bool> claimed(machine_.num_pcpus, false);
   // Running VCPUs pin their PCPU.
   for (const Vcpu& c : v.vcpus)
@@ -938,11 +1125,55 @@ void Hypervisor::relocate_vm(Vm& v) {
       pcpus_[dest].runq.push(&c);
       ++c.migrations;
       ++migrations_;
+      note_migration(c, c.where, dest);
     }
     c.where = dest;  // blocked VCPUs just get a new wake-up home
     claimed[dest] = true;
   }
   note_trace(sim::TraceCat::kCosched, v.name + " relocated");
+  audit_relocated(v.id);
+}
+
+void Hypervisor::relocate_vm_topo(Vm& v) {
+  // Same contract as the flat path — pairwise-distinct online PCPUs,
+  // running members pinned — but non-running members may only land inside
+  // the greedily-minimal socket set, so a HIGH-VCRD gang packs within a
+  // socket when it fits instead of spreading across the machine.
+  const std::vector<bool> allowed = gang_socket_set(v);
+  std::vector<bool> claimed(machine_.num_pcpus, false);
+  for (const Vcpu& c : v.vcpus)
+    if (c.state == VcpuState::kRunning) claimed[c.where] = true;
+  for (Vcpu& c : v.vcpus) {
+    if (c.state == VcpuState::kRunning) continue;
+    if (!claimed[c.where] && pcpus_[c.where].online &&
+        allowed[topo_.socket_of(c.where)]) {
+      claimed[c.where] = true;
+      continue;
+    }
+    PcpuId dest = machine_.num_pcpus;
+    std::size_t best_load = 0;
+    for (PcpuId p = 0; p < machine_.num_pcpus; ++p) {
+      if (claimed[p] || !pcpus_[p].online) continue;
+      if (!allowed[topo_.socket_of(p)]) continue;
+      const std::size_t load = pcpus_[p].runq.size();
+      if (dest == machine_.num_pcpus || load < best_load) {
+        dest = p;
+        best_load = load;
+      }
+    }
+    if (dest == machine_.num_pcpus) break;  // more VCPUs than capacity
+    if (c.state == VcpuState::kRunnable) {
+      const bool removed = pcpus_[c.where].runq.remove(&c);
+      assert(removed);
+      (void)removed;
+      pcpus_[dest].runq.push(&c);
+      ++c.migrations;
+      ++migrations_;
+      note_migration(c, c.where, dest);
+    }
+    c.where = dest;
+    claimed[dest] = true;
+  }
 }
 
 // --- fault-injection entry points --------------------------------------------
@@ -977,7 +1208,10 @@ void Hypervisor::fault_pcpu_offline(PcpuId p) {
   const std::vector<Vcpu*> evac = pc.runq.entries();
   for (Vcpu* w : evac) {
     pc.runq.remove(w);
-    const PcpuId dest = pick_online_home(w->key.vm);
+    // Near the dying PCPU: under topology-aware placement evacuees prefer
+    // the sibling LLC/socket so their caches stay as warm as possible.
+    const PcpuId dest = pick_online_home(w->key.vm, p);
+    note_migration(*w, w->where, dest);
     w->where = dest;
     pcpus_[dest].runq.push(w);
     ++w->migrations;
@@ -1011,10 +1245,13 @@ void Hypervisor::fault_pcpu_online(PcpuId p) {
   maybe_restore_overload();
   // Gangs that were infeasible while this PCPU was down were evacuated onto
   // shared homes; now that they fit again, spread them back out before any
-  // launch (or audit pass) sees a double-booked PCPU.
+  // launch (or audit pass) sees a double-booked PCPU. Under topology-aware
+  // placement a gang squeezed across extra sockets repacks too.
   for (const auto& vp : vms_) {
     Vm& v = *vp;
-    if (cosched_eligible(v) && gang_homes_collide(v)) relocate_vm(v);
+    if (cosched_eligible(v) &&
+        (gang_homes_collide(v) || gang_spans_excess_sockets(v)))
+      relocate_vm(v);
   }
   dispatch(p);  // steal work immediately instead of idling until its tick
   in_scheduler_ = false;

@@ -137,6 +137,18 @@ class Hypervisor : public HypervisorPort {
   void set_admission(const AdmissionConfig& a) { admission_ = a; }
   const AdmissionConfig& admission() const { return admission_; }
 
+  /// Enable/disable the topology-aware placement policy (default on). With
+  /// it off the scheduler still *pays* the migration cost model on a
+  /// multi-domain topology (so aware-vs-blind comparisons are at equal
+  /// cost), but places VCPUs exactly like the flat scheduler. On a flat
+  /// topology the flag is irrelevant: both policy and cost model are
+  /// inert and scheduling is bit-identical to pre-topology builds. Set
+  /// before the first create_vm (boot placement consults it).
+  void set_topology_aware(bool aware) { topology_aware_ = aware; }
+  bool topology_aware() const { return topology_aware_; }
+  /// The resolved processor topology this scheduler runs on.
+  const hw::Topology& topology() const { return topo_; }
+
   // --- fault-injection surface (src/faults/) --------------------------------
   // These entry points model substrate faults; production scheduling never
   // calls them. They keep every invariant the auditor checks: state changes
@@ -222,6 +234,23 @@ class Hypervisor : public HypervisorPort {
   const Vcpu* running_on(PcpuId p) const { return pcpus_[p].current; }
 
   std::uint64_t total_migrations() const { return migrations_; }
+  // --- topology cost-model counters (RunResult surface) ---
+  std::uint64_t cross_llc_migrations() const { return cross_llc_migrations_; }
+  std::uint64_t cross_socket_migrations() const {
+    return cross_socket_migrations_;
+  }
+  Cycles migration_penalty_cycles() const { return migration_penalty_cycles_; }
+  /// Steals skipped because the warm-cache penalty would exceed the gain.
+  std::uint64_t topology_steal_rejects() const {
+    return topology_steal_rejects_;
+  }
+  /// True when this gang spans more sockets than the minimal packing its
+  /// running members allow (the topology-placement invariant; only
+  /// meaningful right after relocate_vm, members drift legally between
+  /// relocations). Always false when placement policy is inactive.
+  bool placement_spans_excess_sockets(VmId id) const {
+    return gang_spans_excess_sockets(vm(id));
+  }
   std::uint64_t cosched_events() const { return cosched_events_; }
   std::uint64_t strong_launches() const { return strong_launches_; }
   std::uint64_t weak_launches() const { return weak_launches_; }
@@ -341,11 +370,37 @@ class Hypervisor : public HypervisorPort {
   bool would_collide(VmId vm_id, PcpuId p) const;
   void note_trace(sim::TraceCat cat, std::string msg);
 
+  // --- topology placement & migration cost (topology-gated) ------------------
+  /// Cost model active: any multi-domain topology pays migration penalties,
+  /// aware or not (comparisons stay at equal cost).
+  bool topo_cost_active() const { return !topo_flat_; }
+  /// Placement policy active: multi-domain topology and aware placement.
+  bool topo_place_active() const { return topology_aware_ && !topo_flat_; }
+  /// Record a migration of `v` from PCPU `from` to `to`: classify the hop
+  /// (same-LLC moves are free), bump the cross-LLC/cross-socket counters,
+  /// and — when v's cache_home is still warm — charge the refill penalty
+  /// as cycles and a deterministic credit debit. No-op on flat topologies.
+  void note_migration(Vcpu& v, PcpuId from, PcpuId to);
+  /// Warm-cache penalty `v` would pay for landing on `to` right now
+  /// (Cycles{0} when cold, same-LLC, or the cost model is inactive).
+  Cycles would_be_penalty(const Vcpu& v, PcpuId to) const;
+  /// Topology-aware flavour of relocate_vm: running members pin their
+  /// sockets; the remaining members pack into a greedily-minimal socket
+  /// set (largest spare capacity first) on pairwise-distinct PCPUs.
+  void relocate_vm_topo(Vm& v);
+  /// The socket set relocate_vm_topo may use (shared with the audit
+  /// invariant so scheduler and checker agree on "minimal").
+  std::vector<bool> gang_socket_set(const Vm& v) const;
+  /// True when the gang occupies more sockets than relocate_vm_topo's
+  /// minimal packing would use (relocation trigger + audit invariant).
+  bool gang_spans_excess_sockets(const Vm& v) const;
+
   // --- graceful degradation --------------------------------------------------
   /// Least-loaded online PCPU (tie: lowest id), preferring homes free of
-  /// gang siblings, for evacuation and wake re-homing. Returns num_pcpus
-  /// when none qualify (never happens while one PCPU stays online).
-  PcpuId pick_online_home(VmId vm_for_collision) const;
+  /// gang siblings and (under topology-aware placement) close to `near`,
+  /// for evacuation and wake re-homing. Returns num_pcpus when none
+  /// qualify (never happens while one PCPU stays online).
+  PcpuId pick_online_home(VmId vm_for_collision, PcpuId near) const;
   /// True when two members share a home or a home went offline — placement
   /// a gang must not launch with. Only meaningful for cosched VMs.
   bool gang_homes_collide(const Vm& v) const;
@@ -404,15 +459,25 @@ class Hypervisor : public HypervisorPort {
   void audit_resized(VmId id) {
     if (audit_) audit_->on_vm_resized(id);
   }
+  void audit_relocated(VmId id) {
+    if (audit_) audit_->on_relocated(id);
+  }
 #else
   void audit_event(AuditPoint) {}
   void audit_transition(VcpuKey, VcpuState, VcpuState) {}
   void audit_minted(VmId, Credit) {}
   void audit_created(VmId) {}
   void audit_resized(VmId) {}
+  void audit_relocated(VmId) {}
 #endif
 
   hw::MachineConfig machine_;
+  hw::Topology topo_;     // machine_.resolved_topology(), fixed at ctor
+  bool topo_flat_{true};  // cached topo_.is_flat()
+  bool topology_aware_{true};
+  Cycles cross_llc_penalty_{0};
+  Cycles cross_socket_penalty_{0};
+  Cycles warm_window_{0};
   SchedMode mode_;
   sim::Trace* trace_;
   AuditSink* audit_{nullptr};
@@ -445,6 +510,10 @@ class Hypervisor : public HypervisorPort {
 
   Credit credit_cap_;
   std::uint64_t migrations_{0};
+  std::uint64_t cross_llc_migrations_{0};
+  std::uint64_t cross_socket_migrations_{0};
+  Cycles migration_penalty_cycles_{0};
+  std::uint64_t topology_steal_rejects_{0};
   std::uint64_t strong_launches_{0};
   std::uint64_t weak_launches_{0};
   std::uint64_t co_stops_{0};

@@ -45,10 +45,29 @@ double Hypervisor::prospective_load(double extra) const {
 double Hypervisor::weighted_vcpu_load() const { return prospective_load(0.0); }
 
 PcpuId Hypervisor::place_new_vcpu(VmId id, std::uint32_t vidx) const {
+  const std::uint32_t n = machine_.num_pcpus;
+  if (topo_place_active()) {
+    // Socket-locality-preserving round robin: walk the PCPUs socket-major
+    // starting at socket (id % sockets), so a VM's VCPUs fill one socket's
+    // cores (sharing LLC domains) before spilling into the next, and
+    // different VMs start on different sockets. Offline PCPUs are skipped
+    // within the same order.
+    const std::uint32_t ns = topo_.num_sockets();
+    std::vector<PcpuId> order;
+    order.reserve(n);
+    for (std::uint32_t k = 0; k < ns; ++k)
+      for (const PcpuId p : topo_.pcpus_in_socket((id + k) % ns))
+        order.push_back(p);
+    const std::uint32_t at = vidx % n;
+    for (std::uint32_t step = 0; step < n; ++step) {
+      const PcpuId p = order[(at + step) % n];
+      if (pcpus_[p].online) return p;
+    }
+    return order[at];  // unreachable: the last online PCPU refuses to die
+  }
   // Round-robin offset per VM (same formula as boot-time placement, so
   // fault-free pre-start runs stay bit-identical to earlier builds),
   // advanced past hot-unplugged PCPUs.
-  const std::uint32_t n = machine_.num_pcpus;
   auto p = static_cast<PcpuId>((id + vidx) % n);
   for (std::uint32_t step = 0; step < n; ++step) {
     if (pcpus_[p].online) return p;
@@ -237,8 +256,11 @@ bool Hypervisor::resize_vm(VmId id, std::uint32_t n_vcpus) {
     }
     audit_resized(id);
     maybe_shed_overload();
-    // A grown gang may now collide with itself; re-spread before launch.
-    if (cosched_eligible(v) && gang_homes_collide(v)) relocate_vm(v);
+    // A grown gang may now collide with itself (or, topology-aware, spill
+    // across more sockets than it needs); re-spread before launch.
+    if (cosched_eligible(v) &&
+        (gang_homes_collide(v) || gang_spans_excess_sockets(v)))
+      relocate_vm(v);
     if (started_)
       sim_.after(Cycles{0}, [this] {
         in_scheduler_ = true;
@@ -257,8 +279,11 @@ bool Hypervisor::resize_vm(VmId id, std::uint32_t n_vcpus) {
     }
     audit_resized(id);
     // Mid-gang shrink: survivors must hold pairwise-distinct PCPUs before
-    // the next launch (the drained members may have pinned shared homes).
-    if (cosched_eligible(v) && gang_homes_collide(v)) relocate_vm(v);
+    // the next launch (the drained members may have pinned shared homes) —
+    // and a smaller gang may now fit fewer sockets.
+    if (cosched_eligible(v) &&
+        (gang_homes_collide(v) || gang_spans_excess_sockets(v)))
+      relocate_vm(v);
     redispatch_freed(freed);
     maybe_restore_overload();
   }
@@ -318,10 +343,12 @@ void Hypervisor::maybe_restore_overload() {
   note_trace(sim::TraceCat::kMonitor, buf);
   // While shed, gang members drifted onto shared homes under stock rules;
   // regaining eligibility with a colliding placement would double-book a
-  // PCPU at the next launch.
+  // PCPU at the next launch (excess-socket drift is repacked too).
   for (auto& vp : vms_) {
     Vm& v = *vp;
-    if (cosched_eligible(v) && gang_homes_collide(v)) relocate_vm(v);
+    if (cosched_eligible(v) &&
+        (gang_homes_collide(v) || gang_spans_excess_sockets(v)))
+      relocate_vm(v);
   }
 }
 

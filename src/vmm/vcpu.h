@@ -48,10 +48,19 @@ struct Vcpu {
   /// a queue; keep-current across ticks preserves it).
   Cycles slice_start{0};
 
+  /// Cache affinity: the PCPU this VCPU last ran on and when it stopped
+  /// running there. A migration away from a still-warm cache_home pays the
+  /// topology cost model's refill penalty (see Hypervisor::note_migration).
+  PcpuId cache_home{0};
+  Cycles cache_home_at{0};
+  bool ever_ran{false};
+
   // -- statistics --
   Cycles total_online{0};
   std::uint64_t dispatches{0};
   std::uint64_t migrations{0};
+  std::uint64_t cross_llc_migrations{0};
+  std::uint64_t cross_socket_migrations{0};
 
   PrioClass prio_class() const {
     if (cosched_boost)
@@ -100,6 +109,9 @@ struct Vm {
   // -- statistics --
   std::uint64_t demotions{0};        // flap/watchdog demotions to degraded
   std::uint64_t stale_vcrd_drops{0}; // HIGH forced to LOW by the TTL
+  std::uint64_t cross_llc_migrations{0};
+  std::uint64_t cross_socket_migrations{0};
+  Cycles migration_penalty{0};  // warm-cache refill cycles charged
   Cycles total_online{0};
   std::uint64_t vcrd_high_transitions{0};
   Cycles vcrd_high_time{0};

@@ -215,6 +215,41 @@ TEST(Auditor, DetectsGangIncoherence) {
   EXPECT_GE(violations(r.auditor, Invariant::kGangCoherence), 1u);
 }
 
+TEST(Auditor, DetectsTopologyPlacementViolation) {
+  // Paper topology rig: after a HIGH-VCRD relocation the gang packs into
+  // one socket; teleporting a non-running member into the other socket is
+  // exactly the spread the topology-placement invariant must flag.
+  sim::Simulator sim;
+  hw::MachineConfig m = small_machine(8);
+  m.topology = hw::Topology::paper();
+  core::AdaptiveScheduler hv(sim, m, vmm::SchedMode::kNonWorkConserving);
+  hv.create_vm("Dom0", 256, 2);
+  const VmId gang = hv.create_vm("Gang", 256, 4);
+  Auditor auditor(sim, hv, {});
+  hv.start();
+  sim.run_until(seconds(0.1));
+  // Block one member so relocation leaves a non-running record whose home
+  // we can corrupt without involving run queues or the socket set the
+  // running members pin.
+  hv.vcpu_block(gang, 3);
+  hv.do_vcrd_op(gang, vmm::Vcrd::kHigh);  // relocates; auditor checks here
+  ASSERT_TRUE(hv.gang_scheduled(gang));
+  EXPECT_GT(auditor.report().entry(Invariant::kTopologyPlacement).checks, 0u);
+  EXPECT_EQ(violations(auditor, Invariant::kTopologyPlacement), 0u);
+  Vcpu& blocked = hv.vm(gang).vcpus[3];
+  ASSERT_EQ(blocked.state, VcpuState::kBlocked);
+  const std::uint32_t home_socket = hv.topology().socket_of(blocked.where);
+  const std::uint32_t other = home_socket == 0 ? 1 : 0;
+  blocked.where = hv.topology().pcpus_in_socket(other).front();
+  ASSERT_TRUE(hv.placement_spans_excess_sockets(gang));
+  auditor.on_relocated(gang);
+  EXPECT_GE(violations(auditor, Invariant::kTopologyPlacement), 1u);
+  EXPECT_NE(auditor.report()
+                .entry(Invariant::kTopologyPlacement)
+                .first_offender.find("Gang"),
+            std::string::npos);
+}
+
 TEST(Auditor, LifecycleChurnAuditsCleanAndExtendsTheShadow) {
   Rig r;
   r.hv.start();

@@ -49,13 +49,19 @@ std::string fingerprint(const RunResult& rr) {
   append(fp, "cosched=%" PRIu64 " ipi=%" PRIu64 " ctx=%" PRIu64 " idle=%a\n",
          rr.cosched_events, rr.ipi_sent, rr.context_switches,
          rr.idle_fraction);
+  append(fp, "xllc=%" PRIu64 " xsock=%" PRIu64 " penalty=%" PRIu64
+             " srej=%" PRIu64 "\n",
+         rr.cross_llc_migrations, rr.cross_socket_migrations,
+         rr.migration_penalty_cycles, rr.topology_steal_rejects);
   for (const VmResult& v : rr.vms) {
     append(fp, "%s[%s] fin=%d rt=%a online=%a vcrd=%" PRIu64
-               " high=%a work=%" PRIu64 " otl=%" PRIu64 " adj=%" PRIu64 "\n",
+               " high=%a work=%" PRIu64 " otl=%" PRIu64 " adj=%" PRIu64
+               " xllc=%" PRIu64 " xsock=%" PRIu64 " pen=%" PRIu64 "\n",
            v.name.c_str(), v.workload_name.c_str(), v.finished ? 1 : 0,
            v.runtime_seconds, v.observed_online_rate, v.vcrd_transitions,
            v.vcrd_high_fraction, v.work_units, v.over_threshold_events,
-           v.adjusting_events);
+           v.adjusting_events, v.cross_llc_migrations,
+           v.cross_socket_migrations, v.migration_penalty_cycles);
     for (double r : v.round_seconds) append(fp, "  round=%a\n", r);
   }
   return fp;
@@ -109,6 +115,39 @@ TEST(Determinism, DifferentSeedsActuallyDiverge) {
       fingerprint(run_scenario(lock_hammer_scenario(
           core::SchedulerKind::kAsman, 43)));
   EXPECT_NE(a, b);
+}
+
+TEST(Determinism, TopologyRunsAreBitIdentical) {
+  // Same guarantee on the paper's 2x2x2 topology: aware placement, the
+  // cost model, and the new counters are all deterministic.
+  for (const core::SchedulerKind sched :
+       {core::SchedulerKind::kCredit, core::SchedulerKind::kAsman}) {
+    Scenario sc = lock_hammer_scenario(sched, 42);
+    sc.machine.num_pcpus = 8;
+    sc.machine.topology = hw::Topology::paper();
+    const std::string a = fingerprint(run_scenario(sc));
+    const std::string b = fingerprint(run_scenario(sc));
+    EXPECT_GT(a.size(), 0u);
+    EXPECT_EQ(a, b) << "scheduler " << core::to_string(sched)
+                    << " is nondeterministic under topology";
+  }
+}
+
+TEST(Determinism, FlatVariantsMatchDefault) {
+  // The flat-topology bit-compat contract: leaving machine.topology unset,
+  // spelling the flat topology out explicitly, and turning the placement
+  // policy off must all reproduce the exact same run — the topology
+  // subsystem is inert unless the machine is multi-domain.
+  const Scenario base = lock_hammer_scenario(core::SchedulerKind::kAsman, 42);
+  const std::string fp = fingerprint(run_scenario(base));
+
+  Scenario explicit_flat = base;
+  explicit_flat.machine.topology = hw::Topology::flat(4);
+  EXPECT_EQ(fp, fingerprint(run_scenario(explicit_flat)));
+
+  Scenario blind = base;
+  blind.topology_aware = false;
+  EXPECT_EQ(fp, fingerprint(run_scenario(blind)));
 }
 
 #ifdef ASMAN_AUDIT_ENABLED
