@@ -10,6 +10,9 @@ namespace asman::audit {
 namespace {
 
 bool env_truthy(const char* name) {
+  // The auditor's arming switch is host configuration, read once outside
+  // the simulated world; it never feeds seeded state or fingerprints.
+  // asman-lint: allow(determinism) -- audit arming is host config, not simulation input
   const char* v = std::getenv(name);
   return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
 }
@@ -172,9 +175,13 @@ void Auditor::on_accounting(vmm::VmId id, std::int64_t minted) {
   ++e.checks;
   const vmm::Vm& v = hv_.vm(id);
   const hw::MachineConfig& m = hv_.machine();
-  const std::int64_t total_mint = static_cast<std::int64_t>(m.num_pcpus) *
-                                  vmm::kCreditPerSlot *
-                                  m.slots_per_accounting;
+  // Widened exactly like the scheduler's own mint computation: the int64
+  // product of num_pcpus * kCreditPerSlot * slots_per_accounting overflows
+  // (UB) well inside the valid config space.
+  const std::int64_t total_mint =
+      static_cast<std::int64_t>(static_cast<__int128>(m.num_pcpus) *
+                                vmm::kCreditPerSlot *
+                                m.slots_per_accounting);
   if (minted < 0 || minted > total_mint) {
     flag(Invariant::kCreditConservation,
          v.name + " minted " + std::to_string(minted) +

@@ -58,8 +58,9 @@ Hypervisor::Hypervisor(sim::Simulator& simulation,
       online_pcpus_(machine.num_pcpus),
       slot_len_(machine.slot_cycles()),
       timeslice_len_(machine.timeslice_cycles()),
-      credit_cap_(2 * static_cast<Credit>(machine.slots_per_accounting) *
-                  kCreditPerSlot) {
+      credit_cap_(static_cast<Credit>(static_cast<__int128>(2) *
+                                      machine.slots_per_accounting *
+                                      kCreditPerSlot)) {
   // Reject a degenerate machine before any placement arithmetic can divide
   // or modulo by zero. Validation must happen here, not at start():
   // create_vm is legal pre-start and already places VCPUs.
@@ -522,8 +523,9 @@ void Hypervisor::do_accounting() {
   // equally among its VCPUs, so intra-VM divergence (from the quantized
   // tick charging) is erased every accounting period while inter-VM
   // proportions are preserved.
-  const Credit total = static_cast<Credit>(machine_.num_pcpus) *
-                       kCreditPerSlot * machine_.slots_per_accounting;
+  const Credit total = static_cast<Credit>(
+      static_cast<__int128>(machine_.num_pcpus) * kCreditPerSlot *
+      machine_.slots_per_accounting);
   // The audit pool snapshot happens here — not at function entry — because
   // the overload restore and degradation ticks above may relocate a gang,
   // and a relocation's migration-penalty debit would silently shrink the
@@ -547,6 +549,26 @@ void Hypervisor::do_accounting() {
   note_trace(sim::TraceCat::kCredit, "accounting done");
 }
 
+// --- audited mutation seam --------------------------------------------------
+//
+// Every VcpuState write and run-queue membership change in the VMM flows
+// through these three functions; asman-lint's audit-seam check rejects any
+// other site. set_state reads `from` out of the record itself, so the
+// transition the auditor's shadow replays is by construction the transition
+// that actually happened — the two copies cannot be told different stories.
+
+void Hypervisor::set_state(Vcpu& v, VcpuState to) {
+  const VcpuState from = v.state;
+  v.state = to;
+  audit_transition(v.key, from, to);
+}
+
+void Hypervisor::enqueue(PcpuId p, Vcpu* v) { pcpus_[p].runq.push(v); }
+
+bool Hypervisor::dequeue(PcpuId p, Vcpu* v) {
+  return pcpus_[p].runq.remove(v);
+}
+
 // --- map / unmap ------------------------------------------------------------
 
 void Hypervisor::go_online(PcpuId p, Vcpu* v) {
@@ -558,13 +580,12 @@ void Hypervisor::go_online(PcpuId p, Vcpu* v) {
     pc.idle_marked = false;
   }
   pc.current = v;
-  v->state = VcpuState::kRunning;
+  set_state(*v, VcpuState::kRunning);
   v->where = p;
   v->online_since = sim_.now();
   v->slice_start = sim_.now();
   ++v->dispatches;
   ++context_switches_;
-  audit_transition(v->key, VcpuState::kRunnable, VcpuState::kRunning);
   note_trace(sim::TraceCat::kSched, key_str(v->key) + " online on P" +
                                         std::to_string(p));
   Vm& owner = vm(v->key.vm);
@@ -579,13 +600,12 @@ Vcpu* Hypervisor::unmap_current(PcpuId p) {
   burn(*v, elapsed);
   charge(*v, elapsed);
   pc.current = nullptr;
-  v->state = VcpuState::kRunnable;
+  set_state(*v, VcpuState::kRunnable);
   // Cache-affinity bookkeeping: this PCPU now holds the VCPU's warm working
   // set (pure statistics on flat topologies — never read there).
   v->ever_ran = true;
   v->cache_home = p;
   v->cache_home_at = sim_.now();
-  audit_transition(v->key, VcpuState::kRunning, VcpuState::kRunnable);
   note_trace(sim::TraceCat::kSched, key_str(v->key) + " offline from P" +
                                         std::to_string(p));
   Vm& owner = vm(v->key.vm);
@@ -595,7 +615,7 @@ Vcpu* Hypervisor::unmap_current(PcpuId p) {
 
 void Hypervisor::go_offline(PcpuId p) {
   Vcpu* v = unmap_current(p);
-  pcpus_[p].runq.push(v);
+  enqueue(p, v);
 }
 
 bool Hypervisor::is_schedulable(const Vcpu& v) const {
@@ -668,7 +688,7 @@ Vcpu* Hypervisor::steal_for(PcpuId p, bool allow_over) {
     }
   }
   if (best) {
-    pcpus_[src].runq.remove(best);
+    dequeue(src, best);
     note_migration(*best, best->where, p);
     best->where = p;
     ++best->migrations;
@@ -742,7 +762,7 @@ void Hypervisor::dispatch(PcpuId p) {
     // Secure the choice before any co-stop cascade can re-dispatch other
     // PCPUs (they must not steal it from under us).
     if (!stolen) {
-      const bool removed = pc.runq.remove(choice);
+      const bool removed = dequeue(p, choice);
       assert(removed);
       (void)removed;
     }
@@ -885,17 +905,17 @@ void Hypervisor::ipi_handler(PcpuId target, std::uint32_t vector) {
       return;  // weak (spare-capacity) boosts never displace UNDER VCPUs
     // Secure the sibling before preempting: the victim's co-stop cascade
     // re-dispatches other PCPUs, which must not steal it from under us.
-    pc.runq.remove(sib);
+    dequeue(target, sib);
     in_scheduler_ = true;
     preempt_current(target);
     in_scheduler_ = false;
     if (pc.current != nullptr) {
-      pc.runq.push(sib);  // the cascade refilled this PCPU
+      enqueue(target, sib);  // the cascade refilled this PCPU
       audit_event(AuditPoint::kIpi);
       return;
     }
   } else {
-    pc.runq.remove(sib);
+    dequeue(target, sib);
   }
   refresh_cosched_boost(*sib, !strong);
   in_scheduler_ = true;
@@ -1021,8 +1041,7 @@ void Hypervisor::vcpu_block(VmId id, std::uint32_t vidx) {
       const PcpuId p = v.where;
       in_scheduler_ = true;
       Vcpu* u = unmap_current(p);
-      u->state = VcpuState::kBlocked;
-      audit_transition(u->key, VcpuState::kRunnable, VcpuState::kBlocked);
+      set_state(*u, VcpuState::kBlocked);
       dispatch(p);
       if (pcpus_[p].current == nullptr && !pcpus_[p].idle_marked) {
         pcpus_[p].idle_marked = true;
@@ -1033,11 +1052,10 @@ void Hypervisor::vcpu_block(VmId id, std::uint32_t vidx) {
       return;
     }
     case VcpuState::kRunnable: {
-      const bool removed = pcpus_[v.where].runq.remove(&v);
+      const bool removed = dequeue(v.where, &v);
       assert(removed);
       (void)removed;
-      v.state = VcpuState::kBlocked;
-      audit_transition(v.key, VcpuState::kRunnable, VcpuState::kBlocked);
+      set_state(v, VcpuState::kBlocked);
       audit_event(AuditPoint::kBlock);
       return;
     }
@@ -1060,8 +1078,7 @@ void Hypervisor::vcpu_kick(VmId id, std::uint32_t vidx) {
     return;
   }
   if (v.state != VcpuState::kBlocked) return;
-  v.state = VcpuState::kRunnable;
-  audit_transition(v.key, VcpuState::kBlocked, VcpuState::kRunnable);
+  set_state(v, VcpuState::kRunnable);
   v.wake_boost = v.credit > 0;  // Xen-style BOOST only for UNDER VCPUs
   if (!pcpus_[v.where].online) {
     // The wake home went offline while this VCPU was blocked; re-home it
@@ -1073,7 +1090,7 @@ void Hypervisor::vcpu_kick(VmId id, std::uint32_t vidx) {
     note_migration(v, stale, v.where);
   }
   const PcpuId home = v.where;
-  pcpus_[home].runq.push(&v);
+  enqueue(home, &v);
   in_scheduler_ = true;
   Vcpu* cur = pcpus_[home].current;
   if (cur == nullptr) {
@@ -1119,10 +1136,10 @@ void Hypervisor::relocate_vm(Vm& v) {
     }
     if (dest == machine_.num_pcpus) break;  // more VCPUs than PCPUs
     if (c.state == VcpuState::kRunnable) {
-      const bool removed = pcpus_[c.where].runq.remove(&c);
+      const bool removed = dequeue(c.where, &c);
       assert(removed);
       (void)removed;
-      pcpus_[dest].runq.push(&c);
+      enqueue(dest, &c);
       ++c.migrations;
       ++migrations_;
       note_migration(c, c.where, dest);
@@ -1163,10 +1180,10 @@ void Hypervisor::relocate_vm_topo(Vm& v) {
     }
     if (dest == machine_.num_pcpus) break;  // more VCPUs than capacity
     if (c.state == VcpuState::kRunnable) {
-      const bool removed = pcpus_[c.where].runq.remove(&c);
+      const bool removed = dequeue(c.where, &c);
       assert(removed);
       (void)removed;
-      pcpus_[dest].runq.push(&c);
+      enqueue(dest, &c);
       ++c.migrations;
       ++migrations_;
       note_migration(c, c.where, dest);
@@ -1207,13 +1224,13 @@ void Hypervisor::fault_pcpu_offline(PcpuId p) {
   // per-VCPU state and travels with the record, so conservation holds.
   const std::vector<Vcpu*> evac = pc.runq.entries();
   for (Vcpu* w : evac) {
-    pc.runq.remove(w);
+    dequeue(p, w);
     // Near the dying PCPU: under topology-aware placement evacuees prefer
     // the sibling LLC/socket so their caches stay as warm as possible.
     const PcpuId dest = pick_online_home(w->key.vm, p);
     note_migration(*w, w->where, dest);
     w->where = dest;
-    pcpus_[dest].runq.push(w);
+    enqueue(dest, w);
     ++w->migrations;
     ++migrations_;
     ++evacuated_vcpus_;
@@ -1279,8 +1296,7 @@ void Hypervisor::fault_crash_vcpu(VmId vm_id, std::uint32_t vidx) {
     case VcpuState::kRunning: {
       const PcpuId p = v.where;
       Vcpu* u = unmap_current(p);
-      u->state = VcpuState::kBlocked;
-      audit_transition(u->key, VcpuState::kRunnable, VcpuState::kBlocked);
+      set_state(*u, VcpuState::kBlocked);
       if (strictness_ == Strictness::kStrict && !in_co_stop_ &&
           cosched_eligible(owner))
         co_stop(owner);
@@ -1292,11 +1308,10 @@ void Hypervisor::fault_crash_vcpu(VmId vm_id, std::uint32_t vidx) {
       break;
     }
     case VcpuState::kRunnable: {
-      const bool removed = pcpus_[v.where].runq.remove(&v);
+      const bool removed = dequeue(v.where, &v);
       assert(removed);
       (void)removed;
-      v.state = VcpuState::kBlocked;
-      audit_transition(v.key, VcpuState::kRunnable, VcpuState::kBlocked);
+      set_state(v, VcpuState::kBlocked);
       break;
     }
     case VcpuState::kBlocked:

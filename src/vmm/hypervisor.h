@@ -347,6 +347,14 @@ class Hypervisor : public HypervisorPort {
   Vcpu* unmap_current(PcpuId p);
   /// Map `v` (currently queued on some PCPU) onto `p`.
   void go_online(PcpuId p, Vcpu* v);
+  /// Audited choke points (docs/MODEL.md "Static guarantees"): every
+  /// VcpuState write and run-queue membership change in the VMM flows
+  /// through these three — asman-lint's audit-seam check rejects any
+  /// other site — so the auditor's shadow state machine and queue
+  /// partition scan can never drift from reality.
+  void set_state(Vcpu& v, VcpuState to);
+  void enqueue(PcpuId p, Vcpu* v);
+  bool dequeue(PcpuId p, Vcpu* v);
   /// Pick and map work for `p` per Algorithm 4; may steal or go idle.
   void dispatch(PcpuId p);
   /// Find the best migratable VCPU for an idle `p` from other run queues.

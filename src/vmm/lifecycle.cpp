@@ -106,11 +106,12 @@ VmId Hypervisor::create_vm(std::string name, std::uint32_t weight,
   for (std::uint32_t i = 0; i < n_vcpus; ++i) {
     Vcpu& c = v->vcpus[i];
     c.key = VcpuKey{id, i};
-    c.state = VcpuState::kRunnable;
-    // Spread VCPUs round-robin over (online) PCPUs, offset per VM so
-    // equally sized VMs do not all pile onto the low-numbered queues.
+    // A fresh record is born kRunnable (Vcpu's default member init), so no
+    // state write happens outside the audited seam. Spread VCPUs
+    // round-robin over (online) PCPUs, offset per VM so equally sized VMs
+    // do not all pile onto the low-numbered queues.
     c.where = place_new_vcpu(id, i);
-    pcpus_[c.where].runq.push(&c);
+    enqueue(c.where, &c);
   }
   vms_.push_back(std::move(v));
   if (started_) {
@@ -148,22 +149,19 @@ void Hypervisor::drain_vcpu(Vcpu& w, std::vector<PcpuId>& freed) {
       // offline callback), then tombstone from kRunnable.
       const PcpuId p = w.where;
       Vcpu* u = unmap_current(p);
-      u->state = VcpuState::kDestroyed;
-      audit_transition(u->key, VcpuState::kRunnable, VcpuState::kDestroyed);
+      set_state(*u, VcpuState::kDestroyed);
       freed.push_back(p);
       break;
     }
     case VcpuState::kRunnable: {
-      const bool removed = pcpus_[w.where].runq.remove(&w);
+      const bool removed = dequeue(w.where, &w);
       assert(removed);
       (void)removed;
-      w.state = VcpuState::kDestroyed;
-      audit_transition(w.key, VcpuState::kRunnable, VcpuState::kDestroyed);
+      set_state(w, VcpuState::kDestroyed);
       break;
     }
     case VcpuState::kBlocked:
-      w.state = VcpuState::kDestroyed;
-      audit_transition(w.key, VcpuState::kBlocked, VcpuState::kDestroyed);
+      set_state(w, VcpuState::kDestroyed);
       break;
     case VcpuState::kDestroyed:
       break;
@@ -247,12 +245,11 @@ bool Hypervisor::resize_vm(VmId id, std::uint32_t n_vcpus) {
     // re-split over the new count at the next accounting). Vm::vcpus is a
     // deque, so push_back leaves references to siblings intact.
     for (std::uint32_t i = n_old; i < n_vcpus; ++i) {
-      v.vcpus.emplace_back();
+      v.vcpus.emplace_back();  // born kRunnable via Vcpu's default init
       Vcpu& c = v.vcpus.back();
       c.key = VcpuKey{id, i};
-      c.state = VcpuState::kRunnable;
       c.where = place_new_vcpu(id, i);
-      pcpus_[c.where].runq.push(&c);
+      enqueue(c.where, &c);
     }
     audit_resized(id);
     maybe_shed_overload();

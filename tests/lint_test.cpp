@@ -1,0 +1,173 @@
+// asman-lint end-to-end tests (ctest label: lint).
+//
+// Runs the built asman_lint binary over the seeded-violation fixtures in
+// tools/asman_lint/fixtures/ and asserts the contract from docs/MODEL.md
+// "Static guarantees":
+//   - every planted violation fires (100% fixture detection),
+//   - the clean fixture and the real src/ tree produce zero errors,
+//   - the allow(...) escape hatch suppresses with a visible ledger and the
+//     --max-allows budget trips when exceeded.
+//
+// ASMAN_LINT_BIN / ASMAN_LINT_ROOT are injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct LintRun {
+  int exit_code;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string cmd =
+      std::string(ASMAN_LINT_BIN) + " --root " + ASMAN_LINT_ROOT + " " +
+      args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  if (pipe == nullptr) return {-1, {}};
+  std::string out;
+  std::array<char, 4096> buf;
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    out.append(buf.data(), n);
+  const int status = pclose(pipe);
+  // popen children terminate normally here; WEXITSTATUS without WIFEXITED
+  // guarding would mask a crash as a weird exit code, so keep both visible.
+  const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -status;
+  return {code, out};
+}
+
+std::string fixture(const char* name) {
+  return std::string(ASMAN_LINT_ROOT) + "/tools/asman_lint/fixtures/" + name;
+}
+
+int count_of(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size()))
+    ++count;
+  return count;
+}
+
+TEST(LintCli, ListsAllFourChecks) {
+  const LintRun r = run_lint("--list-checks");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("determinism"), std::string::npos);
+  EXPECT_NE(r.output.find("ordered-iteration"), std::string::npos);
+  EXPECT_NE(r.output.find("integer-credit"), std::string::npos);
+  EXPECT_NE(r.output.find("audit-seam"), std::string::npos);
+}
+
+TEST(LintCli, RejectsUnknownCheck) {
+  const LintRun r = run_lint("--check no-such-check " + fixture("fixture_clean.cpp"));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown check"), std::string::npos);
+}
+
+TEST(LintDeterminism, FixtureFiresOnEveryPlantedViolation) {
+  const LintRun r = run_lint(fixture("fixture_determinism.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[determinism]"), 11) << r.output;
+  // One assertion per planted construct, so a regression names its victim.
+  EXPECT_NE(r.output.find("#include <random>"), std::string::npos);
+  EXPECT_NE(r.output.find("#include <ctime>"), std::string::npos);
+  EXPECT_NE(r.output.find("'rand'"), std::string::npos);
+  EXPECT_NE(r.output.find("'srand'"), std::string::npos);
+  EXPECT_NE(r.output.find("'random_device'"), std::string::npos);
+  EXPECT_NE(r.output.find("wall-clock call 'time()'"), std::string::npos);
+  EXPECT_NE(r.output.find("'system_clock'"), std::string::npos);
+  EXPECT_NE(r.output.find("'getenv'"), std::string::npos);
+  EXPECT_NE(r.output.find("comparing object addresses"), std::string::npos);
+  EXPECT_NE(r.output.find("std::less over a pointer type"), std::string::npos);
+  EXPECT_NE(r.output.find("'uintptr_t'"), std::string::npos);
+}
+
+TEST(LintOrderedIteration, FixtureFiresOnEveryPlantedLoop) {
+  const LintRun r = run_lint(fixture("fixture_ordered_iter.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[ordered-iteration]"), 3) << r.output;
+  EXPECT_NE(r.output.find("'residency'"), std::string::npos);  // range-for
+  EXPECT_NE(r.output.find("'hot'"), std::string::npos);      // via alias
+  EXPECT_NE(r.output.find("'pending'"), std::string::npos);  // iterator loop
+}
+
+TEST(LintIntegerCredit, FixtureFiresOnEveryPlantedViolation) {
+  const LintRun r = run_lint(fixture("fixture_credit.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[integer-credit]"), 4) << r.output;
+  EXPECT_NE(r.output.find("credit-scale multiply without __int128"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("floating point reaching credit store"),
+            std::string::npos);
+  EXPECT_EQ(count_of(r.output, "narrowing cast of credit quantity"), 2)
+      << r.output;
+  // The rogue credit write in decay() is also an audit-seam breach.
+  EXPECT_EQ(count_of(r.output, "[audit-seam]"), 1) << r.output;
+}
+
+TEST(LintAuditSeam, FixtureFiresOnEveryPlantedViolation) {
+  const LintRun r = run_lint(fixture("fixture_audit_seam.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[audit-seam]"), 4) << r.output;
+  EXPECT_NE(r.output.find("direct VcpuState write in "
+                          "'fixture::Hypervisor::rogue_block'"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("direct run-queue remove"), std::string::npos);
+  EXPECT_NE(r.output.find("direct run-queue push"), std::string::npos);
+  EXPECT_NE(r.output.find("direct credit write in "
+                          "'fixture::Hypervisor::rogue_grant'"),
+            std::string::npos);
+}
+
+TEST(LintCleanFixture, TrickyLegalConstructsStaySilent) {
+  const LintRun r = run_lint(fixture("fixture_clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 error(s), 0 suppression(s)"), std::string::npos)
+      << r.output;
+}
+
+TEST(LintAllow, SuppressionsAreLedgeredAndControlStillFires) {
+  const LintRun r = run_lint(fixture("fixture_allow.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;  // the unsuppressed control
+  EXPECT_EQ(count_of(r.output, "suppressed by allow(determinism)"), 3)
+      << r.output;
+  EXPECT_NE(r.output.find("pragma on the line above"), std::string::npos);
+  EXPECT_NE(r.output.find("same-line pragma"), std::string::npos);
+  EXPECT_NE(r.output.find("allow(all) covers every check"), std::string::npos);
+  EXPECT_NE(r.output.find("1 error(s), 3 suppression(s)"), std::string::npos)
+      << r.output;
+}
+
+TEST(LintAllow, BudgetTripsWhenExceeded) {
+  const LintRun r = run_lint("--max-allows 2 " + fixture("fixture_allow.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("suppression budget exceeded (3 > 2)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(LintCheckFilter, SingleCheckRunsAlone) {
+  const LintRun r =
+      run_lint("--check integer-credit " + fixture("fixture_credit.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[integer-credit]"), 4) << r.output;
+  EXPECT_EQ(count_of(r.output, "[audit-seam]"), 0) << r.output;
+}
+
+// The acceptance gate: the shipped src/ tree carries zero non-allowed
+// findings, and every suppression that remains is deliberate and reasoned.
+TEST(LintTree, SrcTreeIsCleanUnderAllChecks) {
+  const LintRun r = run_lint("");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 error(s)"), std::string::npos) << r.output;
+  // The one standing allow: the auditor's host-side arming switch.
+  EXPECT_EQ(count_of(r.output, "suppressed by allow("), 1) << r.output;
+  EXPECT_NE(r.output.find("audit arming is host config"), std::string::npos)
+      << r.output;
+}
+
+}  // namespace

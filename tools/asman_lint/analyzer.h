@@ -1,0 +1,88 @@
+// Structural analysis over the token stream: enclosing-function index and
+// statement extraction. This is the portable engine's stand-in for an AST —
+// precise enough for the project's own disciplines, with the clang engine
+// (when built) providing full semantic confirmation in CI.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model.h"
+#include "token.h"
+
+namespace asman_lint {
+
+/// A function definition's extent in the token stream, with its qualified
+/// name assembled from the enclosing namespace/class scopes (e.g.
+/// "asman::vmm::Hypervisor::set_state"). Lambdas are not separate spans:
+/// code inside a lambda attributes to the enclosing function, which is the
+/// right granularity for the audited-setter whitelists.
+struct FunctionSpan {
+  std::string name;
+  std::size_t begin;  // index of the body's '{'
+  std::size_t end;    // index one past the matching '}'
+};
+
+class FunctionIndex {
+ public:
+  explicit FunctionIndex(const FileUnit& unit);
+
+  /// Innermost function containing token index `i`, or nullptr.
+  const FunctionSpan* enclosing(std::size_t i) const;
+
+  /// True if `i` is inside a function whose qualified name ends with
+  /// `suffix` on a `::`-segment boundary ("Hypervisor::enqueue" matches
+  /// "asman::vmm::Hypervisor::enqueue" but not "MyHypervisor::enqueue").
+  bool inside(std::size_t i, const std::string& suffix) const;
+
+  const std::vector<FunctionSpan>& spans() const { return spans_; }
+
+ private:
+  std::vector<FunctionSpan> spans_;
+};
+
+/// True when `name` ends with `suffix` aligned to a `::` boundary.
+bool qualified_suffix_match(const std::string& name, const std::string& suffix);
+
+/// [begin, end) token range of the statement containing token `i`: from the
+/// token after the previous `;` `{` `}` to the next `;` inclusive. (For-loop
+/// headers are not special-cased; the range may span the header, which is
+/// conservative in the right direction for the statement-scoped checks.)
+struct StmtRange {
+  std::size_t begin;
+  std::size_t end;
+};
+StmtRange statement_around(const std::vector<Token>& toks, std::size_t i);
+
+/// Index of the matching closing bracket for the opener at `i` (one of
+/// ( [ { <). Returns toks.size() if unbalanced. For '<' the scan bails on
+/// tokens that cannot appear in a template argument list (`;`, `{`, `&&`),
+/// returning toks.size() — callers treat that as "not a template list".
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t i);
+
+/// Shared per-file context handed to every check.
+struct AnalysisContext {
+  const FileUnit& unit;
+  const FunctionIndex& functions;
+  const Options& options;
+  std::vector<Finding>& findings;
+
+  void report(int line, const char* check, std::string message) const;
+};
+
+// The four project checks (checks_*.cpp).
+void check_determinism(const AnalysisContext& ctx);
+void check_ordered_iteration(const AnalysisContext& ctx);
+void check_integer_credit(const AnalysisContext& ctx);
+void check_audit_seam(const AnalysisContext& ctx);
+
+/// Cross-TU part of the audit-seam check: after every file has been
+/// scanned, confirm each whitelisted audited setter was actually seen as a
+/// definition somewhere in the lint scope, so the whitelist cannot go stale
+/// and silently exempt writes. `all_functions` is every FunctionSpan name.
+void check_audit_seam_cross_tu(const Options& options,
+                               const std::vector<std::string>& all_functions,
+                               std::vector<Finding>& findings);
+
+}  // namespace asman_lint

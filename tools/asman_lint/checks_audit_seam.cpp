@@ -1,0 +1,140 @@
+// audit-seam: the PR-1 auditor maintains a shadow copy of VCPU lifecycle
+// state and recomputes credit redistribution from observed transitions. That
+// shadow is only honest if every mutation of the real state flows through
+// the audited choke points (the AuditSink seam in vmm/audit_sink.h). This
+// check makes the discipline structural: a write to VcpuState, run-queue
+// membership, or per-VCPU credit anywhere outside the whitelisted audited
+// setters is an error, so the shadow can never drift from reality.
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace asman_lint {
+
+namespace {
+
+// Audited choke points, matched as ::-aligned suffixes of the qualified
+// enclosing-function name. Everything else is off-limits for direct writes.
+const std::vector<std::string>& state_writers() {
+  static const std::vector<std::string> w{"Hypervisor::set_state"};
+  return w;
+}
+const std::vector<std::string>& queue_writers() {
+  static const std::vector<std::string> w{"Hypervisor::enqueue",
+                                          "Hypervisor::dequeue"};
+  return w;
+}
+const std::vector<std::string>& credit_writers() {
+  static const std::vector<std::string> w{
+      "Hypervisor::charge", "Hypervisor::do_accounting",
+      "Hypervisor::note_migration", "Hypervisor::drain_vcpu"};
+  return w;
+}
+
+bool whitelisted(const AnalysisContext& ctx, std::size_t tok,
+                 const std::vector<std::string>& writers) {
+  for (const std::string& w : writers)
+    if (ctx.functions.inside(tok, w)) return true;
+  return false;
+}
+
+std::string fn_name(const AnalysisContext& ctx, std::size_t tok) {
+  const FunctionSpan* s = ctx.functions.enclosing(tok);
+  return s != nullptr ? s->name : std::string("<file scope>");
+}
+
+bool member_access(const Token& t) {
+  return t.kind == Tok::kPunct && (t.text == "." || t.text == "->");
+}
+
+}  // namespace
+
+void check_audit_seam(const AnalysisContext& ctx) {
+  const std::vector<Token>& t = ctx.unit.toks;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+
+    // (1) VCPU lifecycle state write: `<x>.state = ... VcpuState::...`.
+    // Keyed on VcpuState so the guest kernel's TState machine (its own
+    // subsystem with its own invariants) is untouched.
+    if (t[i].text == "state" && i > 0 && member_access(t[i - 1]) &&
+        i + 1 < t.size() && t[i + 1].kind == Tok::kPunct &&
+        t[i + 1].text == "=") {
+      const StmtRange r = statement_around(t, i);
+      bool vcpu_state = false;
+      for (std::size_t j = i + 2; j < r.end && !vcpu_state; ++j)
+        vcpu_state = t[j].kind == Tok::kIdent && t[j].text == "VcpuState";
+      if (vcpu_state && !whitelisted(ctx, i, state_writers()))
+        ctx.report(t[i].line, "audit-seam",
+                   "direct VcpuState write in '" + fn_name(ctx, i) +
+                       "' bypasses the audit shadow; route through "
+                       "Hypervisor::set_state");
+      continue;
+    }
+
+    // (2) Run-queue membership: `<pcpu>.runq.push(...)` / `.remove(...)`.
+    if ((t[i].text == "runq" || t[i].text == "runq_") && i + 2 < t.size() &&
+        member_access(t[i + 1]) && t[i + 2].kind == Tok::kIdent &&
+        (t[i + 2].text == "push" || t[i + 2].text == "remove") &&
+        i + 3 < t.size() && t[i + 3].kind == Tok::kPunct &&
+        t[i + 3].text == "(") {
+      if (!whitelisted(ctx, i, queue_writers()))
+        ctx.report(t[i].line, "audit-seam",
+                   "direct run-queue " + t[i + 2].text + " in '" +
+                       fn_name(ctx, i) +
+                       "' bypasses the audited membership seam; route "
+                       "through Hypervisor::enqueue/dequeue");
+      continue;
+    }
+
+    // (3) Per-VCPU credit store: `<x>.credit <op>= ...`. The accounting
+    // paths (charge, do_accounting, note_migration, drain_vcpu) are the
+    // audited writers; anywhere else the conservation recheck would see a
+    // pool it cannot explain.
+    if (t[i].text == "credit" && i > 0 && member_access(t[i - 1]) &&
+        i + 1 < t.size() && t[i + 1].kind == Tok::kPunct &&
+        (t[i + 1].text == "=" || t[i + 1].text == "+=" ||
+         t[i + 1].text == "-=" || t[i + 1].text == "*=" ||
+         t[i + 1].text == "/=")) {
+      if (!whitelisted(ctx, i, credit_writers()))
+        ctx.report(t[i].line, "audit-seam",
+                   "direct credit write in '" + fn_name(ctx, i) +
+                       "' bypasses the audited accounting paths; the "
+                       "conservation auditor cannot reconcile it");
+      continue;
+    }
+  }
+}
+
+void check_audit_seam_cross_tu(const Options& options,
+                               const std::vector<std::string>& all_functions,
+                               std::vector<Finding>& findings) {
+  // The whitelist is only sound if the setters it names still exist: a
+  // renamed setter would otherwise silently exempt nothing while direct
+  // writes elsewhere get flagged against a phantom. Run in whole-tree mode
+  // only (explicit file lists, e.g. fixtures, are partial views).
+  if (!options.files.empty()) return;
+  std::vector<std::string> required;
+  for (const auto* group : {&state_writers(), &queue_writers()})
+    for (const std::string& w : *group) required.push_back(w);
+  for (const std::string& req : required) {
+    bool seen = false;
+    for (const std::string& fn : all_functions)
+      if (qualified_suffix_match(fn, req)) {
+        seen = true;
+        break;
+      }
+    if (!seen)
+      findings.push_back(
+          {"<cross-tu>", 0, "audit-seam",
+           "audited setter '" + req +
+               "' not found in the lint scope; the whitelist is stale — "
+               "every state/queue write is now unguarded",
+           false, std::string()});
+  }
+}
+
+}  // namespace asman_lint

@@ -1,0 +1,134 @@
+// determinism: the simulation must be a pure function of its seed. Wall
+// clocks, libc randomness, environment reads, and pointer-address ordering
+// all smuggle host state into the run and break bit-identical replay; the
+// only sanctioned randomness is the seeded simcore::rng engine.
+#include <string>
+#include <unordered_set>
+
+#include "analyzer.h"
+
+namespace asman_lint {
+
+namespace {
+
+// Identifiers whose mere appearance is a finding: libc/stdlib entropy and
+// wall-clock sources. (`time`/`clock` are handled separately because those
+// names are common as methods, e.g. sim::ClockDomain::clock().)
+const std::unordered_set<std::string>& banned_idents() {
+  static const std::unordered_set<std::string> b{
+      "rand",          "srand",         "drand48",
+      "lrand48",       "random_device", "mt19937",
+      "mt19937_64",    "default_random_engine", "minstd_rand",
+      "system_clock",  "steady_clock",  "high_resolution_clock",
+      "getenv",        "gettimeofday",  "clock_gettime",
+      "rand_r",        "timespec_get"};
+  return b;
+}
+
+bool prev_is_member_access(const std::vector<Token>& t, std::size_t i) {
+  if (i == 0) return false;
+  return t[i - 1].kind == Tok::kPunct &&
+         (t[i - 1].text == "." || t[i - 1].text == "->");
+}
+
+// For `time(` / `clock(`: flag only `std::`- or global-`::`-qualified
+// calls. Unqualified names collide with project methods (the machine's
+// sim::ClockDomain accessor is literally named clock()), and an
+// unqualified libc call needs <ctime>/<time.h>, which the include rule
+// flags on its own — so qualified-only keeps full coverage.
+bool wall_clock_call(const std::vector<Token>& t, std::size_t i) {
+  if (i + 1 >= t.size() || !(t[i + 1].kind == Tok::kPunct &&
+                             t[i + 1].text == "("))
+    return false;
+  if (i == 0 || t[i - 1].kind != Tok::kPunct || t[i - 1].text != "::")
+    return false;
+  if (i >= 2 && t[i - 2].kind == Tok::kIdent)
+    return t[i - 2].text == "std";
+  return true;  // global-scope ::time( / ::clock(
+}
+
+}  // namespace
+
+void check_determinism(const AnalysisContext& ctx) {
+  const std::vector<Token>& t = ctx.unit.toks;
+
+  for (const Include& inc : ctx.unit.includes) {
+    if (inc.target == "random" || inc.target == "ctime" ||
+        inc.target == "time.h" || inc.target == "sys/time.h")
+      ctx.report(inc.line, "determinism",
+                 "#include <" + inc.target +
+                     "> pulls in nondeterministic sources; use the seeded "
+                     "simcore::rng engine");
+  }
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind == Tok::kIdent) {
+      if (banned_idents().count(t[i].text) != 0 &&
+          !prev_is_member_access(t, i)) {
+        ctx.report(t[i].line, "determinism",
+                   "'" + t[i].text +
+                       "' injects host state into the simulation; all "
+                       "randomness/time must flow through the seeded "
+                       "simcore::rng / sim clock");
+        continue;
+      }
+      if ((t[i].text == "time" || t[i].text == "clock") &&
+          wall_clock_call(t, i)) {
+        ctx.report(t[i].line, "determinism",
+                   "wall-clock call '" + t[i].text +
+                       "()' is not a function of the seed; use the "
+                       "simulation clock");
+        continue;
+      }
+      if (t[i].text == "uintptr_t" || t[i].text == "intptr_t") {
+        ctx.report(t[i].line, "determinism",
+                   "pointer-to-integer cast ('" + t[i].text +
+                       "') enables address ordering, which varies run to "
+                       "run; order by stable keys (VcpuKey) instead");
+        continue;
+      }
+      // std::less<T*> — ordering containers/algorithms by address.
+      if (t[i].text == "less" && i + 1 < t.size() &&
+          t[i + 1].kind == Tok::kPunct && t[i + 1].text == "<") {
+        const std::size_t close = match_forward(t, i + 1);
+        if (close < t.size()) {
+          for (std::size_t j = i + 2; j < close; ++j) {
+            if (t[j].kind == Tok::kPunct && t[j].text == "*") {
+              ctx.report(t[i].line, "determinism",
+                         "std::less over a pointer type orders by address, "
+                         "which varies run to run");
+              break;
+            }
+          }
+        }
+      }
+      continue;
+    }
+    // `&a < &b` (or `>`): comparing addresses for ordering.
+    if (t[i].kind == Tok::kPunct && (t[i].text == "<" || t[i].text == ">") &&
+        i + 1 < t.size() && t[i + 1].kind == Tok::kPunct &&
+        t[i + 1].text == "&" && i + 2 < t.size() &&
+        t[i + 2].kind == Tok::kIdent) {
+      // Walk the left operand back over ident/member chains to its head;
+      // require the head to be an address-of '&'.
+      std::size_t j = i;
+      while (j > 0 && (t[j - 1].kind == Tok::kIdent ||
+                       (t[j - 1].kind == Tok::kPunct &&
+                        (t[j - 1].text == "." || t[j - 1].text == "->"))))
+        --j;
+      if (j > 0 && t[j - 1].kind == Tok::kPunct && t[j - 1].text == "&" &&
+          j != i) {
+        // Exclude `a && b`-adjacent false matches: the lexer emits '&&' as
+        // one token, so a lone '&' here really is address-of or bitwise-and;
+        // bitwise-and of an ident chain compared to an address-of is not a
+        // pattern this codebase uses.
+        ctx.report(t[i].line, "determinism",
+                   "comparing object addresses orders by allocation "
+                   "layout, which varies run to run; order by stable keys "
+                   "(VcpuKey) instead");
+      }
+    }
+  }
+}
+
+}  // namespace asman_lint

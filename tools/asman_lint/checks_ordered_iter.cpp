@@ -1,0 +1,156 @@
+// ordered-iteration: std::unordered_{map,set} iteration order is a function
+// of hashing, bucket count, and insertion history — not of the seed. A loop
+// over one that writes into fingerprinted state (RunResult, traces, the
+// credit pool, the event queue) makes replay order-dependent. Membership
+// tests and lookups are fine; iteration that escapes is not.
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace asman_lint {
+
+namespace {
+
+bool is_unordered_name(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+// Calls/operators in a loop body that let per-element work escape the loop:
+// container mutation, trace/stat emission, scheduling.
+const std::unordered_set<std::string>& sink_calls() {
+  static const std::unordered_set<std::string> s{
+      "push_back", "emplace_back", "push",   "insert", "emplace",
+      "trace",     "record",       "post",   "emit",   "schedule",
+      "append",    "add",          "write",  "flag",   "accumulate"};
+  return s;
+}
+
+bool body_escapes(const std::vector<Token>& t, std::size_t b, std::size_t e) {
+  for (std::size_t i = b; i < e; ++i) {
+    if (t[i].kind == Tok::kPunct &&
+        (t[i].text == "=" || t[i].text == "+=" || t[i].text == "-=" ||
+         t[i].text == "|=" || t[i].text == "&=" || t[i].text == "^=" ||
+         t[i].text == "++" || t[i].text == "--"))
+      return true;
+    if (t[i].kind == Tok::kIdent && sink_calls().count(t[i].text) != 0 &&
+        i + 1 < e && t[i + 1].kind == Tok::kPunct && t[i + 1].text == "(")
+      return true;
+    if (t[i].kind == Tok::kIdent && t[i].text == "return") return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_ordered_iteration(const AnalysisContext& ctx) {
+  const std::vector<Token>& t = ctx.unit.toks;
+
+  // Pass 1: names declared with an unordered container type, plus type
+  // aliases of them (`using Index = std::unordered_map<...>;`).
+  std::unordered_set<std::string> unordered_vars;
+  std::unordered_set<std::string> unordered_aliases;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    const bool direct = is_unordered_name(t[i].text);
+    const bool via_alias = unordered_aliases.count(t[i].text) != 0;
+    if (!direct && !via_alias) continue;
+    // Alias definition: using NAME = [std::]unordered_map<...>
+    if (direct && i >= 3) {
+      std::size_t j = i;  // token just past the '=' going backwards
+      if (t[j - 1].kind == Tok::kPunct && t[j - 1].text == "::" && j >= 2)
+        j -= 2;  // skip the std:: qualifier
+      if (j >= 3 && t[j - 1].kind == Tok::kPunct && t[j - 1].text == "=" &&
+          t[j - 2].kind == Tok::kIdent && t[j - 3].kind == Tok::kIdent &&
+          t[j - 3].text == "using") {
+        unordered_aliases.insert(t[j - 2].text);
+      }
+    }
+    std::size_t after = i + 1;
+    if (direct && after < t.size() && t[after].kind == Tok::kPunct &&
+        t[after].text == "<") {
+      const std::size_t close = match_forward(t, after);
+      if (close >= t.size()) continue;
+      after = close + 1;
+    }
+    // Skip references/pointers/qualifiers between type and declared name.
+    while (after < t.size() &&
+           ((t[after].kind == Tok::kPunct &&
+             (t[after].text == "&" || t[after].text == "*")) ||
+            (t[after].kind == Tok::kIdent && (t[after].text == "const"))))
+      ++after;
+    if (after < t.size() && t[after].kind == Tok::kIdent &&
+        !is_unordered_name(t[after].text))
+      unordered_vars.insert(t[after].text);
+  }
+
+  // Pass 2: range-for over an unordered container, or iterator loops that
+  // call .begin() on one inside a for-header.
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(t[i].kind == Tok::kIdent && t[i].text == "for")) continue;
+    if (!(t[i + 1].kind == Tok::kPunct && t[i + 1].text == "(")) continue;
+    const std::size_t open = i + 1;
+    const std::size_t close = match_forward(t, open);
+    if (close >= t.size()) continue;
+
+    // Find the range-for ':' at top paren depth ('::' is a distinct token,
+    // so a bare ':' is unambiguous).
+    std::size_t colon = t.size();
+    int depth = 0;
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (t[j].kind != Tok::kPunct) continue;
+      if (t[j].text == "(" || t[j].text == "[") ++depth;
+      else if (t[j].text == ")" || t[j].text == "]") --depth;
+      else if (t[j].text == ":" && depth == 0) {
+        colon = j;
+        break;
+      }
+    }
+
+    std::string offender;
+    if (colon < t.size()) {
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (t[j].kind == Tok::kIdent &&
+            (unordered_vars.count(t[j].text) != 0 ||
+             is_unordered_name(t[j].text))) {
+          offender = t[j].text;
+          break;
+        }
+      }
+    } else {
+      // Classic iterator loop: look for `<name>.begin(` in the header.
+      for (std::size_t j = open + 1; j + 2 < close; ++j) {
+        if (t[j].kind == Tok::kIdent && unordered_vars.count(t[j].text) != 0 &&
+            t[j + 1].kind == Tok::kPunct &&
+            (t[j + 1].text == "." || t[j + 1].text == "->") &&
+            t[j + 2].kind == Tok::kIdent &&
+            (t[j + 2].text == "begin" || t[j + 2].text == "cbegin")) {
+          offender = t[j].text;
+          break;
+        }
+      }
+    }
+    if (offender.empty()) continue;
+
+    // Loop body: `{...}` or a single statement.
+    std::size_t b = close + 1;
+    std::size_t e;
+    if (b < t.size() && t[b].kind == Tok::kPunct && t[b].text == "{") {
+      e = match_forward(t, b);
+      if (e >= t.size()) e = t.size() - 1;
+    } else {
+      e = statement_around(t, b).end;
+    }
+    if (body_escapes(t, b, e)) {
+      ctx.report(t[i].line, "ordered-iteration",
+                 "iteration over unordered container '" + offender +
+                     "' escapes into stateful code; hash-order is not a "
+                     "function of the seed — iterate a sorted copy or use "
+                     "an ordered container");
+    }
+  }
+}
+
+}  // namespace asman_lint

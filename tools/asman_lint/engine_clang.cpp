@@ -1,0 +1,231 @@
+// Clang libTooling engine for asman-lint (--engine ast).
+//
+// Compiled only when CMake is configured with -DASMAN_LINT_CLANG=ON (or
+// AUTO finds a Clang dev install); the pinned-LLVM `lint-static` CI lane is
+// the intended home. It re-verifies the portable engine's disciplines with
+// real semantic information — overload resolution decides whether `time(`
+// is ::time or the simulator's clock-domain accessor, and types decide what
+// is floating-point — rather than token-pattern evidence. The portable
+// engine stays the source of truth for the tier-1 `lint` test label; this
+// engine exists to catch what a lexer structurally cannot (macro-laundered
+// calls, using-declarations, typedef chains).
+//
+// Deliberately avoids CommonOptionsParser (its signature churns across LLVM
+// majors); the compilation database is loaded directly.
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+
+#include "lexer.h"
+#include "model.h"
+#include "report.h"
+
+namespace asman_lint {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace clang;              // NOLINT(google-build-using-namespace)
+using namespace clang::ast_matchers;  // NOLINT(google-build-using-namespace)
+
+std::string display_path(const std::string& path, const std::string& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root.empty() ? "." : root, ec);
+  if (ec || rel.empty() || rel.native().compare(0, 2, "..") == 0) return path;
+  return rel.generic_string();
+}
+
+/// Collects findings from matcher callbacks, scoped to the first-party
+/// prefix and reported through the same ledger as the portable engine.
+class Collector : public MatchFinder::MatchCallback {
+ public:
+  Collector(const Options& options, std::vector<Finding>& findings)
+      : options_(options), findings_(findings) {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const SourceManager& sm = *result.SourceManager;
+    const auto add = [&](SourceLocation loc, const char* check,
+                         std::string message) {
+      if (loc.isInvalid()) return;
+      const SourceLocation spelling = sm.getSpellingLoc(loc);
+      if (!sm.isInMainFile(sm.getExpansionLoc(loc))) return;
+      const PresumedLoc p = sm.getPresumedLoc(spelling);
+      if (p.isInvalid()) return;
+      const std::string disp = display_path(p.getFilename(), options_.root);
+      if (!options_.prefix.empty() &&
+          disp.compare(0, options_.prefix.size(), options_.prefix) != 0)
+        return;
+      findings_.push_back(
+          {disp, static_cast<int>(p.getLine()), check, std::move(message),
+           /*allowed=*/false, /*allow_reason=*/{}});
+    };
+
+    if (const auto* call = result.Nodes.getNodeAs<CallExpr>("banned-call")) {
+      std::string name = "<call>";
+      if (const FunctionDecl* fd = call->getDirectCallee())
+        name = fd->getQualifiedNameAsString();
+      add(call->getBeginLoc(), "determinism",
+          "call to '" + name +
+              "' injects host state into the simulation; all randomness/"
+              "time must flow through the seeded simcore::rng / sim clock");
+    }
+    if (const auto* var = result.Nodes.getNodeAs<VarDecl>("banned-var")) {
+      add(var->getLocation(), "determinism",
+          "variable of nondeterministic type '" +
+              var->getType().getAsString() +
+              "'; use the seeded simcore::rng engine");
+    }
+    if (const auto* cmp =
+            result.Nodes.getNodeAs<BinaryOperator>("addr-order")) {
+      add(cmp->getOperatorLoc(), "determinism",
+          "relational comparison of pointers orders by allocation layout, "
+          "which varies run to run; order by stable keys (VcpuKey) instead");
+    }
+    if (const auto* assign =
+            result.Nodes.getNodeAs<BinaryOperator>("credit-float")) {
+      add(assign->getOperatorLoc(), "integer-credit",
+          "floating point reaching a credit store; credit is exact integer "
+          "fixed-point and must stay __int128/int64");
+    }
+    if (const auto* cast =
+            result.Nodes.getNodeAs<ExplicitCastExpr>("credit-narrow")) {
+      const QualType dst = cast->getTypeAsWritten();
+      if (dst->isIntegerType() &&
+          result.Context->getTypeSize(dst) < 64)
+        add(cast->getBeginLoc(), "integer-credit",
+            "narrowing cast of a credit quantity to '" + dst.getAsString() +
+                "' discards range; credit stays __int128/int64 end to end");
+    }
+  }
+
+ private:
+  const Options& options_;
+  std::vector<Finding>& findings_;
+};
+
+}  // namespace
+
+int run_clang_engine(const Options& options,
+                     const std::vector<std::string>& files) {
+  std::string err;
+  std::unique_ptr<tooling::CompilationDatabase> db;
+  if (!options.compile_db.empty())
+    db = tooling::CompilationDatabase::loadFromDirectory(options.compile_db,
+                                                         err);
+  if (!db && !files.empty())
+    db = std::make_unique<tooling::FixedCompilationDatabase>(
+        ".", std::vector<std::string>{"-std=c++20"});
+  if (!db) {
+    std::fprintf(stderr,
+                 "asman-lint: --engine ast needs -p BUILD_DIR with a "
+                 "compile_commands.json (%s)\n",
+                 err.c_str());
+    return 2;
+  }
+
+  std::vector<std::string> sources = files;
+  if (sources.empty()) {
+    for (const std::string& f : db->getAllFiles()) {
+      const std::string disp = display_path(f, options.root);
+      if (options.prefix.empty() ||
+          disp.compare(0, options.prefix.size(), options.prefix) == 0)
+        sources.push_back(f);
+    }
+  }
+  if (sources.empty()) {
+    std::fprintf(stderr, "asman-lint: no files in scope\n");
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  Collector collector(options, findings);
+  MatchFinder finder;
+
+  // determinism: host entropy / wall-clock calls. Leading :: pins the
+  // global namespace, so the simulator's own `clock()` members are immune.
+  finder.addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::rand", "::srand", "::drand48", "::lrand48", "::random",
+                   "::time", "::clock", "::getenv", "::gettimeofday",
+                   "::clock_gettime", "::timespec_get", "::rand_r"))))
+          .bind("banned-call"),
+      &collector);
+  finder.addMatcher(
+      callExpr(callee(cxxMethodDecl(
+                   hasName("now"),
+                   ofClass(hasAnyName("::std::chrono::system_clock",
+                                      "::std::chrono::steady_clock",
+                                      "::std::chrono::high_resolution_clock")))))
+          .bind("banned-call"),
+      &collector);
+  finder.addMatcher(
+      varDecl(hasType(cxxRecordDecl(hasAnyName(
+                  "::std::random_device", "::std::mt19937", "::std::mt19937_64",
+                  "::std::default_random_engine", "::std::minstd_rand"))))
+          .bind("banned-var"),
+      &collector);
+  // determinism: pointer relational comparison (address ordering).
+  finder.addMatcher(
+      binaryOperator(isComparisonOperator(),
+                     unless(hasAnyOperatorName("==", "!=")),
+                     hasLHS(hasType(pointerType())),
+                     hasRHS(hasType(pointerType())))
+          .bind("addr-order"),
+      &collector);
+  // integer-credit: floating point flowing into a credit member store.
+  finder.addMatcher(
+      binaryOperator(isAssignmentOperator(),
+                     hasLHS(memberExpr(member(matchesName("[Cc]redit")))),
+                     hasRHS(anyOf(hasType(realFloatingPointType()),
+                                  hasDescendant(expr(hasType(
+                                      realFloatingPointType()))))))
+          .bind("credit-float"),
+      &collector);
+  // integer-credit: explicit narrowing of a credit quantity (width checked
+  // semantically in the callback).
+  finder.addMatcher(
+      explicitCastExpr(hasSourceExpression(ignoringImpCasts(
+                           memberExpr(member(matchesName("[Cc]redit"))))))
+          .bind("credit-narrow"),
+      &collector);
+
+  tooling::ClangTool tool(*db, sources);
+  const int tool_rc =
+      tool.run(tooling::newFrontendActionFactory(&finder).get());
+  if (tool_rc != 0) {
+    std::fprintf(stderr,
+                 "asman-lint: clang engine: %d TU(s) failed to parse\n",
+                 tool_rc);
+    return 2;
+  }
+
+  // Route suppressions through the same allow-pragma ledger: lex each
+  // flagged file once and apply its pragmas to these findings.
+  std::map<std::string, FileUnit> units;
+  const std::string root = options.root.empty() ? "." : options.root;
+  for (const Finding& f : findings) {
+    if (units.count(f.file) != 0) continue;
+    FileUnit unit;
+    std::string lex_err;
+    const std::string on_disk =
+        fs::exists(f.file) ? f.file : root + "/" + f.file;
+    if (lex_path(on_disk, f.file, unit, lex_err))
+      units.emplace(f.file, std::move(unit));
+  }
+  for (const auto& [path, unit] : units) apply_allows(unit, findings);
+
+  const ReportStats stats = print_report(findings, options);
+  if (stats.errors > 0 || stats.suppressed > options.max_allows) return 1;
+  return 0;
+}
+
+}  // namespace asman_lint

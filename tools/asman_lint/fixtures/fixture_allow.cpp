@@ -1,0 +1,21 @@
+// Fixture for the `// asman-lint: allow(...)` escape hatch: three planted
+// determinism violations carry a suppression (own-line-above, same-line,
+// and allow(all) forms), one control stays unsuppressed. lint_test asserts
+// the ledger lists exactly the three suppressions with their reasons, that
+// only the control is an error, and that `--max-allows 2` trips the budget.
+#include <cstdlib>
+
+namespace fixture {
+
+// asman-lint: allow(determinism) -- fixture: pragma on the line above
+const char* mode_a() { return std::getenv("FIXTURE_A"); }
+
+const char* mode_b() { return std::getenv("FIXTURE_B"); }  // asman-lint: allow(determinism) -- fixture: same-line pragma
+
+// asman-lint: allow(all) -- fixture: allow(all) covers every check
+const char* mode_c() { return std::getenv("FIXTURE_C"); }
+
+// Unsuppressed control: must still be reported as an error.
+const char* mode_d() { return std::getenv("FIXTURE_D"); }
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Seeded-violation fixture for the `audit-seam` check: VcpuState writes,
+// run-queue membership changes, and credit writes outside the audited
+// choke points (Hypervisor::set_state / enqueue / dequeue / the accounting
+// paths). Never compiled into any target. Expected: 4 audit-seam findings.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+enum class VcpuState { kRunnable, kRunning, kBlocked };
+
+struct Vcpu {
+  VcpuState state{VcpuState::kRunnable};
+  std::int64_t credit{0};
+  std::uint32_t where{0};
+};
+
+struct RunQueue {
+  void push(Vcpu*) {}
+  bool remove(Vcpu*) { return true; }
+};
+
+struct Pcpu {
+  RunQueue runq;
+};
+
+struct Hypervisor {
+  std::vector<Pcpu> pcpus_;
+
+  // planted: lifecycle state write bypassing set_state (the auditor's
+  // shadow state machine would silently drift).
+  void rogue_block(Vcpu& v) { v.state = VcpuState::kBlocked; }
+
+  // planted x2: run-queue membership changed outside enqueue/dequeue.
+  void rogue_move(Vcpu& v, std::uint32_t dest) {
+    pcpus_[v.where].runq.remove(&v);
+    pcpus_[dest].runq.push(&v);
+  }
+
+  // planted: credit mutated outside the audited accounting paths.
+  void rogue_grant(Vcpu& v) { v.credit += 100; }
+};
+
+}  // namespace fixture

@@ -1,0 +1,65 @@
+// Negative fixture: every construct here is deliberately adjacent to a
+// banned pattern yet legal under the discipline. asman_lint must report
+// zero findings on this file; any hit is a false-positive regression.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+using Credit = std::int64_t;
+inline constexpr Credit kCreditPerSlot = 100'000;  // digit separators lex fine
+
+struct ClockDomain {
+  std::uint64_t freq_hz;
+  std::uint64_t from_ms(std::uint64_t ms) const { return freq_hz / 1000 * ms; }
+};
+
+struct Machine {
+  std::uint64_t freq_hz{2'300'000'000};
+  std::uint32_t num_pcpus{8};
+  std::uint32_t slots_per_accounting{3};
+  // A project method named clock() is the simulated clock domain, not the
+  // libc wall clock; only std::/::-qualified calls are banned.
+  ClockDomain clock() const { return ClockDomain{freq_hz}; }
+};
+
+std::uint64_t slot_cycles(const Machine& m) { return m.clock().from_ms(30); }
+
+// Widened credit math is exactly the discipline integer-credit wants.
+Credit total_mint(const Machine& m) {
+  return static_cast<Credit>(static_cast<__int128>(m.num_pcpus) *
+                             kCreditPerSlot * m.slots_per_accounting);
+}
+
+// Membership lookups on unordered containers never observe hash order.
+bool is_hot(const std::unordered_set<int>& hot, int id) {
+  return hot.count(id) != 0;
+}
+
+void consider(int) {}
+
+// Iteration whose body neither writes nor feeds a recording sink is
+// order-insensitive and stays legal.
+void visit_all(const std::unordered_map<int, long>& residency) {
+  for (const auto& kv : residency) consider(kv.first);
+}
+
+// A guest kernel thread-state machine is not the VMM's VcpuState seam.
+enum class TState { kReady, kBlocked };
+struct Thread {
+  TState state{TState::kReady};
+};
+void wake(Thread& th) { th.state = TState::kReady; }
+
+struct Vcpu {
+  Credit credit{0};
+};
+
+struct Hypervisor {
+  // Whitelisted audited accounting path: Hypervisor::charge may write credit.
+  void charge(Vcpu& v) { v.credit = v.credit - kCreditPerSlot; }
+};
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Seeded-violation fixture for the `ordered-iteration` check: every loop
+// below walks an unordered container in hash order and lets the visit
+// order escape into observable state. Never compiled into any target.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct RunResult {
+  std::vector<int> samples;
+};
+
+// planted: range-for over an unordered_map whose visit order escapes into a
+// result vector (hash order would leak into the fingerprint).
+void fingerprint(const std::unordered_map<int, long>& residency,
+                 RunResult& rr) {
+  for (const auto& kv : residency) {
+    rr.samples.push_back(static_cast<int>(kv.second));
+  }
+}
+
+using HotSet = std::unordered_set<int>;
+
+// planted: alias-typed unordered container, accumulation escapes.
+long sum_hot(const HotSet& hot) {
+  long total = 0;
+  for (int id : hot) total += id;
+  return total;
+}
+
+// planted: explicit iterator loop over an unordered_set, order escapes.
+void drain(std::unordered_set<int>& pending, std::vector<int>& out) {
+  for (auto it = pending.begin(); it != pending.end(); ++it) {
+    out.push_back(*it);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// Findings, check registry, and shared configuration for asman-lint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "token.h"
+
+namespace asman_lint {
+
+struct Finding {
+  std::string file;    // display path
+  int line;
+  std::string check;   // determinism | ordered-iteration | integer-credit |
+                       // audit-seam
+  std::string message;
+  bool allowed{false};        // suppressed by an asman-lint: allow(...) pragma
+  std::string allow_reason;   // the pragma's `-- reason`, if any
+};
+
+inline const char* const kCheckNames[] = {
+    "determinism",
+    "ordered-iteration",
+    "integer-credit",
+    "audit-seam",
+};
+
+struct Options {
+  std::string root;              // repo root (default: cwd)
+  std::string compile_db;        // -p BUILD_DIR (compile_commands.json)
+  std::vector<std::string> files;
+  std::string prefix{"src/"};    // scope filter when walking --root
+  std::vector<std::string> only_checks;  // --check NAME (repeatable)
+  int max_allows{16};            // suppression budget (CI-visible)
+  bool quiet{false};
+  bool list_checks{false};
+};
+
+bool check_enabled(const Options& opt, const char* name);
+
+}  // namespace asman_lint

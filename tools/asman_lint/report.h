@@ -1,0 +1,27 @@
+// Suppression matching, budget accounting, and finding output.
+#pragma once
+
+#include <vector>
+
+#include "model.h"
+#include "token.h"
+
+namespace asman_lint {
+
+/// Marks findings covered by an allow pragma (same line or the line below
+/// it, matching check name or `all`) and bumps each pragma's use count.
+void apply_allows(const FileUnit& unit, std::vector<Finding>& findings);
+
+struct ReportStats {
+  int errors{0};       // non-allowed findings
+  int suppressed{0};   // findings covered by an allow pragma
+};
+
+/// Prints findings (path:line: [check] message), then the suppression
+/// ledger — every allow that fired, with its reason — and the budget line.
+/// Returns the tallies; callers exit nonzero if errors > 0 or the
+/// suppression count exceeds the budget.
+ReportStats print_report(const std::vector<Finding>& findings,
+                         const Options& options);
+
+}  // namespace asman_lint

@@ -1,0 +1,57 @@
+// Token model for asman-lint's dependency-free C++ scanner.
+//
+// The portable engine does not build a real AST: it lexes each file into a
+// token stream (comments and preprocessor lines stripped, string/char
+// literals collapsed, `asman-lint: allow(...)` pragmas harvested) and runs
+// the project-discipline checks as structural patterns over that stream.
+// This keeps the tool buildable with nothing but the C++ toolchain; the
+// optional clang engine (engine_clang.cpp, -DASMAN_LINT_CLANG=ON) reuses
+// the same finding/report model with full semantic types.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace asman_lint {
+
+enum class Tok {
+  kIdent,        // identifiers and keywords
+  kNumber,       // integer-looking pp-number (incl. 100'000)
+  kFloatNumber,  // floating-point literal (1.0, 2e9, 0x1.8p3, 1.f)
+  kString,       // string literal (text collapsed to "")
+  kChar,         // character literal
+  kPunct,        // operators / punctuation, longest-match (::, ->, +=, ...)
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;
+};
+
+/// One `// asman-lint: allow(check-a, check-b) -- reason` pragma. It
+/// suppresses findings of the named checks on its own line and on the next
+/// line (so a whole-line comment can shield the statement below it). Every
+/// suppression that actually fires is counted against the --max-allows
+/// budget and listed in the report, so escapes stay visible in CI output.
+struct AllowPragma {
+  int line;
+  std::vector<std::string> checks;
+  std::string reason;
+  mutable int uses{0};
+};
+
+struct Include {
+  int line;
+  std::string target;  // e.g. "random", "sys/time.h"
+};
+
+struct FileUnit {
+  std::string path;          // path as reported in findings
+  std::string display_path;  // normalized (repo-relative when possible)
+  std::vector<Token> toks;
+  std::vector<AllowPragma> allows;
+  std::vector<Include> includes;
+};
+
+}  // namespace asman_lint

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Run clang-tidy over the whole codebase using the compile database.
 #
-#   tools/lint.sh [build-dir] [-- extra clang-tidy args]
+#   tools/lint.sh [--fix] [build-dir] [-- extra clang-tidy args]
+#
+# --fix applies clang-tidy's suggested fixits in place (serialized through
+# run-clang-tidy when available, so concurrent edits to shared headers
+# cannot race).
 #
 # The build directory must have been configured already (any preset will
 # do: CMakeLists.txt always exports compile_commands.json). Exits 0 when
@@ -13,6 +17,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+FIX=0
+if [ "${1:-}" = "--fix" ]; then
+  FIX=1
+  shift
+fi
 BUILD_DIR="${1:-build}"
 shift || true
 [ "${1:-}" = "--" ] && shift
@@ -41,20 +50,30 @@ fi
 # First-party translation units only (third-party/test-framework TUs that
 # end up in the compile database are not ours to lint). --others picks up
 # files not yet committed (e.g. a freshly added src/vmm TU) so pre-commit
-# runs lint what is about to land, not just what already did.
+# runs lint what is about to land, not just what already did. asman-lint's
+# fixtures are excluded (they plant violations on purpose and are never
+# compiled), as is engine_clang.cpp (only in the database when the clang
+# AST engine was configured in).
 mapfile -t FILES < <(git ls-files --cached --others --exclude-standard \
                                   'src/*.cpp' 'tests/*.cpp' 'bench/*.cpp' \
-                                  'examples/*.cpp' | sort -u)
+                                  'examples/*.cpp' 'tools/asman_lint/*.cpp' \
+                                  ':!tools/asman_lint/fixtures/*' \
+                                  ':!tools/asman_lint/engine_clang.cpp' \
+                                  | sort -u)
 
 echo "lint.sh: $TIDY over ${#FILES[@]} files (database: $BUILD_DIR)" >&2
 STATUS=0
 RUNNER="$(command -v run-clang-tidy || true)"
 if [ -n "$RUNNER" ]; then
-  "$RUNNER" -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" -quiet "$@" \
-      "${FILES[@]}" || STATUS=$?
+  FIX_ARGS=()
+  [ "$FIX" = 1 ] && FIX_ARGS=(-fix)
+  "$RUNNER" -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" -quiet \
+      "${FIX_ARGS[@]}" "$@" "${FILES[@]}" || STATUS=$?
 else
+  FIX_ARGS=()
+  [ "$FIX" = 1 ] && FIX_ARGS=(--fix)
   for f in "${FILES[@]}"; do
-    "$TIDY" -p "$BUILD_DIR" --quiet "$@" "$f" || STATUS=$?
+    "$TIDY" -p "$BUILD_DIR" --quiet "${FIX_ARGS[@]}" "$@" "$f" || STATUS=$?
   done
 fi
 exit $STATUS
