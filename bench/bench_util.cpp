@@ -1,12 +1,61 @@
 #include "bench_util.h"
 
+#include <sys/resource.h>
+
+#include <cinttypes>
+
 namespace asman::bench {
+
+std::uint64_t peak_rss_bytes() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
+}
+
+std::string write_bench_json(const Sweep& sweep, const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return {};
+  }
+  std::fprintf(out, "{\n  \"bench\": \"%s\",\n", name.c_str());
+  std::fprintf(out, "  \"peak_rss_bytes\": %" PRIu64 ",\n", peak_rss_bytes());
+  std::fprintf(out, "  \"points\": [");
+  bool first = true;
+  for (const std::string& label : sweep.labels()) {
+    if (!sweep.executed(label)) continue;
+    const PointResult& pr = sweep.get(label);
+    const ex::Scenario& sc = sweep.scenario(label);
+    const double events = static_cast<double>(pr.run.events);
+    const double eps =
+        pr.wall_seconds > 0 ? events / pr.wall_seconds : 0.0;
+    const double nspe =
+        events > 0 ? pr.wall_seconds * 1e9 / events : 0.0;
+    std::fprintf(out,
+                 "%s\n    {\"label\": \"%s\", \"scheduler\": \"%s\", "
+                 "\"seed\": %" PRIu64 ", \"events\": %" PRIu64
+                 ", \"wall_seconds\": %.6f, \"events_per_sec\": %.1f, "
+                 "\"ns_per_event\": %.2f}",
+                 first ? "" : ",", label.c_str(),
+                 core::to_string(pr.run.scheduler), sc.seed, pr.run.events,
+                 pr.wall_seconds, eps, nspe);
+    first = false;
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  return path;
+}
 
 int run_bench_main(int argc, char** argv, Sweep& sweep,
                    const std::string& prefix, const Annotator& annotate,
                    const std::function<void(const Sweep&)>& print_tables) {
   benchmark::Initialize(&argc, argv);
   sweep.execute();
+  const std::string json = write_bench_json(sweep, prefix);
+  if (!json.empty())
+    std::fprintf(stderr, "[bench] wrote %s\n", json.c_str());
   sweep.register_benchmarks(prefix, annotate);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

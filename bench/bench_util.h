@@ -56,9 +56,14 @@ class Sweep {
     sim::ThreadPool pool;
     std::vector<PointResult> out(todo.size());
     pool.parallel_for(todo.size(), [&](std::size_t i) {
+      // The harness times itself on the host wall clock; the measurement
+      // never feeds back into any simulation (each run is a pure function
+      // of its Scenario + seed), so determinism is not at stake.
+      // asman-lint: allow(determinism) -- host wall-clock measures the harness, not the simulation
       const auto t0 = std::chrono::steady_clock::now();
       ex::RunResult r = ex::run_scenario(scenarios_.at(todo[i]));
       const std::chrono::duration<double> dt =
+          // asman-lint: allow(determinism) -- host wall-clock measures the harness, not the simulation
           std::chrono::steady_clock::now() - t0;
       out[i] = PointResult{std::move(r), dt.count()};
     });
@@ -97,6 +102,18 @@ class Sweep {
     return results_.at(label);
   }
 
+  /// Declared point labels, in declaration order.
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  /// The scenario a label was declared with (for seed/scheduler metadata).
+  const ex::Scenario& scenario(const std::string& label) const {
+    return scenarios_.at(label);
+  }
+
+  bool executed(const std::string& label) const {
+    return results_.count(label) != 0;
+  }
+
   /// One google-benchmark entry per point; manual time = simulation wall
   /// time, counters = paper metrics chosen by `annotate`.
   void register_benchmarks(const std::string& prefix,
@@ -130,8 +147,20 @@ inline std::string rate_label(core::SchedulerKind k, double rate) {
   return buf;
 }
 
-/// Standard bench entry point: execute sweep, emit tables, then hand over
-/// to google-benchmark.
+/// Peak resident set size of this process in bytes (getrusage; 0 when the
+/// platform reports nothing useful).
+std::uint64_t peak_rss_bytes();
+
+/// Writes BENCH_<name>.json next to the binary's working directory: one
+/// record per executed point carrying label, scheduler, seed, simulated
+/// events, wall seconds, events/sec and ns/event, plus the process-wide
+/// peak RSS. Machine-readable so the perf trajectory can be tracked run
+/// over run (bench/baselines/ holds committed baselines). Returns the
+/// path written, or an empty string on I/O failure.
+std::string write_bench_json(const Sweep& sweep, const std::string& name);
+
+/// Standard bench entry point: execute sweep, emit tables and
+/// BENCH_<prefix>.json, then hand over to google-benchmark.
 int run_bench_main(int argc, char** argv, Sweep& sweep,
                    const std::string& prefix, const Annotator& annotate,
                    const std::function<void(const Sweep&)>& print_tables);

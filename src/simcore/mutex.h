@@ -1,0 +1,44 @@
+// Annotated mutex wrappers for clang's thread-safety analysis.
+//
+// std::mutex and std::lock_guard carry no capability attributes on
+// libstdc++, so -Wthread-safety cannot see through them. These thin
+// wrappers add the attributes and nothing else; under non-clang compilers
+// they compile to exactly the std types' behaviour. Condition waits use
+// std::condition_variable_any, which accepts any BasicLockable — Mutex
+// qualifies via lock()/unlock().
+#pragma once
+
+#include <mutex>
+
+#include "simcore/thread_annotations.h"
+
+namespace asman::sim {
+
+class ASMAN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ASMAN_ACQUIRE() { mu_.lock(); }
+  void unlock() ASMAN_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex; the scoped-capability attribute lets the analysis
+/// track the critical section's extent.
+class ASMAN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ASMAN_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ASMAN_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace asman::sim

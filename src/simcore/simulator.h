@@ -12,11 +12,20 @@
 #include <utility>
 
 #include "simcore/event_queue.h"
+#include "simcore/thread_annotations.h"
 #include "simcore/time.h"
 
 namespace asman::sim {
 
-class Simulator {
+// Declared a thread-safety capability: a Simulator (and everything hanging
+// off it — Hypervisor, guests, the seeded Rng streams) is confined to the
+// one pool worker that owns its run. Nothing acquires the capability today
+// because nothing may share the object; if cross-thread access is ever
+// introduced, the accessor must take ASMAN_REQUIRES(sim) and the sharing
+// site must justify itself to clang's -Wthread-safety and to asman-lint's
+// `thread-safety` rule, which rejects captures of simulator/hypervisor/RNG
+// state inside ThreadPool tasks.
+class ASMAN_CAPABILITY("simulator") Simulator {
  public:
   Simulator() = default;
   Simulator(const Simulator&) = delete;

@@ -1,0 +1,31 @@
+// Clang thread-safety analysis attributes (a no-op under other compilers).
+//
+// The clang lanes compile with -Wthread-safety -Werror, so every access to
+// a member declared ASMAN_GUARDED_BY(mu) is statically proven to happen
+// with `mu` held — the compile-time side of the discipline asman-lint's
+// `thread-safety` rule checks structurally (no Hypervisor/Simulator/RNG
+// state reachable from more than one pool worker except through an
+// annotated lock). libstdc++'s std::mutex carries no annotations, so the
+// annotated sim::Mutex / sim::MutexLock wrappers in simcore/mutex.h are
+// the lockable types these attributes name.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ASMAN_THREAD_ATTR(x) __attribute__((x))
+#else
+#define ASMAN_THREAD_ATTR(x)
+#endif
+
+#define ASMAN_CAPABILITY(x) ASMAN_THREAD_ATTR(capability(x))
+#define ASMAN_SCOPED_CAPABILITY ASMAN_THREAD_ATTR(scoped_lockable)
+#define ASMAN_GUARDED_BY(x) ASMAN_THREAD_ATTR(guarded_by(x))
+#define ASMAN_PT_GUARDED_BY(x) ASMAN_THREAD_ATTR(pt_guarded_by(x))
+#define ASMAN_REQUIRES(...) \
+  ASMAN_THREAD_ATTR(requires_capability(__VA_ARGS__))
+#define ASMAN_ACQUIRE(...) \
+  ASMAN_THREAD_ATTR(acquire_capability(__VA_ARGS__))
+#define ASMAN_RELEASE(...) \
+  ASMAN_THREAD_ATTR(release_capability(__VA_ARGS__))
+#define ASMAN_EXCLUDES(...) ASMAN_THREAD_ATTR(locks_excluded(__VA_ARGS__))
+#define ASMAN_NO_THREAD_SAFETY_ANALYSIS \
+  ASMAN_THREAD_ATTR(no_thread_safety_analysis)

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -27,8 +27,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lk(mu_);
+      // Open-coded wait loop (rather than the predicate overload) so the
+      // guarded reads of stop_/queue_ stay inside the annotated critical
+      // section where -Wthread-safety can see the capability.
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stop_ set and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -3,7 +3,11 @@
 // Individual simulations are single-threaded and deterministic; parameter
 // sweeps (one simulation per scheduler x online-rate x seed point) are
 // embarrassingly parallel, so the bench harness and the experiment runner
-// fan sweeps out over this pool. Tasks must not share mutable state.
+// fan sweeps out over this pool. Tasks must not share mutable state: the
+// pool's own queue is the only cross-thread state here, guarded by an
+// annotated sim::Mutex so clang's -Wthread-safety proves every access
+// (asman-lint's `thread-safety` rule checks the callers' side — no
+// Hypervisor/Simulator/RNG reachable from more than one worker).
 #pragma once
 
 #include <condition_variable>
@@ -11,9 +15,10 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "simcore/mutex.h"
 
 namespace asman::sim {
 
@@ -36,7 +41,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -51,10 +56,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_{false};
+  Mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_ ASMAN_GUARDED_BY(mu_);
+  bool stop_ ASMAN_GUARDED_BY(mu_){false};
 };
 
 }  // namespace asman::sim

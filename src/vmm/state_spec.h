@@ -1,0 +1,47 @@
+// The legal VcpuState transition relation — the single source of truth.
+//
+// Exactly one definition of this relation exists in the repository. The
+// runtime auditor (src/audit/auditor.cpp) consults legal_transition() for
+// every observed set_state notification, and asman-lint's `state-machine`
+// check (tools/asman_lint/checks_state_machine.cpp) lexes THIS file at
+// analysis time to verify every statically determinable set_state call
+// site against the same table. Editing the table below therefore changes
+// both the runtime and the static checker in one place; duplicating it
+// anywhere else defeats the design.
+//
+// asman-lint parses the initializer of kLegalVcpuTransitions structurally
+// (it has no preprocessor), so the table must stay a plain constexpr array
+// of `{VcpuState::kFrom, VcpuState::kTo}` pairs — no macros, no computed
+// entries.
+#pragma once
+
+#include "vmm/types.h"
+
+namespace asman::vmm {
+
+struct VcpuTransition {
+  VcpuState from;
+  VcpuState to;
+};
+
+/// The scheduler's lifecycle contract (paper §3 and docs/MODEL.md §5):
+/// Running<->Runnable by dispatch/preempt, Runnable<->Blocked by guest
+/// halt/wake, and Destroyed reachable only from a parked state — a
+/// Running VCPU is always unmapped (-> Runnable) before it is drained,
+/// and a tombstone never transitions again.
+inline constexpr VcpuTransition kLegalVcpuTransitions[] = {
+    {VcpuState::kRunnable, VcpuState::kRunning},
+    {VcpuState::kRunning, VcpuState::kRunnable},
+    {VcpuState::kRunnable, VcpuState::kBlocked},
+    {VcpuState::kBlocked, VcpuState::kRunnable},
+    {VcpuState::kRunnable, VcpuState::kDestroyed},
+    {VcpuState::kBlocked, VcpuState::kDestroyed},
+};
+
+constexpr bool legal_transition(VcpuState from, VcpuState to) {
+  for (const VcpuTransition& t : kLegalVcpuTransitions)
+    if (t.from == from && t.to == to) return true;
+  return false;
+}
+
+}  // namespace asman::vmm

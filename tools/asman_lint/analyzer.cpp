@@ -306,8 +306,14 @@ bool FunctionIndex::inside(std::size_t i, const std::string& suffix) const {
 
 void AnalysisContext::report(int line, const char* check,
                              std::string message) const {
-  findings.push_back({unit.display_path, line, check, std::move(message),
-                      false, std::string()});
+  Finding f;
+  f.file = unit.display_path;
+  f.line = line;
+  f.check = check;
+  f.message = std::move(message);
+  findings.push_back(std::move(f));
 }
+
+void AnalysisContext::report(Finding f) const { findings.push_back(std::move(f)); }
 
 }  // namespace asman_lint

@@ -69,13 +69,26 @@ struct AnalysisContext {
   std::vector<Finding>& findings;
 
   void report(int line, const char* check, std::string message) const;
+  /// For flow-sensitive checks that attach a path-witness trace.
+  void report(Finding f) const;
 };
 
-// The four project checks (checks_*.cpp).
+// The project checks (checks_*.cpp). The first four are lexical/structural;
+// credit-flow, state-machine and thread-safety are flow-sensitive (flow.h).
 void check_determinism(const AnalysisContext& ctx);
 void check_ordered_iteration(const AnalysisContext& ctx);
 void check_integer_credit(const AnalysisContext& ctx);
 void check_audit_seam(const AnalysisContext& ctx);
+void check_credit_flow(const AnalysisContext& ctx);
+void check_state_machine(const AnalysisContext& ctx);
+void check_thread_safety(const AnalysisContext& ctx);
+
+/// Cross-TU half of thread-safety: follows calls out of pool-worker lambdas
+/// through the whole-scope call graph and reports reachable writes to
+/// file-scope mutable statics (hidden shared state between workers).
+void check_thread_safety_cross_tu(const Options& options,
+                                  const std::vector<FileUnit>& units,
+                                  std::vector<Finding>& findings);
 
 /// Cross-TU part of the audit-seam check: after every file has been
 /// scanned, confirm each whitelisted audited setter was actually seen as a

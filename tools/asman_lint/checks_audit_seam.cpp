@@ -127,13 +127,16 @@ void check_audit_seam_cross_tu(const Options& options,
         seen = true;
         break;
       }
-    if (!seen)
-      findings.push_back(
-          {"<cross-tu>", 0, "audit-seam",
-           "audited setter '" + req +
-               "' not found in the lint scope; the whitelist is stale — "
-               "every state/queue write is now unguarded",
-           false, std::string()});
+    if (!seen) {
+      Finding f;
+      f.file = "<cross-tu>";
+      f.line = 0;
+      f.check = "audit-seam";
+      f.message = "audited setter '" + req +
+                  "' not found in the lint scope; the whitelist is stale — "
+                  "every state/queue write is now unguarded";
+      findings.push_back(std::move(f));
+    }
   }
 }
 

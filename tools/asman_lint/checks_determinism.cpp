@@ -47,6 +47,55 @@ bool wall_clock_call(const std::vector<Token>& t, std::size_t i) {
   return true;  // global-scope ::time( / ::clock(
 }
 
+// Flow-sensitive escape hatch for getenv: `const char* x = getenv(...)`
+// where every other use of `x` in the function is a comparison (==, !=),
+// a subscript read, or a strcmp/strncmp argument — i.e. the environment
+// value is confined to a host-config boolean and cannot flow into
+// simulation state. This is how the auditor's arming switch (env_truthy)
+// is proven harmless instead of carrying a standing allow pragma.
+bool getenv_confined(const AnalysisContext& ctx, std::size_t i) {
+  const std::vector<Token>& t = ctx.unit.toks;
+  const StmtRange stmt = statement_around(t, i);
+  // Find `char ... X = ` to the left of the getenv call.
+  std::string var;
+  bool saw_char = false;
+  for (std::size_t j = stmt.begin; j < i; ++j) {
+    if (t[j].kind == Tok::kIdent && t[j].text == "char") saw_char = true;
+    if (t[j].kind == Tok::kPunct && t[j].text == "=" && j > stmt.begin &&
+        t[j - 1].kind == Tok::kIdent) {
+      var = t[j - 1].text;
+      break;
+    }
+  }
+  if (!saw_char || var.empty()) return false;
+  const FunctionSpan* fn = ctx.functions.enclosing(i);
+  if (fn == nullptr) return false;
+  for (std::size_t j = fn->begin; j < fn->end && j < t.size(); ++j) {
+    if (t[j].kind != Tok::kIdent || t[j].text != var) continue;
+    if (j >= stmt.begin && j < stmt.end) continue;  // the declaration itself
+    if (j > 0 && t[j - 1].kind == Tok::kPunct &&
+        (t[j - 1].text == "." || t[j - 1].text == "->"))
+      continue;  // member of another object that shares the name
+    bool ok = false;
+    if (j + 1 < t.size() && t[j + 1].kind == Tok::kPunct &&
+        (t[j + 1].text == "==" || t[j + 1].text == "!=" ||
+         t[j + 1].text == "["))
+      ok = true;
+    if (!ok && j > 0 && t[j - 1].kind == Tok::kPunct &&
+        (t[j - 1].text == "==" || t[j - 1].text == "!="))
+      ok = true;
+    if (!ok) {
+      const StmtRange use = statement_around(t, j);
+      for (std::size_t m = use.begin; m < j; ++m)
+        if (t[m].kind == Tok::kIdent &&
+            (t[m].text == "strcmp" || t[m].text == "strncmp"))
+          ok = true;
+    }
+    if (!ok) return false;  // the value escapes the comparison confinement
+  }
+  return true;
+}
+
 }  // namespace
 
 void check_determinism(const AnalysisContext& ctx) {
@@ -65,6 +114,7 @@ void check_determinism(const AnalysisContext& ctx) {
     if (t[i].kind == Tok::kIdent) {
       if (banned_idents().count(t[i].text) != 0 &&
           !prev_is_member_access(t, i)) {
+        if (t[i].text == "getenv" && getenv_confined(ctx, i)) continue;
         ctx.report(t[i].line, "determinism",
                    "'" + t[i].text +
                        "' injects host state into the simulation; all "

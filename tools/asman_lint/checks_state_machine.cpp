@@ -1,0 +1,467 @@
+// state-machine: static verification of VcpuState transitions against the
+// shared spec (src/vmm/state_spec.h — the same table the runtime auditor
+// compiles against, so there is exactly one definition of legality).
+//
+// A scoped symbolic walker tracks, per local variable, what the code has
+// PROVEN about its state: an assert(x.state == VcpuState::kS), a positive
+// if-guard, a negative guard whose branch only returns, a single-label
+// `case VcpuState::kS:` section of a switch on x.state, or a previous
+// set_state(x, kS). Knowledge is invalidated when the variable is
+// reassigned, member-written, or passed to a call outside the audited seam
+// (assert / set_state / enqueue / dequeue), and at branch merges every
+// variable the branch mentioned is forgotten. At each set_state(x, kTo)
+// whose `from` is determinable, the (from, to) pair is checked against the
+// spec; an illegal pair is reported with the evidence trace.
+//
+// The walker does not model aliasing (a member call could mutate a tracked
+// variable through another reference); this under-invalidation is accepted
+// because the audited seam is the only writer of VcpuState, so any such
+// mutation is itself a set_state the walker sees — or an audit-seam
+// violation reported by that check.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+#include "flow.h"
+
+namespace asman_lint {
+
+namespace {
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == Tok::kPunct && t.text == s;
+}
+bool is_ident(const Token& t, const char* s) {
+  return t.kind == Tok::kIdent && t.text == s;
+}
+
+bool whitelisted_callee(const std::string& name) {
+  return name == "assert" || name == "set_state" || name == "enqueue" ||
+         name == "dequeue";
+}
+
+struct Fact {
+  std::string state;
+  int line{0};
+  std::string note;
+};
+using Know = std::map<std::string, Fact>;
+
+class StateWalker {
+ public:
+  StateWalker(const AnalysisContext& ctx, const TransitionSpec& spec)
+      : ctx_(ctx), spec_(spec), t_(ctx.unit.toks) {}
+
+  void run() {
+    if (!spec_.error.empty()) return;  // reported once by the driver
+    for (const FunctionSpan& fn : ctx_.functions.spans()) {
+      Know know;
+      walk_seq(fn.begin + 1, fn.end > 0 ? fn.end - 1 : fn.end, know);
+    }
+  }
+
+ private:
+  std::size_t stmt_end(std::size_t i, std::size_t end) const {
+    int depth = 0;
+    for (std::size_t j = i; j < end; ++j) {
+      if (t_[j].kind != Tok::kPunct) continue;
+      const std::string& x = t_[j].text;
+      if (x == "(" || x == "[" || x == "{") ++depth;
+      else if (x == ")" || x == "]" || x == "}") --depth;
+      else if (x == ";" && depth <= 0) return j + 1;
+    }
+    return end;
+  }
+
+  /// Erases every knowledge entry whose variable is mentioned as an
+  /// identifier anywhere in [b, e) — the merge rule for branches/loops.
+  void erase_mentioned(std::size_t b, std::size_t e, Know& k) const {
+    for (auto it = k.begin(); it != k.end();) {
+      bool seen = false;
+      for (std::size_t j = b; j < e && j < t_.size(); ++j) {
+        if (t_[j].kind == Tok::kIdent && t_[j].text == it->first) {
+          seen = true;
+          break;
+        }
+      }
+      it = seen ? k.erase(it) : ++it;
+    }
+  }
+
+  /// `X (.|->) state == VcpuState :: kS` starting the comparison at `j`
+  /// (j = index of the X ident). Fills var/state on match.
+  bool match_state_cmp(std::size_t j, std::size_t end, const char* op,
+                       std::string& var, std::string& state) const {
+    if (j + 6 >= end) return false;
+    if (t_[j].kind != Tok::kIdent) return false;
+    if (!(is_punct(t_[j + 1], ".") || is_punct(t_[j + 1], "->"))) return false;
+    if (!is_ident(t_[j + 2], "state")) return false;
+    if (!is_punct(t_[j + 3], op)) return false;
+    if (!is_ident(t_[j + 4], "VcpuState")) return false;
+    if (!is_punct(t_[j + 5], "::")) return false;
+    if (t_[j + 6].kind != Tok::kIdent) return false;
+    var = t_[j].text;
+    state = t_[j + 6].text;
+    return true;
+  }
+
+  void walk_seq(std::size_t i, std::size_t end, Know& k) {
+    while (i < end) i = walk_stmt(i, end, k);
+  }
+
+  std::size_t walk_stmt(std::size_t i, std::size_t end, Know& k) {
+    const Token& tok = t_[i];
+    if (is_punct(tok, ";")) return i + 1;
+    if (is_punct(tok, "{")) {
+      const std::size_t m = match_forward(t_, i);
+      if (m >= t_.size()) return end;
+      Know inner = k;
+      walk_seq(i + 1, m, inner);
+      k = std::move(inner);  // a bare block does not branch
+      return m + 1;
+    }
+    if (is_ident(tok, "if")) return walk_if(i, end, k);
+    if (is_ident(tok, "while") || is_ident(tok, "for"))
+      return walk_loop(i, end, k);
+    if (is_ident(tok, "do")) return walk_do(i, end, k);
+    if (is_ident(tok, "switch")) return walk_switch(i, end, k);
+    if (is_ident(tok, "else") || is_ident(tok, "try") ||
+        is_ident(tok, "catch"))
+      return i + 1;  // structure handled by the callers / conservatively
+
+    const std::size_t se = stmt_end(i, end);
+    walk_plain(i, se, k);
+    return se;
+  }
+
+  /// One plain statement: check set_state calls against pre-statement
+  /// knowledge, then apply invalidations, then apply new facts.
+  void walk_plain(std::size_t b, std::size_t e, Know& k) {
+    struct Update {
+      std::string var;
+      Fact fact;
+    };
+    std::vector<Update> updates;
+
+    for (std::size_t j = b; j + 1 < e && j + 1 < t_.size(); ++j) {
+      if (t_[j].kind != Tok::kIdent || !is_punct(t_[j + 1], "(")) continue;
+      const std::string& callee = t_[j].text;
+      const std::size_t close = match_forward(t_, j + 1);
+
+      if (callee == "set_state") {
+        // First argument: [*&]* ident ,   — anything else is an
+        // indeterminable target.
+        std::size_t a = j + 2;
+        while (a < close &&
+               (is_punct(t_[a], "*") || is_punct(t_[a], "&")))
+          ++a;
+        if (a + 1 < close && t_[a].kind == Tok::kIdent &&
+            is_punct(t_[a + 1], ",")) {
+          const std::string var = t_[a].text;
+          std::string to;
+          for (std::size_t m = a + 2; m + 2 < close + 1 && m + 2 < t_.size();
+               ++m) {
+            if (is_ident(t_[m], "VcpuState") && is_punct(t_[m + 1], "::") &&
+                t_[m + 2].kind == Tok::kIdent) {
+              to = t_[m + 2].text;
+              break;
+            }
+          }
+          if (!to.empty()) {
+            auto it = k.find(var);
+            if (it != k.end() && !spec_.allows(it->second.state, to)) {
+              Finding f;
+              f.file = ctx_.unit.display_path;
+              f.line = t_[j].line;
+              f.check = "state-machine";
+              f.message = "illegal VcpuState transition " +
+                          it->second.state + " -> " + to +
+                          " (not in kLegalVcpuTransitions, "
+                          "src/vmm/state_spec.h)";
+              f.trace.push_back({it->second.line, it->second.note});
+              f.trace.push_back(
+                  {t_[j].line, "set_state(" + var + ", VcpuState::" + to +
+                                   ") with " + var + ".state == " +
+                                   it->second.state});
+              ctx_.report(std::move(f));
+            }
+            updates.push_back(
+                {var, Fact{to, t_[j].line,
+                           "set_state left " + var + ".state == " + to}});
+          }
+        }
+        j = close;
+        continue;
+      }
+
+      if (!whitelisted_callee(callee)) {
+        // A tracked variable escaping into an unaudited call may come back
+        // in any state.
+        for (std::size_t m = j + 2; m < close && m < t_.size(); ++m)
+          if (t_[m].kind == Tok::kIdent) k.erase(t_[m].text);
+        j = close;
+      }
+    }
+
+    // Direct reassignment / member write of a tracked variable.
+    for (std::size_t j = b; j < e && j < t_.size(); ++j) {
+      if (t_[j].kind != Tok::kIdent || !k.count(t_[j].text)) continue;
+      if (j > 0 && (is_punct(t_[j - 1], ".") || is_punct(t_[j - 1], "->")))
+        continue;  // member named like the variable, not the variable
+      if (j + 1 < e && t_[j + 1].kind == Tok::kPunct) {
+        const std::string& nx = t_[j + 1].text;
+        if (nx == "=" || nx == "+=" || nx == "-=") {
+          k.erase(t_[j].text);
+          continue;
+        }
+        if ((nx == "." || nx == "->") && j + 3 < e &&
+            t_[j + 2].kind == Tok::kIdent && t_[j + 3].kind == Tok::kPunct &&
+            (t_[j + 3].text == "=" || t_[j + 3].text == "+=" ||
+             t_[j + 3].text == "-="))
+          k.erase(t_[j].text);
+      }
+    }
+
+    for (Update& u : updates) k[u.var] = std::move(u.fact);
+
+    // assert(x.state == VcpuState::kS) establishes a fact.
+    if (is_ident(t_[b], "assert") && b + 1 < e && is_punct(t_[b + 1], "(")) {
+      std::string var, state;
+      if (match_state_cmp(b + 2, e, "==", var, state))
+        k[var] = Fact{state, t_[b].line,
+                      "assert established " + var + ".state == " + state};
+    }
+  }
+
+  std::size_t walk_if(std::size_t i, std::size_t end, Know& k) {
+    if (i + 1 >= end || !is_punct(t_[i + 1], "(")) return i + 1;
+    const std::size_t close = match_forward(t_, i + 1);
+    if (close >= t_.size()) return end;
+
+    bool has_or = false, has_not = false;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (is_punct(t_[j], "||")) has_or = true;
+      if (is_punct(t_[j], "!")) has_not = true;
+    }
+    std::vector<std::pair<std::string, Fact>> pos, neg;
+    if (!has_or && !has_not) {
+      for (std::size_t j = i + 2; j < close; ++j) {
+        std::string var, state;
+        if (match_state_cmp(j, close, "==", var, state))
+          pos.emplace_back(var,
+                           Fact{state, t_[j].line,
+                                "guard established " + var + ".state == " +
+                                    state});
+        if (match_state_cmp(j, close, "!=", var, state))
+          neg.emplace_back(var,
+                           Fact{state, t_[j].line,
+                                "guard `" + var + ".state != " + state +
+                                    "` returns, so " + var + ".state == " +
+                                    state + " after it"});
+      }
+    }
+
+    Know then_k = k;
+    for (auto& [var, fact] : pos) then_k[var] = fact;
+    const std::size_t then_begin = close + 1;
+    const std::size_t then_end = walk_stmt(then_begin, end, then_k);
+
+    std::size_t next = then_end;
+    std::size_t else_end = then_end;
+    if (next < end && is_ident(t_[next], "else")) {
+      Know else_k = k;
+      else_end = walk_stmt(next + 1, end, else_k);
+      next = else_end;
+    }
+
+    // Merge: forget everything the statement mentioned...
+    erase_mentioned(i, next, k);
+    // ...then re-establish the negative-guard facts if the guarded branch
+    // cannot fall through (return/throw-terminated, no further branching).
+    if (!neg.empty() && else_end == then_end &&
+        branch_terminates(then_begin, then_end)) {
+      for (auto& [var, fact] : neg) k[var] = fact;
+    }
+    return next;
+  }
+
+  bool branch_terminates(std::size_t b, std::size_t e) const {
+    std::size_t begin = b, fin = e;
+    if (begin < t_.size() && is_punct(t_[begin], "{")) {
+      ++begin;
+      if (fin > begin) --fin;  // matching '}'
+    }
+    bool has_exit = false;
+    for (std::size_t j = begin; j < fin && j < t_.size(); ++j) {
+      if (is_ident(t_[j], "if") || is_ident(t_[j], "while") ||
+          is_ident(t_[j], "for") || is_ident(t_[j], "switch"))
+        return false;  // conditional structure: might fall through
+      if (is_ident(t_[j], "return") || is_ident(t_[j], "throw"))
+        has_exit = true;
+    }
+    if (!has_exit) return false;
+    // The final statement must be the return/throw.
+    std::size_t last_semi = t_.size();
+    for (std::size_t j = begin; j < fin; ++j)
+      if (is_punct(t_[j], ";")) last_semi = j;
+    if (last_semi >= t_.size()) return false;
+    // Walk back to that statement's start.
+    std::size_t s = begin;
+    for (std::size_t j = begin; j < last_semi; ++j)
+      if (is_punct(t_[j], ";")) s = j + 1;
+    return s < t_.size() &&
+           (is_ident(t_[s], "return") || is_ident(t_[s], "throw"));
+  }
+
+  std::size_t walk_loop(std::size_t i, std::size_t end, Know& k) {
+    if (i + 1 >= end || !is_punct(t_[i + 1], "(")) return i + 1;
+    const std::size_t close = match_forward(t_, i + 1);
+    if (close >= t_.size()) return end;
+    // The back edge may invalidate anything the body touches, so the body
+    // starts from knowledge scrubbed of everything the loop mentions.
+    const std::size_t body_begin = close + 1;
+    Know body_k = k;
+    // Pre-scan the body extent with a throwaway walk to learn its end.
+    const std::size_t body_end = skip_stmt(body_begin, end);
+    erase_mentioned(i, body_end, body_k);
+    walk_stmt(body_begin, end, body_k);
+    erase_mentioned(i, body_end, k);
+    return body_end;
+  }
+
+  std::size_t walk_do(std::size_t i, std::size_t end, Know& k) {
+    const std::size_t body_begin = i + 1;
+    const std::size_t body_end = skip_stmt(body_begin, end);
+    Know body_k = k;
+    erase_mentioned(i, body_end, body_k);
+    walk_stmt(body_begin, end, body_k);
+    std::size_t next = body_end;
+    if (next < end && is_ident(t_[next], "while") && next + 1 < end &&
+        is_punct(t_[next + 1], "("))
+      next = stmt_end(next, end);
+    erase_mentioned(i, next, k);
+    return next;
+  }
+
+  std::size_t walk_switch(std::size_t i, std::size_t end, Know& k) {
+    if (i + 1 >= end || !is_punct(t_[i + 1], "(")) return i + 1;
+    const std::size_t close = match_forward(t_, i + 1);
+    if (close >= t_.size() || close + 1 >= end ||
+        !is_punct(t_[close + 1], "{"))
+      return close + 1;
+    const std::size_t body_open = close + 1;
+    const std::size_t body_close = match_forward(t_, body_open);
+    if (body_close >= t_.size()) return end;
+
+    // switch (X.state) makes each single-label section a known-state scope.
+    std::string subject;
+    {
+      std::string var, state;
+      if (i + 4 < close && t_[i + 2].kind == Tok::kIdent &&
+          (is_punct(t_[i + 3], ".") || is_punct(t_[i + 3], "->")) &&
+          is_ident(t_[i + 4], "state") && i + 5 == close)
+        subject = t_[i + 2].text;
+      (void)var;
+      (void)state;
+    }
+
+    std::size_t j = body_open + 1;
+    while (j < body_close) {
+      if (!(is_ident(t_[j], "case") || is_ident(t_[j], "default"))) {
+        ++j;
+        continue;
+      }
+      int labels = 0;
+      std::string label_state;
+      int label_line = t_[j].line;
+      while (j < body_close &&
+             (is_ident(t_[j], "case") || is_ident(t_[j], "default"))) {
+        ++labels;
+        std::size_t m = j + 1;
+        while (m < body_close && !is_punct(t_[m], ":")) {
+          if (is_ident(t_[m], "VcpuState") && m + 2 < body_close &&
+              is_punct(t_[m + 1], "::") && t_[m + 2].kind == Tok::kIdent)
+            label_state = t_[m + 2].text;
+          ++m;
+        }
+        j = m < body_close ? m + 1 : body_close;
+      }
+      std::size_t sec_end = j;
+      int depth = 0;
+      while (sec_end < body_close) {
+        const Token& c = t_[sec_end];
+        if (c.kind == Tok::kPunct) {
+          const std::string& x = c.text;
+          if (x == "(" || x == "[" || x == "{") ++depth;
+          else if (x == ")" || x == "]" || x == "}") --depth;
+        }
+        if (depth == 0 && sec_end != j &&
+            (is_ident(c, "case") || is_ident(c, "default")))
+          break;
+        ++sec_end;
+      }
+      Know sec_k = k;
+      sec_k.erase(subject);
+      if (!subject.empty() && labels == 1 && !label_state.empty())
+        sec_k[subject] =
+            Fact{label_state, label_line,
+                 "case label established " + subject + ".state == " +
+                     label_state};
+      walk_seq(j, sec_end, sec_k);
+      j = sec_end;
+    }
+
+    erase_mentioned(i, body_close + 1, k);
+    return body_close + 1;
+  }
+
+  /// End index of the statement starting at `i` without analyzing it.
+  std::size_t skip_stmt(std::size_t i, std::size_t end) const {
+    if (i >= end) return end;
+    if (is_punct(t_[i], "{")) {
+      const std::size_t m = match_forward(t_, i);
+      return m >= t_.size() ? end : m + 1;
+    }
+    if (is_ident(t_[i], "if") || is_ident(t_[i], "while") ||
+        is_ident(t_[i], "for") || is_ident(t_[i], "switch")) {
+      std::size_t j = i + 1;
+      if (j < end && is_punct(t_[j], "(")) {
+        const std::size_t close = match_forward(t_, j);
+        if (close >= t_.size()) return end;
+        if (is_ident(t_[i], "switch")) {
+          if (close + 1 < end && is_punct(t_[close + 1], "{")) {
+            const std::size_t bc = match_forward(t_, close + 1);
+            return bc >= t_.size() ? end : bc + 1;
+          }
+          return close + 1;
+        }
+        std::size_t after = skip_stmt(close + 1, end);
+        if (is_ident(t_[i], "if") && after < end &&
+            is_ident(t_[after], "else"))
+          after = skip_stmt(after + 1, end);
+        return after;
+      }
+      return i + 1;
+    }
+    if (is_ident(t_[i], "do")) {
+      std::size_t after = skip_stmt(i + 1, end);
+      if (after < end && is_ident(t_[after], "while"))
+        after = stmt_end(after, end);
+      return after;
+    }
+    return stmt_end(i, end);
+  }
+
+  const AnalysisContext& ctx_;
+  const TransitionSpec& spec_;
+  const std::vector<Token>& t_;
+};
+
+}  // namespace
+
+void check_state_machine(const AnalysisContext& ctx) {
+  StateWalker(ctx, vcpu_transition_spec(ctx.options)).run();
+}
+
+}  // namespace asman_lint

@@ -29,6 +29,7 @@
 #include "lexer.h"
 #include "model.h"
 #include "report.h"
+#include "sarif.h"
 
 namespace asman_lint {
 namespace {
@@ -61,18 +62,41 @@ class Collector : public MatchFinder::MatchCallback {
       const PresumedLoc p = sm.getPresumedLoc(spelling);
       if (p.isInvalid()) return;
       const std::string disp = display_path(p.getFilename(), options_.root);
-      if (!options_.prefix.empty() &&
-          disp.compare(0, options_.prefix.size(), options_.prefix) != 0)
-        return;
-      findings_.push_back(
-          {disp, static_cast<int>(p.getLine()), check, std::move(message),
-           /*allowed=*/false, /*allow_reason=*/{}});
+      if (!under_any_prefix(disp, options_)) return;
+      Finding f;
+      f.file = disp;
+      f.line = static_cast<int>(p.getLine());
+      f.check = check;
+      f.message = std::move(message);
+      findings_.push_back(std::move(f));
     };
 
     if (const auto* call = result.Nodes.getNodeAs<CallExpr>("banned-call")) {
       std::string name = "<call>";
       if (const FunctionDecl* fd = call->getDirectCallee())
         name = fd->getQualifiedNameAsString();
+      // Parity with the portable engine's getenv confinement proof: a
+      // getenv result captured into a local inside a bool-returning
+      // predicate (the auditor's arming switch) is host config, not
+      // simulation state.
+      if (name == "getenv" || name == "::getenv" || name == "std::getenv") {
+        const auto& ctx = *result.Context;
+        bool in_bool_fn = false, into_var = false;
+        DynTypedNodeList parents = ctx.getParents(*call);
+        for (int hops = 0; hops < 32 && !parents.empty(); ++hops) {
+          const DynTypedNode& parent = parents[0];
+          if (const auto* vd = parent.get<VarDecl>()) {
+            (void)vd;
+            into_var = true;
+          }
+          if (const auto* fd = parent.get<FunctionDecl>()) {
+            in_bool_fn = fd->getReturnType()->isBooleanType();
+            break;
+          }
+          parents = ctx.getParents(parent);
+        }
+        if (into_var && in_bool_fn) return;
+      }
       add(call->getBeginLoc(), "determinism",
           "call to '" + name +
               "' injects host state into the simulation; all randomness/"
@@ -136,9 +160,7 @@ int run_clang_engine(const Options& options,
   if (sources.empty()) {
     for (const std::string& f : db->getAllFiles()) {
       const std::string disp = display_path(f, options.root);
-      if (options.prefix.empty() ||
-          disp.compare(0, options.prefix.size(), options.prefix) == 0)
-        sources.push_back(f);
+      if (under_any_prefix(disp, options)) sources.push_back(f);
     }
   }
   if (sources.empty()) {
@@ -224,6 +246,12 @@ int run_clang_engine(const Options& options,
   for (const auto& [path, unit] : units) apply_allows(unit, findings);
 
   const ReportStats stats = print_report(findings, options);
+  if (!options.sarif_path.empty() &&
+      !write_sarif(options.sarif_path, findings)) {
+    std::fprintf(stderr, "asman-lint: cannot write SARIF to %s\n",
+                 options.sarif_path.c_str());
+    return 2;
+  }
   if (stats.errors > 0 || stats.suppressed > options.max_allows) return 1;
   return 0;
 }

@@ -1,6 +1,7 @@
 // Negative fixture: every construct here is deliberately adjacent to a
 // banned pattern yet legal under the discipline. asman_lint must report
 // zero findings on this file; any hit is a false-positive regression.
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -58,8 +59,13 @@ struct Vcpu {
 };
 
 struct Hypervisor {
-  // Whitelisted audited accounting path: Hypervisor::charge may write credit.
-  void charge(Vcpu& v) { v.credit = v.credit - kCreditPerSlot; }
+  // Whitelisted audited accounting path: Hypervisor::charge may write
+  // credit — and credit-flow additionally demands the self-debit be
+  // saturated against the cap, which this is.
+  Credit credit_cap_{300'000};
+  void charge(Vcpu& v) {
+    v.credit = std::max<Credit>(v.credit - kCreditPerSlot, -credit_cap_);
+  }
 };
 
 }  // namespace fixture

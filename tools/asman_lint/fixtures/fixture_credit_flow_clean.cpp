@@ -1,0 +1,76 @@
+// Tricky-legal fixture for credit-flow: each mutation is deliberately
+// adjacent to a violation shape yet satisfies its obligation on every
+// path. asman_lint must report zero findings here.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+using Credit = std::int64_t;
+enum class VcpuState : std::uint8_t { kRunning, kRunnable, kBlocked,
+                                      kDestroyed };
+enum class AuditPoint { kAccountingBegin };
+
+struct Vcpu {
+  VcpuState state{VcpuState::kRunnable};
+  Credit credit{0};
+};
+
+void audit_event(AuditPoint);
+void audit_minted(int vm, Credit inc);
+void set_state(Vcpu& v, VcpuState to);
+Vcpu* unmap_current(Vcpu& v);  // takes kRunning -> kRunnable, like the VMM's
+
+struct Hypervisor {
+  Credit credit_cap_{300'000};
+
+  // Saturated self-debit WITH an early return: the early return is before
+  // the write, so no path escapes mid-mutation, and the delta itself is
+  // clamped against the cap.
+  void charge(Vcpu& v, Credit debit) {
+    if (debit == 0) return;
+    v.credit = std::max<Credit>(v.credit - debit, -credit_cap_);
+  }
+
+  // Tombstone drain behind a default-less switch that covers the whole
+  // VcpuState universe: the "no case matched" path is statically dead, so
+  // every route to the drain carries kDestroyed evidence. This exercises
+  // the exhaustive-enum CFG logic — a naive analysis would report a
+  // phantom bypass edge here.
+  void drain_vcpu(Vcpu& w) {
+    switch (w.state) {
+      case VcpuState::kRunning: {
+        // A running VCPU is first unmapped (-> kRunnable) and tombstoned
+        // through the returned pointer, exactly like the real lifecycle
+        // path; the target of the second hop is indeterminable statically.
+        Vcpu* u = unmap_current(w);
+        set_state(*u, VcpuState::kDestroyed);
+        break;
+      }
+      case VcpuState::kRunnable:
+        set_state(w, VcpuState::kDestroyed);
+        break;
+      case VcpuState::kBlocked:
+        set_state(w, VcpuState::kDestroyed);
+        break;
+      case VcpuState::kDestroyed:
+        break;
+    }
+    w.credit = 0;
+  }
+
+  // The canonical accounting shape: pool snapshot dominates the write,
+  // the mint report post-dominates it, with a skip path that bypasses the
+  // write and the mint together (which is fine — skipped VMs mint nothing).
+  void do_accounting(std::vector<Vcpu>& vcpus, Credit per, bool skip_idle) {
+    audit_event(AuditPoint::kAccountingBegin);
+    for (Vcpu& v : vcpus) {
+      if (skip_idle && v.state == VcpuState::kBlocked) continue;
+      v.credit = std::min<Credit>(per, credit_cap_);
+      audit_minted(0, per);
+    }
+  }
+};
+
+}  // namespace fixture

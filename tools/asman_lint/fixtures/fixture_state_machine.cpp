@@ -1,0 +1,48 @@
+// Seeded violations for the state-machine check: every set_state call here
+// has a statically determinable (from, to) pair that is NOT in the shared
+// legal-transition table (src/vmm/state_spec.h). tests/lint_test.cpp
+// asserts 100% detection — all three sites flagged.
+#include <cassert>
+#include <cstdint>
+
+namespace fixture {
+
+enum class VcpuState : std::uint8_t { kRunning, kRunnable, kBlocked,
+                                      kDestroyed };
+
+struct Vcpu {
+  VcpuState state{VcpuState::kRunnable};
+};
+
+void set_state(Vcpu& v, VcpuState to);
+
+// Violation 1: an assert proves kRunning, then the code tombstones
+// directly — a running VCPU must be unmapped (-> kRunnable) first.
+void destroy_running(Vcpu& v) {
+  assert(v.state == VcpuState::kRunning);
+  set_state(v, VcpuState::kDestroyed);  // flagged: kRunning -> kDestroyed
+}
+
+// Violation 2: sequential knowledge — the second set_state leaves the
+// VCPU kRunning, so blocking it without unmapping is illegal.
+void block_running(Vcpu& v) {
+  set_state(v, VcpuState::kRunnable);
+  set_state(v, VcpuState::kRunning);
+  set_state(v, VcpuState::kBlocked);  // flagged: kRunning -> kBlocked
+}
+
+// Violation 3: a single-label case section proves kDestroyed; tombstones
+// never come back.
+void resurrect(Vcpu& v) {
+  switch (v.state) {
+    case VcpuState::kDestroyed:
+      set_state(v, VcpuState::kRunnable);  // flagged: kDestroyed -> kRunnable
+      break;
+    case VcpuState::kRunning:
+    case VcpuState::kRunnable:
+    case VcpuState::kBlocked:
+      break;
+  }
+}
+
+}  // namespace fixture

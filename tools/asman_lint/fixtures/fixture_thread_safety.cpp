@@ -1,0 +1,35 @@
+// Seeded violations for thread-safety / rng-discipline: pool workers
+// touching shared state the wrong way. tests/lint_test.cpp asserts 100%
+// detection — the two in-lambda sites and the cross-TU static write.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct ThreadPool {
+  template <class F>
+  void parallel_for(std::size_t n, F fn);
+};
+
+struct Rng {
+  unsigned next();
+};
+
+// Hidden shared channel: a file-scope mutable static, two calls deep from
+// the worker lambda. Only the cross-TU call-graph pass can see this.
+static long g_total_events = 0;
+void note_event() { g_total_events += 1; }
+double simulate_point(std::size_t i);
+
+void sweep(ThreadPool& pool, std::vector<double>& out, double& total,
+           Rng& shared_rng) {
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = simulate_point(i);  // fine: task-indexed slot
+    total += out[i];  // flagged: unlocked shared accumulation
+    out[0] = total;   // flagged: fixed index, not derived from the task
+    (void)shared_rng.next();  // flagged: shared RNG stream across workers
+    note_event();  // flagged (cross-TU): reaches the static write
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// Tricky-legal fixture for thread-safety / rng-discipline: the sanctioned
+// patterns for pool workers — task-indexed writes, per-task seeded RNG
+// streams, and lock-protected shared accumulation. asman_lint must report
+// zero findings here.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct ThreadPool {
+  template <class F>
+  void parallel_for(std::size_t n, F fn);
+};
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+struct Rng {
+  explicit Rng(std::uint64_t seed);
+  double uniform();
+};
+
+double simulate_point(std::uint64_t seed);
+
+void sweep(ThreadPool& pool, std::vector<double>& out, double& total,
+           Mutex& mu, std::uint64_t base_seed) {
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    // Per-task stream: split the seed BEFORE drawing, so every task is a
+    // pure function of (base_seed, i) no matter how workers interleave.
+    Rng rng(base_seed + i);
+    const double val = simulate_point(static_cast<std::uint64_t>(
+        rng.uniform() * 1000.0));
+    out[i] = val;  // task-indexed slot: no two workers share it
+    // Shared accumulation is legal under a lock.
+    MutexLock lk(mu);
+    total += val;
+  });
+}
+
+}  // namespace fixture

@@ -35,6 +35,9 @@ ReportStats print_report(const std::vector<Finding>& findings,
     ++stats.errors;
     std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
                  f.check.c_str(), f.message.c_str());
+    // The path witness: how control flow reaches the violation.
+    for (const TraceStep& s : f.trace)
+      std::fprintf(stderr, "    path: line %d: %s\n", s.line, s.note.c_str());
   }
   // The suppression ledger is always printed (even under -q): allows are
   // meant to be visible in CI output, that is the point of the budget.
@@ -64,6 +67,13 @@ bool check_enabled(const Options& opt, const char* name) {
   if (opt.only_checks.empty()) return true;
   return std::find(opt.only_checks.begin(), opt.only_checks.end(), name) !=
          opt.only_checks.end();
+}
+
+bool under_any_prefix(const std::string& display, const Options& opt) {
+  if (opt.prefixes.empty()) return true;
+  for (const std::string& p : opt.prefixes)
+    if (display.compare(0, p.size(), p) == 0) return true;
+  return false;
 }
 
 }  // namespace asman_lint

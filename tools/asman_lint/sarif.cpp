@@ -1,0 +1,111 @@
+#include "sarif.h"
+
+#include <cstdio>
+
+namespace asman_lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int clamp_line(int line) { return line > 0 ? line : 1; }
+
+}  // namespace
+
+bool write_sarif(const std::string& path,
+                 const std::vector<Finding>& findings) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+
+  std::fprintf(out,
+               "{\n"
+               "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+               "  \"version\": \"2.1.0\",\n"
+               "  \"runs\": [{\n"
+               "    \"tool\": {\"driver\": {\n"
+               "      \"name\": \"asman-lint\",\n"
+               "      \"informationUri\": "
+               "\"https://example.invalid/asman/docs/MODEL.md\",\n"
+               "      \"rules\": [");
+  bool first = true;
+  for (const char* name : kCheckNames) {
+    std::fprintf(out, "%s\n        {\"id\": \"%s\"}", first ? "" : ",", name);
+    first = false;
+  }
+  std::fprintf(out,
+               "\n      ]\n"
+               "    }},\n"
+               "    \"results\": [");
+
+  first = true;
+  for (const Finding& f : findings) {
+    std::fprintf(out,
+                 "%s\n      {\n"
+                 "        \"ruleId\": \"%s\",\n"
+                 "        \"level\": \"error\",\n"
+                 "        \"message\": {\"text\": \"%s\"},\n"
+                 "        \"locations\": [{\"physicalLocation\": {\n"
+                 "          \"artifactLocation\": {\"uri\": \"%s\"},\n"
+                 "          \"region\": {\"startLine\": %d}\n"
+                 "        }}]",
+                 first ? "" : ",", f.check.c_str(),
+                 json_escape(f.message).c_str(), json_escape(f.file).c_str(),
+                 clamp_line(f.line));
+    first = false;
+    if (f.allowed) {
+      std::fprintf(out,
+                   ",\n        \"suppressions\": [{\"kind\": \"inSource\", "
+                   "\"justification\": \"%s\"}]",
+                   json_escape(f.allow_reason).c_str());
+    }
+    if (!f.trace.empty()) {
+      std::fprintf(out,
+                   ",\n        \"codeFlows\": [{\"threadFlows\": "
+                   "[{\"locations\": [");
+      bool tf = true;
+      for (const TraceStep& s : f.trace) {
+        std::fprintf(out,
+                     "%s\n          {\"location\": {\n"
+                     "            \"physicalLocation\": {\n"
+                     "              \"artifactLocation\": {\"uri\": \"%s\"},\n"
+                     "              \"region\": {\"startLine\": %d}\n"
+                     "            },\n"
+                     "            \"message\": {\"text\": \"%s\"}\n"
+                     "          }}",
+                     tf ? "" : ",", json_escape(f.file).c_str(),
+                     clamp_line(s.line), json_escape(s.note).c_str());
+        tf = false;
+      }
+      std::fprintf(out, "\n        ]}]}]");
+    }
+    std::fprintf(out, "\n      }");
+  }
+  std::fprintf(out,
+               "\n    ]\n"
+               "  }]\n"
+               "}\n");
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace asman_lint

@@ -1,0 +1,17 @@
+// SARIF 2.1.0 output so CI can upload findings to code scanning.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace asman_lint {
+
+/// Writes all findings (errors as `error` results; suppressed findings with
+/// an inSource suppression carrying the allow reason) to `path`. Path
+/// witnesses become codeFlows/threadFlows. Returns false on I/O failure.
+bool write_sarif(const std::string& path,
+                 const std::vector<Finding>& findings);
+
+}  // namespace asman_lint

@@ -1,11 +1,24 @@
 #!/usr/bin/env bash
-# Run clang-tidy over the whole codebase using the compile database.
+# Static checks driver: asman-lint (discipline checker) + clang-tidy.
 #
-#   tools/lint.sh [--fix] [build-dir] [-- extra clang-tidy args]
+#   tools/lint.sh [--help] [--fix] [--sarif <path>] [build-dir]
+#                 [-- extra clang-tidy args]
 #
-# --fix applies clang-tidy's suggested fixits in place (serialized through
-# run-clang-tidy when available, so concurrent edits to shared headers
-# cannot race).
+# Runs two passes over the first-party tree:
+#
+#   1. asman-lint — the flow-sensitive discipline checker
+#      (tools/asman_lint): determinism, ordered-iteration, integer-credit,
+#      audit-seam, credit-flow, state-machine, thread-safety and
+#      rng-discipline. Uses the binary built in <build-dir>; skipped with a
+#      note when it has not been built yet (configure alone does not build
+#      it). --sarif <path> forwards to the binary and writes a SARIF 2.1.0
+#      report (this is what CI uploads to code scanning), and requires the
+#      binary to exist.
+#
+#   2. clang-tidy — over the whole compile database. --fix applies
+#      clang-tidy's suggested fixits in place (serialized through
+#      run-clang-tidy when available, so concurrent edits to shared
+#      headers cannot race).
 #
 # The build directory must have been configured already (any preset will
 # do: CMakeLists.txt always exports compile_commands.json). Exits 0 when
@@ -17,15 +30,64 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+usage() {
+  sed -n '2,28p' "tools/lint.sh" | sed 's/^# \{0,1\}//'
+}
+
 FIX=0
-if [ "${1:-}" = "--fix" ]; then
-  FIX=1
-  shift
-fi
+SARIF_OUT=""
+while [ $# -gt 0 ]; do
+  case "${1:-}" in
+    --help|-h)
+      usage
+      exit 0
+      ;;
+    --fix)
+      FIX=1
+      shift
+      ;;
+    --sarif)
+      if [ -z "${2:-}" ]; then
+        echo "lint.sh: --sarif needs a path argument" >&2
+        exit 2
+      fi
+      SARIF_OUT="$2"
+      shift 2
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
 BUILD_DIR="${1:-build}"
 shift || true
 [ "${1:-}" = "--" ] && shift
 
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "lint.sh: $BUILD_DIR/compile_commands.json missing -- configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+STATUS=0
+
+# Pass 1: asman-lint tree scan (portable engine; the clang AST engine runs
+# in the dedicated lint-static CI lane where pinned LLVM is installed).
+ASMAN_LINT="$BUILD_DIR/tools/asman_lint/asman_lint"
+if [ -x "$ASMAN_LINT" ]; then
+  LINT_ARGS=(--root . -p "$BUILD_DIR")
+  [ -n "$SARIF_OUT" ] && LINT_ARGS+=(--sarif "$SARIF_OUT")
+  echo "lint.sh: asman-lint tree scan (${ASMAN_LINT})" >&2
+  "$ASMAN_LINT" "${LINT_ARGS[@]}" || STATUS=$?
+elif [ -n "$SARIF_OUT" ]; then
+  echo "lint.sh: --sarif needs the asman_lint binary; build it first:" >&2
+  echo "  cmake --build $BUILD_DIR --target asman_lint" >&2
+  exit 2
+else
+  echo "lint.sh: $ASMAN_LINT not built; skipping the discipline scan" >&2
+fi
+
+# Pass 2: clang-tidy.
 TIDY="${CLANG_TIDY:-}"
 if [ -z "$TIDY" ]; then
   for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
@@ -38,13 +100,7 @@ if [ -z "$TIDY" ]; then
 fi
 if [ -z "$TIDY" ]; then
   echo "lint.sh: clang-tidy not found; skipping (set CLANG_TIDY to override)" >&2
-  exit 0
-fi
-
-if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
-  echo "lint.sh: $BUILD_DIR/compile_commands.json missing -- configure first:" >&2
-  echo "  cmake -B $BUILD_DIR -S ." >&2
-  exit 2
+  exit $STATUS
 fi
 
 # First-party translation units only (third-party/test-framework TUs that
@@ -62,7 +118,6 @@ mapfile -t FILES < <(git ls-files --cached --others --exclude-standard \
                                   | sort -u)
 
 echo "lint.sh: $TIDY over ${#FILES[@]} files (database: $BUILD_DIR)" >&2
-STATUS=0
 RUNNER="$(command -v run-clang-tidy || true)"
 if [ -n "$RUNNER" ]; then
   FIX_ARGS=()
