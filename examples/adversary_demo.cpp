@@ -1,0 +1,96 @@
+// Adversary demo: one attack class against the scheduler, three ways.
+//
+// Runs the adversarial host (idle Dom0 + an honest NPB/LU gang + a CPU
+// victim + one attacker VM on 4 PCPUs, capped mode) under ASMan at every
+// hardening level — the faithful-vulnerable tick-sampled scheduler, the
+// randomized-sampling mitigation, and the full defense stack (exact
+// accounting + BOOST rate limiter + VCRD plausibility clamp) — and prints
+// what the attacker got away with in each.
+//
+//   $ ./adversary_demo [--class=NAME] [--seed=N] [--list]
+#include <cstdio>
+#include <string>
+
+#include "demo_cli.h"
+#include "experiments/adversary.h"
+#include "experiments/tables.h"
+
+using namespace asman;
+
+namespace {
+
+void print_attacks() {
+  std::printf("attack classes:\n");
+  for (const workloads::AttackKind k : workloads::kAllAttacks)
+    std::printf("  %s\n", workloads::to_string(k));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace ex = asman::experiments;
+
+  const std::string usage = examples::demo_usage(
+      "adversary_demo", "attack class to run (default: tick-dodge)",
+      "unused; the adversarial host is fixed at 4 VMs");
+  examples::DemoOptions opt;
+  if (!examples::parse_demo_args(argc, argv, opt, usage.c_str())) return 2;
+  if (opt.list) {
+    print_attacks();
+    return 0;
+  }
+  workloads::AttackKind attack = workloads::AttackKind::kTickDodge;
+  if (!opt.chaos.empty()) {
+    attack = workloads::attack_from_name(opt.chaos);
+    if (opt.chaos != workloads::to_string(attack)) {
+      std::fprintf(stderr, "unknown attack class '%s'\n", opt.chaos.c_str());
+      print_attacks();
+      return 2;
+    }
+  }
+
+  struct Level {
+    const char* name;
+    bool hardened;
+    bool mitigated;
+  };
+  const Level levels[] = {{"unhardened", false, false},
+                          {"mitigated", false, true},
+                          {"hardened", true, false}};
+
+  std::printf("adversary run: ASMan vs %s, seed %llu (fair share %.0f%%, "
+              "epsilon %.0f%%)\n\n",
+              workloads::to_string(attack),
+              static_cast<unsigned long long>(opt.seed),
+              100.0 * ex::kAttackerFairShare, 100.0 * ex::kFairnessEpsilon);
+
+  ex::TextTable t({"defense level", "attacker share", "victim share",
+                   "stolen Gcycles", "dodged samples", "boost denials",
+                   "implausible VCRDs", "audit"});
+  for (const Level& lv : levels) {
+    ex::Scenario sc = ex::adversary_scenario(core::SchedulerKind::kAsman,
+                                             attack, lv.hardened, opt.seed);
+    if (lv.mitigated) ex::apply_mitigated_sampling(sc);
+    sc.audit = true;
+    const ex::RunResult r = ex::run_scenario(sc);
+    char stolen[32];
+    std::snprintf(stolen, sizeof stolen, "%.2f",
+                  static_cast<double>(r.theft_cycles) / 1e9);
+    t.add_row({lv.name, ex::fmt_pct(r.vm("Attacker").observed_online_rate),
+               ex::fmt_pct(r.vm("Victim").observed_online_rate), stolen,
+               std::to_string(r.dodged_samples),
+               std::to_string(r.boost_denials),
+               std::to_string(r.implausible_vcrds),
+               r.audit_violations == 0 ? "clean" : "VIOLATED"});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf(
+      "Against tick-sampled accounting the attacker consumes without being\n"
+      "charged (stolen cycles, dodged samples). Randomizing the sampling\n"
+      "offsets already collapses the dodge; the full defense stack (exact\n"
+      "accounting + BOOST rate limiter + VCRD plausibility clamp) pins\n"
+      "every attack class within epsilon of its weighted fair share while\n"
+      "the honest tenants keep their service.\n");
+  return 0;
+}

@@ -11,6 +11,7 @@
 // accepts --saturated.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -69,6 +70,29 @@ inline bool lookup_chaos_class(const std::string& name,
   return false;
 }
 
+/// Strict unsigned parse: the whole value must be digits (no empty string,
+/// sign, trailing junk, or overflow). strtoul alone silently maps all of
+/// those to 0 — and a demo advertised as "bit-reproducible per seed" must
+/// not quietly run seed 0 when handed --seed=42x.
+inline bool parse_u64(const char* s, std::uint64_t& out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  // strtoull accepts a leading '-' by wrapping; reject any non-digit lead.
+  if (*s < '0' || *s > '9') return false;
+  out = v;
+  return true;
+}
+
+inline bool parse_u32(const char* s, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, v) || v > 0xFFFFFFFFull) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
 /// Returns false (after printing `usage` to stderr) on an unknown flag or
 /// malformed value. `allow_saturated` admits churn_demo's extra flag.
 inline bool parse_demo_args(int argc, char** argv, DemoOptions& opt,
@@ -86,9 +110,15 @@ inline bool parse_demo_args(int argc, char** argv, DemoOptions& opt,
     } else if (const char* v = value("--class=")) {
       opt.chaos = v;
     } else if (const char* n = value("--vms=")) {
-      opt.vms = static_cast<std::uint32_t>(std::strtoul(n, nullptr, 10));
+      if (!parse_u32(n, opt.vms)) {
+        std::fprintf(stderr, "malformed value in '%s'\n%s", a.c_str(), usage);
+        return false;
+      }
     } else if (const char* s = value("--seed=")) {
-      opt.seed = std::strtoull(s, nullptr, 10);
+      if (!parse_u64(s, opt.seed)) {
+        std::fprintf(stderr, "malformed value in '%s'\n%s", a.c_str(), usage);
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n%s", a.c_str(), usage);
       return false;

@@ -118,6 +118,8 @@ void Auditor::check_now() {
       check_queue_partition(hv_, found);
   report_.entry(Invariant::kGangCoherence).checks +=
       check_gang_coherence(hv_, found);
+  report_.entry(Invariant::kCycleConservation).checks +=
+      check_cycle_conservation(hv_, found);
   // Shadow consistency: the hypervisor's actual lifecycle states must match
   // what the legal transition stream implies.
   for (vmm::VmId id = 0; id < hv_.num_vms() && id < shadow_.size(); ++id) {

@@ -33,6 +33,8 @@ const char* to_string(Invariant inv) {
       return "time-monotonic";
     case Invariant::kTopologyPlacement:
       return "topology-placement";
+    case Invariant::kCycleConservation:
+      return "cycle-conservation";
   }
   return "?";
 }
@@ -153,6 +155,55 @@ std::uint64_t check_gang_coherence(const vmm::Hypervisor& hv,
                            key_str(h->key) + " both placed on P" +
                            std::to_string(c.where)});
       h = &c;
+    }
+  }
+  return checks;
+}
+
+std::uint64_t check_cycle_conservation(const vmm::Hypervisor& hv,
+                                       std::vector<Violation>& out) {
+  std::uint64_t checks = 0;
+  // (a) Machine-wide ledger: VM-side online time and PCPU-side busy time
+  // are maintained at the same burn instants, so they agree exactly at
+  // every event boundary — an in-flight span is absent from both sides.
+  // Per-VM totals survive destruction (tombstone statistics), so the
+  // equality holds across the whole lifecycle including churn.
+  std::uint64_t vm_side = 0;
+  for (vmm::VmId id = 0; id < hv.num_vms(); ++id)
+    vm_side += hv.vm(id).total_online.v;
+  std::uint64_t pcpu_side = 0;
+  for (hw::PcpuId p = 0; p < hv.machine().num_pcpus; ++p)
+    pcpu_side += hv.pcpu_busy_total(p).v;
+  ++checks;
+  if (vm_side != pcpu_side)
+    out.push_back({Invariant::kCycleConservation,
+                   "consumed-cycle ledger split: VMs consumed " +
+                       std::to_string(vm_side) + " cycles but PCPUs were " +
+                       "busy " + std::to_string(pcpu_side)});
+
+  const std::uint64_t slot = hv.machine().slot_cycles().v;
+  const vmm::AccountingMode mode = hv.resilience().accounting;
+  for (vmm::VmId id = 0; id < hv.num_vms(); ++id) {
+    const vmm::Vm& v = hv.vm(id);
+    ++checks;
+    if (mode == vmm::AccountingMode::kExact) {
+      // (c) Tickless accounting bills every burned span in full, at the
+      // same instants: attribution must track consumption exactly.
+      if (v.cycles_attributed != v.total_online)
+        out.push_back({Invariant::kCycleConservation,
+                       v.name + " attributed " +
+                           std::to_string(v.cycles_attributed.v) +
+                           " != consumed " +
+                           std::to_string(v.total_online.v) +
+                           " under exact accounting"});
+    } else {
+      // (b) Sampled accounting only ever bills whole slots.
+      if (v.cycles_attributed.v % slot != 0)
+        out.push_back({Invariant::kCycleConservation,
+                       v.name + " attributed " +
+                           std::to_string(v.cycles_attributed.v) +
+                           " cycles, not a whole-slot multiple of " +
+                           std::to_string(slot)});
     }
   }
   return checks;

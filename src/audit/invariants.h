@@ -46,9 +46,16 @@ enum class Invariant : std::uint8_t {
   /// topology-aware placement contract; vacuous on flat topologies and
   /// under topology-blind placement).
   kTopologyPlacement,
+  /// Attributed cycles conserve like credit (the theft meter is honest):
+  /// (a) machine-wide, the cycles VMs consumed equal the cycles PCPUs were
+  /// busy — exactly, at every event; (b) under sampled accounting
+  /// (kStochastic / kTickSampled) attribution moves in whole-slot quanta;
+  /// (c) under kExact accounting every VM's attributed cycles equal its
+  /// consumed cycles — there is nothing left to steal.
+  kCycleConservation,
 };
 
-inline constexpr std::size_t kNumInvariants = 7;
+inline constexpr std::size_t kNumInvariants = 8;
 
 const char* to_string(Invariant inv);
 
@@ -70,6 +77,8 @@ std::uint64_t check_gang_coherence(const vmm::Hypervisor& hv,
 // post-relocation full scan a seeded test drives directly).
 std::uint64_t check_topology_placement(const vmm::Hypervisor& hv,
                                        vmm::VmId vm,
+                                       std::vector<Violation>& out);
+std::uint64_t check_cycle_conservation(const vmm::Hypervisor& hv,
                                        std::vector<Violation>& out);
 
 }  // namespace asman::audit

@@ -9,7 +9,10 @@ HwAdaptiveScheduler::HwAdaptiveScheduler(sim::Simulator& simulation,
                                          HwMonitorOptions options)
     : Hypervisor(simulation, machine, mode, trace, seed), opt_(options) {}
 
-void HwAdaptiveScheduler::vcpu_yield_hint(vmm::VmId vm_id, std::uint32_t) {
+void HwAdaptiveScheduler::vcpu_yield_hint(vmm::VmId vm_id, std::uint32_t vidx) {
+  // Base first: the hypervisor's per-VM yield meter backs the VCRD
+  // plausibility clamp, and both consumers must see the same hint stream.
+  Hypervisor::vcpu_yield_hint(vm_id, vidx);
   ++total_hints_;
   if (window_yields_.size() < num_vms()) {
     window_yields_.resize(num_vms(), 0);

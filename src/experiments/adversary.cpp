@@ -1,0 +1,150 @@
+#include "experiments/adversary.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "workloads/npb.h"
+#include "workloads/synthetic.h"
+
+namespace asman::experiments {
+
+namespace {
+
+Cycles ms(std::uint64_t n) { return sim::kDefaultClock.from_ms(n); }
+Cycles us(std::uint64_t n) { return sim::kDefaultClock.from_us(n); }
+
+}  // namespace
+
+void apply_hardening(Scenario& sc) {
+  sc.resilience.accounting = vmm::AccountingMode::kExact;
+  sc.resilience.boost_limit = 32;
+  sc.resilience.vcrd_min_yields = 8;
+}
+
+void apply_mitigated_sampling(Scenario& sc) {
+  sc.resilience.accounting = vmm::AccountingMode::kTickSampled;
+  sc.resilience.sample_offset_jitter = true;
+}
+
+Scenario adversary_scenario(core::SchedulerKind sched,
+                            workloads::AttackKind attack, bool hardened,
+                            std::uint64_t seed) {
+  Scenario sc;
+  sc.machine.num_pcpus = 4;
+  sc.scheduler = sched;
+  sc.seed = seed;
+  sc.horizon = ms(2'000);
+  // Capped mode: every VM's fair share is exactly its weight fraction, so
+  // "the attacker exceeded its share" is a crisp predicate.
+  sc.mode = vmm::SchedMode::kNonWorkConserving;
+  // The faithful-vulnerable baseline under attack: per-tick sampled
+  // accounting, no limiter, no plausibility check.
+  sc.resilience.accounting = vmm::AccountingMode::kTickSampled;
+
+  VmSpec dom0;
+  dom0.name = "Dom0";
+  dom0.weight = 256;
+  dom0.vcpus = 1;
+  sc.vms.push_back(std::move(dom0));
+
+  // The honest gang candidate (chaos-base slot 1, so apply_chaos targets
+  // it). NPB/LU is barrier-structured: its spin-waits emit the yield-hint
+  // stream that lets a *hardened* hypervisor tell its VCRD HIGH apart
+  // from the liar's. Enough rounds to outlast the horizon.
+  VmSpec gang;
+  gang.name = "Gang";
+  gang.weight = 256;
+  gang.vcpus = 4;
+  gang.type = vmm::VmType::kConcurrent;
+  gang.workload = [](sim::Simulator& s, std::uint64_t wseed) {
+    return workloads::make_npb(s, workloads::NpbBenchmark::kLU, wseed, 4, 50);
+  };
+  sc.vms.push_back(std::move(gang));
+
+  // The victim: a plain CPU-bound tenant whose online rate is what the
+  // attacker's theft depresses.
+  VmSpec victim;
+  victim.name = "Victim";
+  victim.weight = 256;
+  victim.vcpus = 2;
+  victim.workload = [](sim::Simulator&, std::uint64_t wseed) {
+    return std::make_unique<workloads::CpuHogWorkload>(2, us(200), wseed);
+  };
+  sc.vms.push_back(std::move(victim));
+
+  VmSpec attacker;
+  attacker.name = "Attacker";
+  attacker.weight = 256;
+  attacker.vcpus = 4;
+  workloads::AdversaryTuning tune;
+  tune.slot = sc.machine.slot_cycles();
+  tune.num_pcpus = sc.machine.num_pcpus;
+  attacker.workload = [attack, tune](sim::Simulator& s, std::uint64_t wseed) {
+    return workloads::make_adversary(attack, s, 4, wseed, tune);
+  };
+  // A real attacker runs a quiet, tickless-style guest: stock 4 ms timer
+  // ticks would wake its VCPUs right into the sampling instants it is
+  // trying to dodge.
+  attacker.guest.tick_period = ms(50);
+  // No Monitoring Module: the liar self-reports through the hypercall
+  // port, and an honest monitor would overwrite the lie with LOW.
+  attacker.monitor = false;
+  sc.vms.push_back(std::move(attacker));
+
+  if (hardened) apply_hardening(sc);
+  return sc;
+}
+
+Scenario adversary_churn_chaos_scenario(core::SchedulerKind sched,
+                                        workloads::AttackKind attack,
+                                        ChaosClass c, std::uint64_t seed) {
+  // Soak lanes run the *hardened* host: the claim under test is that the
+  // defense stack survives attack + faults + lifecycle churn with zero
+  // audit violations, not that the vulnerable baseline does.
+  Scenario sc = adversary_scenario(sched, attack, /*hardened=*/true, seed);
+  apply_chaos(sc, c);
+  sc.faults.seed = seed ^ 0xADE5A21ULL;
+
+  // A small scripted lifecycle storm mid-attack: a tenant arrives, the
+  // victim is resized down and back, the arrival departs.
+  ChurnEvent arrive;
+  arrive.at = ms(300);
+  arrive.kind = ChurnEvent::Kind::kCreate;
+  arrive.spec.name = "HotHog";
+  arrive.spec.weight = 64;
+  arrive.spec.vcpus = 1;
+  arrive.spec.workload = [](sim::Simulator&, std::uint64_t wseed) {
+    return std::make_unique<workloads::CpuHogWorkload>(1, us(200), wseed);
+  };
+  sc.churn.push_back(std::move(arrive));
+
+  ChurnEvent shrink;
+  shrink.at = ms(700);
+  shrink.kind = ChurnEvent::Kind::kResize;
+  shrink.target = "Victim";
+  shrink.new_vcpus = 1;
+  sc.churn.push_back(std::move(shrink));
+
+  ChurnEvent depart;
+  depart.at = ms(1'200);
+  depart.kind = ChurnEvent::Kind::kDestroy;
+  depart.target = "HotHog";
+  sc.churn.push_back(std::move(depart));
+
+  ChurnEvent regrow;
+  regrow.at = ms(1'500);
+  regrow.kind = ChurnEvent::Kind::kResize;
+  regrow.target = "Victim";
+  regrow.new_vcpus = 2;
+  sc.churn.push_back(std::move(regrow));
+  return sc;
+}
+
+const std::vector<workloads::AttackKind>& all_attack_kinds() {
+  static const std::vector<workloads::AttackKind> kinds(
+      workloads::kAllAttacks.begin(), workloads::kAllAttacks.end());
+  return kinds;
+}
+
+}  // namespace asman::experiments

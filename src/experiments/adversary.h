@@ -1,0 +1,64 @@
+// Adversarial-tenancy scenarios: canned attack runs for tests, the bench
+// and demos (docs/MODEL.md "Threat model & fairness guarantees").
+//
+// The host mirrors the chaos-base layout (VM 1 is the gang candidate) so
+// apply_chaos() composes unchanged, and adds a victim tenant plus one
+// attacker VM driven by a workloads::AdversaryModel. Scenarios come in
+// three hardening levels:
+//
+//   unhardened  tick-sampled accounting, no BOOST limiter, no VCRD
+//               plausibility check — the faithful-vulnerable scheduler
+//               from arXiv 1103.0759;
+//   mitigated   still tick-sampled, but sampling instants carry seeded
+//               random offsets (the paper's Bernoulli-style fix);
+//   hardened    exact (tickless) accounting + BOOST rate limiter + VCRD
+//               plausibility clamp — attacks bound to epsilon of fair
+//               share.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "experiments/chaos.h"
+#include "experiments/scenario.h"
+#include "workloads/adversary.h"
+
+namespace asman::experiments {
+
+/// Fairness tolerance: a hardened run must hold every adversary within
+/// this much of its weighted fair share of PCPU time.
+inline constexpr double kFairnessEpsilon = 0.05;
+
+/// Nominal per-VCPU online rate of the attacker VM in the adversary host
+/// (weight 256 of 1024 total, 4 PCPUs capped, 4 VCPUs -> 0.25).
+inline constexpr double kAttackerFairShare = 0.25;
+
+/// Turn on the full defense stack: exact accounting, BOOST rate limiter,
+/// VCRD plausibility clamp (windows resolve to their slot-derived
+/// defaults at hypervisor start).
+void apply_hardening(Scenario& sc);
+
+/// The middle ground: keep tick-sampled accounting but randomize every
+/// sampling instant's offset within the slot (seeded, bit-reproducible).
+void apply_mitigated_sampling(Scenario& sc);
+
+/// One attacker VM against a consolidated host: idle Dom0, an honest
+/// NPB/LU gang candidate (VM 1, emits the yield stream that legitimizes
+/// its VCRD), a CPU-bound victim, and the attacker. Capped
+/// (non-work-conserving) mode so "fair share" is well defined. With
+/// hardened=false the run uses tick-sampled accounting and no defenses.
+Scenario adversary_scenario(core::SchedulerKind sched,
+                            workloads::AttackKind attack, bool hardened,
+                            std::uint64_t seed = 1);
+
+/// Adversary host composed with one chaos fault class and a small churn
+/// schedule (hot create/destroy/resize mid-attack) — the soak harness's
+/// worst case. Bit-reproducible per (sched, attack, class, seed).
+Scenario adversary_churn_chaos_scenario(core::SchedulerKind sched,
+                                        workloads::AttackKind attack,
+                                        ChaosClass c, std::uint64_t seed = 1);
+
+/// All attack kinds, for sweep loops (mirrors all_chaos_classes()).
+const std::vector<workloads::AttackKind>& all_attack_kinds();
+
+}  // namespace asman::experiments

@@ -104,6 +104,9 @@ RunResult run_scenario(const Scenario& sc) {
     }
     rt.workload = spec.workload(simulation, sstream.next());
     rt.workload->deploy(*rt.kernel);
+    // Hypervisor-facing hookup (adversary models hypercall directly);
+    // through the injector wrapper like every other guest-origin call.
+    rt.workload->connect(simulation, port, rt.id);
     rt.finite = rt.workload->finite();
     hv->attach_guest(rt.id, injector
                                 ? injector->wrap_guest(rt.id, rt.kernel.get())
@@ -215,6 +218,14 @@ RunResult run_scenario(const Scenario& sc) {
   rr.cross_socket_migrations = hv->cross_socket_migrations();
   rr.migration_penalty_cycles = hv->migration_penalty_cycles().v;
   rr.topology_steal_rejects = hv->topology_steal_rejects();
+  rr.boost_grants = hv->boost_grants();
+  rr.boost_denials = hv->boost_denials();
+  rr.dodged_samples = hv->dodged_samples();
+  rr.implausible_vcrds = hv->implausible_vcrds();
+  rr.theft_cycles = hv->theft_cycles_total();
+  rr.fairness_min = hv->fairness_min();
+  rr.fairness_mean = hv->fairness_mean();
+  rr.fairness_periods = hv->fairness_periods();
   double idle = 0.0;
   for (hw::PcpuId p = 0; p < sc.machine.num_pcpus; ++p)
     idle += hv->pcpu_idle_total(p).ratio(elapsed);
@@ -271,6 +282,13 @@ RunResult run_scenario(const Scenario& sc) {
     res.demotions = v.demotions;
     res.stale_vcrd_drops = v.stale_vcrd_drops;
     res.degraded = v.degraded;
+    res.cycles_consumed = v.total_online.v;
+    res.cycles_attributed = v.cycles_attributed.v;
+    res.theft_cycles = vmm::theft_cycles(v.total_online, v.cycles_attributed);
+    res.dodged_samples = v.dodged_samples;
+    res.boost_grants = v.boost_grants;
+    res.boost_denials = v.boost_denials;
+    res.implausible_vcrds = v.implausible_vcrds;
     res.cross_llc_migrations = v.cross_llc_migrations;
     res.cross_socket_migrations = v.cross_socket_migrations;
     res.migration_penalty_cycles = v.migration_penalty.v;

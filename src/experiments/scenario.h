@@ -134,6 +134,17 @@ struct VmResult {
   std::uint64_t cross_llc_migrations{0};
   std::uint64_t cross_socket_migrations{0};
   std::uint64_t migration_penalty_cycles{0};
+  // Theft metrics (docs/MODEL.md "Threat model & fairness guarantees"):
+  // what the VM actually ran vs. what accounting billed it for, and the
+  // per-VM defense counters.
+  std::uint64_t cycles_consumed{0};
+  std::uint64_t cycles_attributed{0};
+  /// max(0, consumed - attributed): cycles taken without being billed.
+  std::uint64_t theft_cycles{0};
+  std::uint64_t dodged_samples{0};
+  std::uint64_t boost_grants{0};
+  std::uint64_t boost_denials{0};
+  std::uint64_t implausible_vcrds{0};
 
   /// Mean of the first `n` rounds (or all, if fewer) in seconds.
   double mean_round_seconds(std::size_t n) const;
@@ -182,6 +193,18 @@ struct RunResult {
   std::uint64_t cross_socket_migrations{0};
   std::uint64_t migration_penalty_cycles{0};
   std::uint64_t topology_steal_rejects{0};
+  // Theft-accounting + hardening counters, summed over all VMs (all zero
+  // on a run with default resilience and no adversary).
+  std::uint64_t boost_grants{0};
+  std::uint64_t boost_denials{0};
+  std::uint64_t dodged_samples{0};
+  std::uint64_t implausible_vcrds{0};
+  std::uint64_t theft_cycles{0};
+  // Jain fairness index over per-accounting-period weighted consumption
+  // (1.0 = perfectly fair; fairness_periods = number of scored periods).
+  double fairness_min{1.0};
+  double fairness_mean{1.0};
+  std::uint64_t fairness_periods{0};
 
   const VmResult& vm(const std::string& name) const;
   /// Lookup by stable hypervisor id (works for destroyed VMs too).

@@ -103,6 +103,12 @@ void Hypervisor::start() {
     resilience_.flap_window = Cycles{slot_len_.v * 5};
   if (resilience_.demote_backoff.v == 0)
     resilience_.demote_backoff = Cycles{slot_len_.v * 12};
+  if (resilience_.boost_window.v == 0)
+    resilience_.boost_window = Cycles{slot_len_.v * 5};
+  if (resilience_.boost_penalty.v == 0)
+    resilience_.boost_penalty = Cycles{slot_len_.v * 12};
+  if (resilience_.vcrd_check_window.v == 0)
+    resilience_.vcrd_check_window = Cycles{slot_len_.v * 5};
   if (admission_.restore_backoff.v == 0)
     admission_.restore_backoff = Cycles{slot_len_.v * 12};
   in_scheduler_ = true;
@@ -178,6 +184,37 @@ std::uint64_t Hypervisor::stale_vcrd_drops() const {
   return n;
 }
 
+std::uint64_t Hypervisor::boost_grants() const {
+  std::uint64_t n = 0;
+  for (const auto& v : vms_) n += v->boost_grants;
+  return n;
+}
+
+std::uint64_t Hypervisor::boost_denials() const {
+  std::uint64_t n = 0;
+  for (const auto& v : vms_) n += v->boost_denials;
+  return n;
+}
+
+std::uint64_t Hypervisor::dodged_samples() const {
+  std::uint64_t n = 0;
+  for (const auto& v : vms_) n += v->dodged_samples;
+  return n;
+}
+
+std::uint64_t Hypervisor::implausible_vcrds() const {
+  std::uint64_t n = 0;
+  for (const auto& v : vms_) n += v->implausible_vcrds;
+  return n;
+}
+
+std::uint64_t Hypervisor::theft_cycles_total() const {
+  std::uint64_t n = 0;
+  for (const auto& v : vms_)
+    n += theft_cycles(v->total_online, v->cycles_attributed);
+  return n;
+}
+
 // --- graceful degradation ---------------------------------------------------
 
 void Hypervisor::demote_vm(Vm& v, const char* why) {
@@ -206,6 +243,52 @@ void Hypervisor::note_flap(Vm& v) {
   if (resilience_.flap_limit > 0 && v.flap_count > resilience_.flap_limit &&
       !v.degraded)
     demote_vm(v, "VCRD flap rate limit");
+}
+
+bool Hypervisor::grant_boost(Vm& m) {
+  if (resilience_.boost_limit == 0) {  // limiter off: meter only
+    ++m.boost_grants;
+    return true;
+  }
+  const Cycles now = sim_.now();
+  if (now < m.boost_penalty_until) {
+    ++m.boost_denials;
+    return false;
+  }
+  // Same sliding-window shape as note_flap: count grants in the current
+  // window; overflow opens the penalty window.
+  if (m.boost_count == 0 ||
+      now - m.boost_window_start > resilience_.boost_window) {
+    m.boost_window_start = now;
+    m.boost_count = 0;
+  }
+  if (++m.boost_count > resilience_.boost_limit) {
+    m.boost_penalty_until = now + resilience_.boost_penalty;
+    ++m.boost_denials;
+    note_trace(sim::TraceCat::kMonitor,
+               m.name + " BOOST rate limit hit (abuse suspected)");
+    return false;
+  }
+  ++m.boost_grants;
+  return true;
+}
+
+void Hypervisor::vcpu_yield_hint(VmId id, std::uint32_t vidx) {
+  // Pure observation — never touches scheduling state. The per-VM sliding
+  // window is the hardware-side spin evidence the VCRD plausibility clamp
+  // cross-checks HIGH claims against (a guest that claims heavy spin-wait
+  // but never yielded is lying).
+  (void)vidx;
+  if (id >= vms_.size() || !vms_[id]->alive) return;
+  Vm& v = *vms_[id];
+  ++v.yield_hints;
+  const Cycles now = sim_.now();
+  if (v.yields_in_window == 0 ||
+      now - v.yield_window_start > resilience_.vcrd_check_window) {
+    v.yield_window_start = now;
+    v.yields_in_window = 0;
+  }
+  ++v.yields_in_window;
 }
 
 void Hypervisor::degradation_tick(Vm& v) {
@@ -460,16 +543,72 @@ bool Hypervisor::gang_spans_excess_sockets(const Vm& v) const {
 
 void Hypervisor::burn(Vcpu& v, Cycles elapsed) {
   // Online-time accounting only; credit is debited separately by charge().
+  // The PCPU-side busy ledger moves at exactly the same instants, so
+  // sum(vm.total_online) == sum(pcpu.busy_total) holds at every event (the
+  // kCycleConservation invariant). `where` is the hosting PCPU: burn is
+  // only ever called on the current VCPU of some PCPU.
   v.total_online += elapsed;
   vm(v.key.vm).total_online += elapsed;
+  pcpus_[v.where].busy_total += elapsed;
+}
+
+void Hypervisor::attribute(Vcpu& v, Cycles span) {
+  v.attributed += span;
+  vm(v.key.vm).cycles_attributed += span;
 }
 
 void Hypervisor::charge(Vcpu& v, Cycles elapsed) {
   if (elapsed.v == 0) return;
-  const double p = std::min(1.0, static_cast<double>(elapsed.v) /
-                                     static_cast<double>(slot_len_.v));
-  if (rng_.next_double() < p)
-    v.credit = std::max<Credit>(v.credit - kCreditPerSlot, -credit_cap_);
+  switch (resilience_.accounting) {
+    case AccountingMode::kStochastic: {
+      const double p = std::min(1.0, static_cast<double>(elapsed.v) /
+                                         static_cast<double>(slot_len_.v));
+      if (rng_.next_double() < p) {
+        v.credit = std::max<Credit>(v.credit - kCreditPerSlot, -credit_cap_);
+        attribute(v, slot_len_);
+      } else {
+        ++vm(v.key.vm).dodged_samples;
+      }
+      return;
+    }
+    case AccountingMode::kExact: {
+      // Tickless integer-exact debit: elapsed cycles at kCreditPerSlot per
+      // slot, widened through __int128, with the sub-slot remainder carried
+      // on the VCPU so nothing is lost to rounding — and nothing is left
+      // for a tick-dodger to dodge.
+      const __int128 num =
+          static_cast<__int128>(elapsed.v) * kCreditPerSlot + v.charge_carry;
+      const Credit debit = static_cast<Credit>(num / slot_len_.v);
+      v.charge_carry = static_cast<std::uint64_t>(num % slot_len_.v);
+      v.credit = std::max<Credit>(v.credit - debit, -credit_cap_);
+      attribute(v, elapsed);
+      return;
+    }
+    case AccountingMode::kTickSampled:
+      // Faithful vulnerable Xen: spans are never billed directly — only a
+      // sampling instant (see charge(Vcpu&)) charges. A span that crossed
+      // no instant since it came online escaped accounting entirely: that
+      // is the tick-dodger's theft, and the meter records it. (`<=`: a
+      // span that started exactly at an instant was dispatched after the
+      // sample fired, so it escaped too.)
+      if (pcpus_[v.where].last_sample_at <= v.online_since)
+        ++vm(v.key.vm).dodged_samples;
+      return;
+  }
+}
+
+void Hypervisor::charge(Vcpu& v) {
+  // Sampling-instant debit (kTickSampled): the VCPU caught running pays a
+  // full slot regardless of how long it actually ran — Xen's classic
+  // sampled accounting, billed and attributed in slot quanta.
+  v.credit = std::max<Credit>(v.credit - kCreditPerSlot, -credit_cap_);
+  attribute(v, slot_len_);
+}
+
+void Hypervisor::sample_instant(PcpuId p) {
+  PcpuRec& pc = pcpus_[p];
+  pc.last_sample_at = sim_.now();
+  if (pc.current != nullptr) charge(*pc.current);
 }
 
 void Hypervisor::do_accounting() {
@@ -487,6 +626,11 @@ void Hypervisor::do_accounting() {
   const Cycles min_active{machine_.accounting_cycles().v / 100};
   std::uint64_t total_weight = 0;
   std::vector<bool> active(vms_.size(), true);
+  // Jain fairness inputs for the period just closing: weighted consumption
+  // of every VM that wanted or got CPU (an idle VM is not a fairness
+  // participant; a starved runnable one very much is).
+  std::vector<double> shares;
+  shares.reserve(vms_.size());
   for (std::size_t i = 0; i < vms_.size(); ++i) {
     Vm& v = *vms_[i];
     if (!v.alive) {  // tombstone: earns nothing, holds nothing
@@ -494,20 +638,39 @@ void Hypervisor::do_accounting() {
       continue;
     }
     degradation_tick(v);  // lift expired demotions, drop stale HIGH VCRDs
-    if (mode_ == SchedMode::kWorkConserving && slots_elapsed() > 0) {
-      // Active = wants to run (a queued-but-starved VM must keep earning,
-      // or starvation would cut its income and become permanent) or ran.
-      bool runnable = false;
-      for (const Vcpu& c : v.vcpus)
-        if (c.state != VcpuState::kBlocked) {
-          runnable = true;
-          break;
-        }
-      active[i] =
-          runnable || (v.total_online - v.online_at_last_acct) > min_active;
-    }
+    // Wants to run (a queued-but-starved VM must keep earning, or
+    // starvation would cut its income and become permanent)...
+    bool runnable = false;
+    for (const Vcpu& c : v.vcpus)
+      if (c.state != VcpuState::kBlocked) {
+        runnable = true;
+        break;
+      }
+    const Cycles consumed = v.total_online - v.online_at_last_acct;
+    // ...or ran: active either way (work-conserving mode only, like Xen's
+    // csched_acct; the capped mode's Equations (1)-(2) use every weight).
+    if (mode_ == SchedMode::kWorkConserving && slots_elapsed() > 0)
+      active[i] = runnable || consumed > min_active;
+    if (slots_elapsed() > 0 && (runnable || consumed.v > 0))
+      shares.push_back(static_cast<double>(consumed.v) /
+                       static_cast<double>(v.weight));
     v.online_at_last_acct = v.total_online;
     if (active[i]) total_weight += v.weight;
+  }
+  if (shares.size() >= 2) {
+    double s = 0.0;
+    double s2 = 0.0;
+    for (const double x : shares) {
+      s += x;
+      s2 += x * x;
+    }
+    if (s2 > 0.0) {
+      const double j =
+          (s * s) / (static_cast<double>(shares.size()) * s2);
+      fairness_min_ = std::min(fairness_min_, j);
+      fairness_sum_ += j;
+      ++fairness_periods_;
+    }
   }
   if (total_weight == 0) {
     for (std::size_t i = 0; i < vms_.size(); ++i) {
@@ -936,6 +1099,16 @@ void Hypervisor::pcpu_tick(PcpuId p) {
   // the gang head's scheduling events, so a live gang sustains itself.
   if (pc.current) pc.current->wake_boost = false;
   for (Vcpu* v : pc.runq.entries()) v->wake_boost = false;
+  // Sampled accounting bills at sampling instants, not spans: at the tick
+  // itself (faithful vulnerable Xen), or — hardened — at a seeded-random
+  // offset inside the coming slot, where a tick-grid dodger cannot aim.
+  if (resilience_.accounting == AccountingMode::kTickSampled) {
+    if (!resilience_.sample_offset_jitter)
+      sample_instant(p);
+    else
+      sim_.after(Cycles{rng_.next_below(slot_len_.v)},
+                 [this, p] { sample_instant(p); });
+  }
   // Account online time and charge whoever is running at the tick.
   if (pc.current) {
     const Cycles elapsed = sim_.now() - pc.current->online_since;
@@ -1003,6 +1176,24 @@ void Hypervisor::do_vcrd_op(VmId id, Vcrd vcrd) {
     return;
   }
   Vm& v = vm(id);
+  // Plausibility clamp: a HIGH claim must be backed by hardware-observable
+  // spin evidence (recent yield hints). A lying guest's claim is rejected
+  // before it can refresh the TTL or win gang privileges; honest spinning
+  // guests yield every spin_yield_period and clear the floor easily.
+  if (vcrd == Vcrd::kHigh && resilience_.vcrd_min_yields > 0) {
+    const std::uint64_t recent =
+        sim_.now() - v.yield_window_start <= resilience_.vcrd_check_window
+            ? v.yields_in_window
+            : 0;
+    if (recent < resilience_.vcrd_min_yields) {
+      ++v.implausible_vcrds;
+      note_trace(sim::TraceCat::kMonitor,
+                 v.name + " VCRD HIGH claim rejected (" +
+                     std::to_string(recent) + " recent yields < " +
+                     std::to_string(resilience_.vcrd_min_yields) + ")");
+      return;
+    }
+  }
   v.vcrd_last_report = sim_.now();  // feeds the staleness TTL
   if (v.vcrd == vcrd) return;
   const Vcrd previous = v.vcrd;
@@ -1079,7 +1270,10 @@ void Hypervisor::vcpu_kick(VmId id, std::uint32_t vidx) {
   }
   if (v.state != VcpuState::kBlocked) return;
   set_state(v, VcpuState::kRunnable);
-  v.wake_boost = v.credit > 0;  // Xen-style BOOST only for UNDER VCPUs
+  // Xen-style BOOST only for UNDER VCPUs, metered and (when the limiter is
+  // armed) rate-limited per VM: sleep/wake oscillation cannot farm
+  // unbounded wake-priority (arXiv 1103.0759's BOOST abuse).
+  v.wake_boost = v.credit > 0 && grant_boost(vm(id));
   if (!pcpus_[v.where].online) {
     // The wake home went offline while this VCPU was blocked; re-home it
     // lazily now (credit travels with the VCPU).

@@ -44,6 +44,26 @@ namespace asman::vmm {
 /// IPI retry and gang watchdog paths arm themselves only when the substrate
 /// can actually misbehave — a lossy IPI bus or an installed fault surface —
 /// so fault-free runs stay bit-identical to the pre-resilience scheduler.
+/// Consumption-accounting discipline (docs/MODEL.md "Threat model &
+/// fairness guarantees"). The attack surface of Xen's credit scheduler is
+/// the *sampling* of consumption, so the discipline is a resilience knob:
+///
+///   kStochastic  — the repo's default: a full slot is charged with
+///       probability elapsed/slot. Unbiased in expectation and therefore
+///       not profitably dodgeable, but quantized like Xen's sampling.
+///       Fault-free runs stay bit-identical to earlier builds.
+///   kTickSampled — faithful vulnerable Xen: whoever is running at the
+///       periodic sampling instant pays a full slot; spans that end
+///       between instants are never billed. A guest that yields just
+///       before each tick dodges accounting entirely (arXiv 1103.0759).
+///       With ResilienceConfig::sample_offset_jitter the instant moves to
+///       a seeded-random offset inside each slot, which restores
+///       unbiasedness against tick-grid dodgers.
+///   kExact       — tickless hardened accounting: every online span is
+///       billed exactly (integer, __int128-widened, sub-slot remainder
+///       carried), so there is nothing left to dodge.
+enum class AccountingMode : std::uint8_t { kStochastic, kTickSampled, kExact };
+
 struct ResilienceConfig {
   /// Re-send a coscheduling IPI whose target sibling never came online,
   /// this many times per launch, before abandoning the gang start for the
@@ -71,6 +91,31 @@ struct ResilienceConfig {
   /// How long a demoted VM stays degraded (0 = 12 slots). Degradation is
   /// lifted at the first accounting pass after the backoff expires.
   Cycles demote_backoff{0};
+
+  // --- adversarial-tenancy hardening (docs/MODEL.md "Threat model") ---
+  /// How consumption is billed against credit (see AccountingMode).
+  AccountingMode accounting{AccountingMode::kStochastic};
+  /// kTickSampled only: sample at a seeded-random offset inside each slot
+  /// instead of at the (dodgeable) tick instant. All draws go through the
+  /// hypervisor's seeded RNG, so runs stay bit-reproducible per seed.
+  bool sample_offset_jitter{false};
+  /// BOOST-abuse rate limiter: more than this many wake boosts granted to
+  /// one VM inside one boost_window opens a boost_penalty-long window in
+  /// which the VM's wakes get no BOOST priority (0 = limiter off; grants
+  /// are still metered). Rides the flap-limiter's window machinery.
+  std::uint32_t boost_limit{0};
+  /// Boost-limiter window length (0 = 5 slots).
+  Cycles boost_window{0};
+  /// Boost-denial penalty window after an overflow (0 = 12 slots).
+  Cycles boost_penalty{0};
+  /// VCRD plausibility clamp: a HIGH claim is rejected (counted in
+  /// Vm::implausible_vcrds, no TTL refresh, no state change) unless the VM
+  /// produced at least this many yield hints — the hardware-observable
+  /// spin evidence core::HwAdaptiveScheduler also consumes — inside the
+  /// current vcrd_check_window (0 = clamp off).
+  std::uint32_t vcrd_min_yields{0};
+  /// Plausibility-clamp observation window (0 = 5 slots).
+  Cycles vcrd_check_window{0};
 };
 
 class Hypervisor : public HypervisorPort {
@@ -179,6 +224,11 @@ class Hypervisor : public HypervisorPort {
   void do_vcrd_op(VmId vm, Vcrd vcrd) override;
   void vcpu_block(VmId vm, std::uint32_t vidx) override;
   void vcpu_kick(VmId vm, std::uint32_t vidx) override;
+  /// Guest spin-yield notification. The base class only meters it (per-VM
+  /// sliding yield window backing the VCRD plausibility clamp — scheduling
+  /// is never affected); core::HwAdaptiveScheduler additionally feeds its
+  /// spin-inference windows (and calls this first).
+  void vcpu_yield_hint(VmId vm, std::uint32_t vidx) override;
 
   // --- introspection (tests, metrics, benches) ---
   const hw::MachineConfig& machine() const { return machine_; }
@@ -283,6 +333,33 @@ class Hypervisor : public HypervisorPort {
   std::uint64_t vcrd_demotions() const;
   std::uint64_t stale_vcrd_drops() const;
 
+  // --- adversarial-tenancy metrics (RunResult surface) ---
+  /// Sums over all VMs (tombstones included — theft by a destroyed VM
+  /// still happened).
+  std::uint64_t boost_grants() const;
+  std::uint64_t boost_denials() const;
+  std::uint64_t dodged_samples() const;
+  std::uint64_t implausible_vcrds() const;
+  /// Total cycles consumed beyond what accounting attributed, across VMs.
+  std::uint64_t theft_cycles_total() const;
+  /// Cycles this PCPU spent non-idle (the conservation ledger's machine
+  /// side: sum over VMs of total_online equals sum over PCPUs of this).
+  Cycles pcpu_busy_total(PcpuId p) const { return pcpus_[p].busy_total; }
+  /// Jain fairness index of weighted consumption, evaluated per accounting
+  /// period over VMs active in that period (docs/MODEL.md "Threat model"):
+  /// J = (sum x)^2 / (n * sum x^2), x_i = delta_online_i / weight_i. 1.0 =
+  /// perfectly weighted-fair; 1/n = one VM took everything. Periods with
+  /// fewer than two active VMs don't count.
+  double fairness_min() const {
+    return fairness_periods_ > 0 ? fairness_min_ : 1.0;
+  }
+  double fairness_mean() const {
+    return fairness_periods_ > 0
+               ? fairness_sum_ / static_cast<double>(fairness_periods_)
+               : 1.0;
+  }
+  std::uint64_t fairness_periods() const { return fairness_periods_; }
+
  protected:
   /// Should this VM's VCPUs be gang-scheduled at scheduling events?
   virtual bool wants_cosched(const Vm& v) const {
@@ -322,6 +399,12 @@ class Hypervisor : public HypervisorPort {
     bool idle_marked{true};
     Cycles idle_since{0};
     Cycles idle_total{0};
+    /// Non-idle cycles, maintained at the same burn instants as VCPU
+    /// online time so cycle conservation holds exactly at every event.
+    Cycles busy_total{0};
+    /// When this PCPU last hit a sampling instant (kTickSampled dodge
+    /// detection: a span that never crossed one was never billable).
+    Cycles last_sample_at{0};
     std::uint64_t ticks{0};
   };
 
@@ -335,12 +418,31 @@ class Hypervisor : public HypervisorPort {
   void do_accounting();
   /// Account online time (credit is debited separately by charge()).
   void burn(Vcpu& v, Cycles elapsed);
-  /// Xen-style quantized debit for an online span of `elapsed` cycles: a
-  /// full slot's credit is charged with probability elapsed/slot. Unbiased
-  /// in expectation, but quantized like Xen's tick sampling — the noise
+  /// Debit an online span of `elapsed` cycles against credit, per the
+  /// configured AccountingMode. kStochastic (default): a full slot's
+  /// credit is charged with probability elapsed/slot — unbiased in
+  /// expectation, but quantized like Xen's tick sampling; the noise
   /// desynchronizes the park/unpark times of a capped VM's VCPUs, which is
-  /// the precondition for lock-holder preemption.
+  /// the precondition for lock-holder preemption. kExact: precise integer
+  /// debit with carried sub-slot remainder. kTickSampled: span charges
+  /// nothing (billing happens only at sampling instants — see the charge(v)
+  /// overload); the span is counted as dodged if it crossed no instant.
+  /// Also maintains the attributed-cycles theft meter in every mode.
   void charge(Vcpu& v, Cycles elapsed);
+  /// Sampling-instant debit (kTickSampled): the caught VCPU pays one full
+  /// slot, attributed in full. Kept an overload of charge() so every
+  /// credit write stays inside the audited accounting paths that
+  /// asman-lint's audit-seam check whitelists.
+  void charge(Vcpu& v);
+  /// Record a sampling instant on `p` and bill whoever is running there.
+  void sample_instant(PcpuId p);
+  /// Theft-meter bookkeeping: `span` cycles were billed to `v` and its VM.
+  void attribute(Vcpu& v, Cycles span);
+  /// BOOST rate limiter (wake path): meter the grant and, when
+  /// ResilienceConfig::boost_limit is armed and the VM overflowed its
+  /// window, deny BOOST for the penalty window. Mirrors note_flap's
+  /// sliding-window shape.
+  bool grant_boost(Vm& m);
   /// Deschedule the current VCPU of `p` (burn, notify guest, requeue).
   void go_offline(PcpuId p);
   /// Like go_offline but leaves the VCPU unqueued (block path).
@@ -540,6 +642,10 @@ class Hypervisor : public HypervisorPort {
   std::uint64_t vm_resizes_{0};
   std::uint64_t overload_sheds_{0};
   std::uint64_t overload_restores_{0};
+  /// Per-accounting-period Jain fairness aggregates (see fairness_min()).
+  double fairness_min_{1.0};
+  double fairness_sum_{0.0};
+  std::uint64_t fairness_periods_{0};
 };
 
 /// The stock Xen Credit scheduler: proportional share, load balancing, no

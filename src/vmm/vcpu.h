@@ -57,6 +57,14 @@ struct Vcpu {
 
   // -- statistics --
   Cycles total_online{0};
+  /// Cycles the accounting discipline actually billed this VCPU for (the
+  /// theft meter's "attributed" side; total_online is "consumed"). Under
+  /// sampled accounting the two diverge for tick-dodging guests.
+  Cycles attributed{0};
+  /// Exact-accounting remainder: sub-slot consumption carried to the next
+  /// charge so integer credit debits lose nothing to rounding. Numerator
+  /// units (cycles * kCreditPerSlot), always < slot_len.
+  std::uint64_t charge_carry{0};
   std::uint64_t dispatches{0};
   std::uint64_t migrations{0};
   std::uint64_t cross_llc_migrations{0};
@@ -106,6 +114,20 @@ struct Vm {
   std::uint32_t watchdog_streak{0};
   sim::EventId watchdog_ev{};
 
+  // -- adversarial-tenancy defenses (docs/MODEL.md "Threat model") --
+  /// Sliding-window state of the BOOST rate-limiter (wake boosts granted
+  /// inside the current window; grants beyond ResilienceConfig::boost_limit
+  /// open a penalty window during which wakes get no BOOST).
+  Cycles boost_window_start{0};
+  std::uint32_t boost_count{0};
+  Cycles boost_penalty_until{0};
+  /// Sliding-window yield-hint observation (hardware-side spin evidence,
+  /// same signal core::HwAdaptiveScheduler consumes) backing the VCRD
+  /// plausibility clamp: a HIGH claim from a VM that produced fewer than
+  /// ResilienceConfig::vcrd_min_yields recent hints is rejected.
+  Cycles yield_window_start{0};
+  std::uint64_t yields_in_window{0};
+
   // -- statistics --
   std::uint64_t demotions{0};        // flap/watchdog demotions to degraded
   std::uint64_t stale_vcrd_drops{0}; // HIGH forced to LOW by the TTL
@@ -118,8 +140,29 @@ struct Vm {
   Cycles vcrd_high_since{0};
   /// total_online at the last accounting pass (active-set detection).
   Cycles online_at_last_acct{0};
+  // -- theft metrics (adversarial multi-tenancy) --
+  /// Cycles billed to this VM by the accounting discipline. Survives VCPU
+  /// shrink (per-VM aggregate, not a sum over live VCPU records).
+  Cycles cycles_attributed{0};
+  /// Online spans that ended without crossing a sampling instant (under
+  /// kStochastic: charge draws that missed). The tick-dodger's signature.
+  std::uint64_t dodged_samples{0};
+  std::uint64_t boost_grants{0};
+  std::uint64_t boost_denials{0};
+  /// VCRD HIGH claims rejected by the plausibility clamp.
+  std::uint64_t implausible_vcrds{0};
+  std::uint64_t yield_hints{0};
 
   std::size_t num_vcpus() const { return vcpus.size(); }
 };
+
+/// Cycles a VM consumed beyond what accounting attributed to it, clamped
+/// at zero (over-attribution is not theft). Widened through __int128 like
+/// every credit-scale quantity so the subtraction can never wrap.
+inline std::uint64_t theft_cycles(Cycles consumed, Cycles attributed) {
+  const __int128 d = static_cast<__int128>(consumed.v) -
+                     static_cast<__int128>(attributed.v);
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
 
 }  // namespace asman::vmm

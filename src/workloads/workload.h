@@ -12,6 +12,7 @@
 
 #include "guest/guest_kernel.h"
 #include "simcore/time.h"
+#include "vmm/ports.h"
 
 namespace asman::workloads {
 
@@ -24,6 +25,18 @@ class Workload {
   /// Create sync objects and spawn threads into `g` (call exactly once,
   /// before the simulation starts).
   virtual void deploy(guest::GuestKernel& g) = 0;
+
+  /// Optional hypervisor-facing hookup, called once right after deploy()
+  /// with the VM's hypercall port and its hypervisor id. Honest workloads
+  /// ignore it (the Monitoring Module owns their VCRD reporting); the
+  /// adversary models use it to issue hypercalls directly — a paravirtual
+  /// guest can always call the hypervisor, truthfully or not.
+  virtual void connect(sim::Simulator& simulation, vmm::HypervisorPort& port,
+                       vmm::VmId vm) {
+    (void)simulation;
+    (void)port;
+    (void)vm;
+  }
 
   virtual std::string name() const = 0;
 

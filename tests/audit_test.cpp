@@ -161,6 +161,49 @@ TEST(Auditor, DetectsOverMint) {
   EXPECT_GE(violations(r.auditor, Invariant::kCreditConservation), 1u);
 }
 
+TEST(Auditor, DetectsCycleConservationViolation) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  EXPECT_GT(r.auditor.report().entry(Invariant::kCycleConservation).checks,
+            0u);
+  EXPECT_EQ(violations(r.auditor, Invariant::kCycleConservation), 0u);
+  // Inflate a VM's consumed-cycles ledger without touching any PCPU's busy
+  // counter: the VM side of the conservation equation no longer matches.
+  r.hv.vm(r.v1).total_online += sim::Cycles{12345};
+  r.auditor.check_now();
+  EXPECT_GE(violations(r.auditor, Invariant::kCycleConservation), 1u);
+  EXPECT_FALSE(r.auditor.report().clean());
+}
+
+TEST(Auditor, DetectsUnquantizedAttributionUnderSampledAccounting) {
+  Rig r;
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  // Stochastic/tick-sampled accounting attributes whole slots only; a
+  // stray sub-slot remainder means someone charged outside the seam.
+  r.hv.vm(r.v0).cycles_attributed += sim::Cycles{1};
+  r.auditor.check_now();
+  EXPECT_GE(violations(r.auditor, Invariant::kCycleConservation), 1u);
+}
+
+TEST(Auditor, DetectsAttributionGapUnderExactAccounting) {
+  Rig r;
+  vmm::ResilienceConfig res;
+  res.accounting = vmm::AccountingMode::kExact;
+  r.hv.set_resilience(res);
+  r.hv.start();
+  r.sim.run_until(seconds(0.1));
+  EXPECT_EQ(violations(r.auditor, Invariant::kCycleConservation), 0u);
+  // Exact accounting promises attributed == consumed per VM. Open a gap
+  // on both sides of the VM ledger so the conservation sum stays intact
+  // and only the per-VM attribution check can catch it.
+  vmm::Vm& m = r.hv.vm(r.v0);
+  m.cycles_attributed = sim::Cycles{m.total_online.v / 2};
+  r.auditor.check_now();
+  EXPECT_GE(violations(r.auditor, Invariant::kCycleConservation), 1u);
+}
+
 TEST(Auditor, DetectsIllegalStateTransition) {
   Rig r;
   r.hv.start();

@@ -238,6 +238,25 @@ TEST(LintThreadSafety, SanctionedWorkerPatternsStaySilent) {
       << r.output;
 }
 
+// The adversary-hardening disciplines: theft/exact-accounting arithmetic
+// must stay on the widened-integer rails, and the randomized-sampling
+// jitter stream must never be drawn across pool workers.
+TEST(LintAdversary, FixtureFiresOnEveryPlantedViolation) {
+  const LintRun r = run_lint(fixture("fixture_adversary.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[integer-credit]"), 2) << r.output;
+  EXPECT_NE(r.output.find("credit-scale multiply without __int128"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("narrowing cast of credit quantity"),
+            std::string::npos)
+      << r.output;
+  EXPECT_EQ(count_of(r.output, "[rng-discipline]"), 1) << r.output;
+  EXPECT_NE(r.output.find("draws from captured RNG `offset_rng`"),
+            std::string::npos)
+      << r.output;
+}
+
 TEST(LintCleanFixture, TrickyLegalConstructsStaySilent) {
   const LintRun r = run_lint(fixture("fixture_clean.cpp"));
   EXPECT_EQ(r.exit_code, 0) << r.output;

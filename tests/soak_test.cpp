@@ -9,9 +9,11 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <iterator>
 #include <string>
 
 #include "core/schedulers.h"
+#include "experiments/adversary.h"
 #include "experiments/chaos.h"
 #include "experiments/churn.h"
 #include "experiments/scenario.h"
@@ -124,6 +126,43 @@ TEST(Soak, SaturatedChurnCountsRejectionsWithSharesIntact) {
       EXPECT_GT(rr.vm(name).observed_online_rate, 0.0) << name;
     }
   }
+}
+
+// The adversarial lane: every attack class composed with lifecycle churn
+// and one chaos fault family against the hardened host. Fairness must
+// hold (attacker within epsilon of share, zero stolen cycles) through
+// faults and churn, with a clean audit — and stay bit-reproducible.
+TEST(Soak, AdversaryTimesChurnTimesChaosHoldsFairness) {
+  // One representative fault family per attack keeps the lane under a
+  // second; the full cross product lives in the chaos sweep above.
+  const ChaosClass kFault[] = {ChaosClass::kTickJitter, ChaosClass::kIpiLoss,
+                               ChaosClass::kVcrdFlap, ChaosClass::kHotplug};
+  for (const core::SchedulerKind sched : kScheds) {
+    std::size_t fi = 0;
+    for (const workloads::AttackKind a : workloads::kAllAttacks) {
+      const ChaosClass c = kFault[fi++ % std::size(kFault)];
+      SCOPED_TRACE(std::string(core::to_string(sched)) + " x " +
+                   workloads::to_string(a) + " x " + to_string(c));
+      const RunResult rr =
+          run_audited(adversary_churn_chaos_scenario(sched, a, c, 11));
+      std::printf("[soak] %-6s x %-12s x %-12s att=%.3f theft=%" PRIu64
+                  " violations=%" PRIu64 "\n",
+                  core::to_string(sched), workloads::to_string(a),
+                  to_string(c), rr.vm("Attacker").observed_online_rate,
+                  rr.theft_cycles, rr.audit_violations);
+      EXPECT_EQ(rr.audit_violations, 0u) << rr.audit_summary;
+      EXPECT_LE(rr.vm("Attacker").observed_online_rate,
+                kAttackerFairShare + kFairnessEpsilon);
+      EXPECT_EQ(rr.theft_cycles, 0u);
+      EXPECT_GT(rr.vm_creates, 0u);
+      EXPECT_GT(rr.vm_destroys, 0u);
+    }
+  }
+  // Bit-reproducibility of one full attack+churn+chaos composition.
+  const Scenario sc = adversary_churn_chaos_scenario(
+      core::SchedulerKind::kAsman, workloads::AttackKind::kTickDodge,
+      ChaosClass::kEverything, 23);
+  EXPECT_EQ(fingerprint(run_scenario(sc)), fingerprint(run_scenario(sc)));
 }
 
 TEST(Soak, FaultFreeChurnAuditsCleanForEveryScheduler) {

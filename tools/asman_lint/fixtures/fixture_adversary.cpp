@@ -1,0 +1,58 @@
+// Seeded-violation fixture for the adversary-hardening disciplines: theft
+// accounting drifting off the __int128-widened integer rules, and the
+// randomized-sampling RNG being shared across pool workers. Never compiled
+// into any target. Expected findings:
+//   - 1x unwidened kCreditPerSlot multiply in exact_debit (the tickless
+//     charge path: elapsed * kCreditPerSlot overflows int64 inside the
+//     valid config space)
+//   - 1x narrowing cast of a credit quantity (theft_percent)
+//   - 1x rng-discipline: the sampling-offset RNG drawn inside parallel_for
+//     workers (nondeterministic interleaving of the jitter stream)
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+using Credit = std::int64_t;
+inline constexpr Credit kCreditPerSlot = 100'000;
+
+struct Vcpu {
+  Credit credit{0};
+  std::uint64_t consumed{0};
+  std::uint64_t attributed{0};
+};
+
+struct ThreadPool {
+  template <class F>
+  void parallel_for(std::size_t n, F fn);
+};
+
+struct Rng {
+  std::uint64_t next_below(std::uint64_t bound);
+};
+
+// planted: the exact-accounting debit (elapsed cycles at ~2.3e9/s times
+// kCreditPerSlot) must widen through __int128 before the divide; the
+// int64 product overflows after ~40 s of consumed time.
+Credit exact_debit(const Vcpu& v, std::uint64_t slot_cycles) {
+  return static_cast<Credit>(v.consumed) * kCreditPerSlot /
+         static_cast<Credit>(slot_cycles);
+}
+
+// planted: narrowing a credit quantity to int.
+int theft_percent(const Vcpu& v, Credit fair_share) {
+  return static_cast<int>(fair_share - v.credit);
+}
+
+// planted: one shared jitter stream drawn inside the workers — the whole
+// point of seeded sampling offsets is that replay order is fixed, and a
+// pool-interleaved draw order is not.
+void jitter_samples(ThreadPool& pool, std::vector<std::uint64_t>& offsets,
+                    std::uint64_t slot_cycles, Rng& offset_rng) {
+  pool.parallel_for(offsets.size(), [&](std::size_t i) {
+    offsets[i] = offset_rng.next_below(slot_cycles);
+  });
+}
+
+}  // namespace fixture
