@@ -13,7 +13,8 @@ std::uint64_t peak_rss_bytes() {
   return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
 }
 
-std::string write_bench_json(const Sweep& sweep, const std::string& name) {
+std::string write_bench_json(const std::vector<BenchRecord>& records,
+                             const std::string& name) {
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
@@ -24,28 +25,34 @@ std::string write_bench_json(const Sweep& sweep, const std::string& name) {
   std::fprintf(out, "  \"peak_rss_bytes\": %" PRIu64 ",\n", peak_rss_bytes());
   std::fprintf(out, "  \"points\": [");
   bool first = true;
-  for (const std::string& label : sweep.labels()) {
-    if (!sweep.executed(label)) continue;
-    const PointResult& pr = sweep.get(label);
-    const ex::Scenario& sc = sweep.scenario(label);
-    const double events = static_cast<double>(pr.run.events);
-    const double eps =
-        pr.wall_seconds > 0 ? events / pr.wall_seconds : 0.0;
-    const double nspe =
-        events > 0 ? pr.wall_seconds * 1e9 / events : 0.0;
+  for (const BenchRecord& r : records) {
+    const double events = static_cast<double>(r.events);
+    const double eps = r.wall_seconds > 0 ? events / r.wall_seconds : 0.0;
+    const double nspe = events > 0 ? r.wall_seconds * 1e9 / events : 0.0;
     std::fprintf(out,
                  "%s\n    {\"label\": \"%s\", \"scheduler\": \"%s\", "
                  "\"seed\": %" PRIu64 ", \"events\": %" PRIu64
                  ", \"wall_seconds\": %.6f, \"events_per_sec\": %.1f, "
                  "\"ns_per_event\": %.2f}",
-                 first ? "" : ",", label.c_str(),
-                 core::to_string(pr.run.scheduler), sc.seed, pr.run.events,
-                 pr.wall_seconds, eps, nspe);
+                 first ? "" : ",", r.label.c_str(), r.scheduler.c_str(),
+                 r.seed, r.events, r.wall_seconds, eps, nspe);
     first = false;
   }
   std::fprintf(out, "\n  ]\n}\n");
   std::fclose(out);
   return path;
+}
+
+std::string write_bench_json(const Sweep& sweep, const std::string& name) {
+  std::vector<BenchRecord> records;
+  for (const std::string& label : sweep.labels()) {
+    if (!sweep.executed(label)) continue;
+    const PointResult& pr = sweep.get(label);
+    records.push_back(BenchRecord{label, core::to_string(pr.run.scheduler),
+                                  sweep.scenario(label).seed, pr.run.events,
+                                  pr.wall_seconds});
+  }
+  return write_bench_json(records, name);
 }
 
 int run_bench_main(int argc, char** argv, Sweep& sweep,

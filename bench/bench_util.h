@@ -32,6 +32,20 @@ struct PointResult {
   double wall_seconds{0};
 };
 
+/// Runs `fn` and returns its host wall time in seconds. The measurement
+/// never feeds back into any simulation (each run is a pure function of
+/// its scenario + seed), so determinism is not at stake — this helper is
+/// the one sanctioned wall-clock site in the bench harness.
+inline double wall_seconds_of(const std::function<void()>& fn) {
+  // asman-lint: allow(determinism) -- host wall-clock measures the harness, not the simulation
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const std::chrono::duration<double> dt =
+      // asman-lint: allow(determinism) -- host wall-clock measures the harness, not the simulation
+      std::chrono::steady_clock::now() - t0;
+  return dt.count();
+}
+
 /// Annotates one google-benchmark entry with counters for a point.
 using Annotator =
     std::function<void(const PointResult&, benchmark::State&)>;
@@ -56,16 +70,8 @@ class Sweep {
     sim::ThreadPool pool;
     std::vector<PointResult> out(todo.size());
     pool.parallel_for(todo.size(), [&](std::size_t i) {
-      // The harness times itself on the host wall clock; the measurement
-      // never feeds back into any simulation (each run is a pure function
-      // of its Scenario + seed), so determinism is not at stake.
-      // asman-lint: allow(determinism) -- host wall-clock measures the harness, not the simulation
-      const auto t0 = std::chrono::steady_clock::now();
-      ex::RunResult r = ex::run_scenario(scenarios_.at(todo[i]));
-      const std::chrono::duration<double> dt =
-          // asman-lint: allow(determinism) -- host wall-clock measures the harness, not the simulation
-          std::chrono::steady_clock::now() - t0;
-      out[i] = PointResult{std::move(r), dt.count()};
+      out[i].wall_seconds = wall_seconds_of(
+          [&] { out[i].run = ex::run_scenario(scenarios_.at(todo[i])); });
     });
     std::uint64_t audited = 0;
     std::uint64_t audit_checks = 0;
@@ -151,12 +157,29 @@ inline std::string rate_label(core::SchedulerKind k, double rate) {
 /// platform reports nothing useful).
 std::uint64_t peak_rss_bytes();
 
+/// One executed bench point, engine-agnostic: any harness that can name a
+/// point and count its simulated events can emit the standard JSON via
+/// write_bench_json — the cluster bench uses this directly because its
+/// runner returns ClusterRunResult, not the single-host RunResult the
+/// Sweep machinery is built around.
+struct BenchRecord {
+  std::string label;
+  std::string scheduler;
+  std::uint64_t seed{0};
+  std::uint64_t events{0};
+  double wall_seconds{0};
+};
+
 /// Writes BENCH_<name>.json next to the binary's working directory: one
 /// record per executed point carrying label, scheduler, seed, simulated
 /// events, wall seconds, events/sec and ns/event, plus the process-wide
 /// peak RSS. Machine-readable so the perf trajectory can be tracked run
 /// over run (bench/baselines/ holds committed baselines). Returns the
 /// path written, or an empty string on I/O failure.
+std::string write_bench_json(const std::vector<BenchRecord>& records,
+                             const std::string& name);
+
+/// Sweep convenience wrapper over the record-based writer.
 std::string write_bench_json(const Sweep& sweep, const std::string& name);
 
 /// Standard bench entry point: execute sweep, emit tables and

@@ -208,6 +208,31 @@ void Auditor::on_accounting(vmm::VmId id, std::int64_t minted) {
   }
 }
 
+void Auditor::on_seeded(vmm::VmId id, __int128 pool) {
+  ++report_.events;
+  observe_time();
+  AuditReport::Entry& e = report_.entry(Invariant::kCreditConservation);
+  ++e.checks;
+  const vmm::Vm& v = hv_.vm(id);
+  // Recompute seed_credit's split from the authoritative transferred pool:
+  // truncating equal division, clamped to the saturation cap on both sides
+  // (a deeply indebted VM migrates with its debt, bounded like any balance).
+  const auto n = static_cast<__int128>(v.num_vcpus());
+  __int128 share = pool / n;
+  const auto cap = static_cast<__int128>(hv_.credit_cap());
+  if (share > cap) share = cap;
+  if (share < -cap) share = -cap;
+  const auto expect = static_cast<std::int64_t>(share);
+  for (const vmm::Vcpu& c : v.vcpus) {
+    if (c.credit != expect) {
+      flag(Invariant::kCreditConservation,
+           key_str(c.key) + " credit " + std::to_string(c.credit) +
+               " after migration seeding, expected " + std::to_string(expect));
+      return;
+    }
+  }
+}
+
 void Auditor::on_vm_created(vmm::VmId id) {
   ++report_.events;
   observe_time();

@@ -68,6 +68,7 @@ class Auditor final : public vmm::AuditSink {
   void on_state_change(vmm::VcpuKey k, vmm::VcpuState from,
                        vmm::VcpuState to) override;
   void on_accounting(vmm::VmId vm, std::int64_t minted) override;
+  void on_seeded(vmm::VmId vm, __int128 pool) override;
   void on_vm_created(vmm::VmId vm) override;
   void on_vm_resized(vmm::VmId vm) override;
   void on_relocated(vmm::VmId vm) override;

@@ -35,6 +35,10 @@ const char* to_string(Invariant inv) {
       return "topology-placement";
     case Invariant::kCycleConservation:
       return "cycle-conservation";
+    case Invariant::kSingleOwnership:
+      return "single-ownership";
+    case Invariant::kClusterCreditConservation:
+      return "cluster-credit-conservation";
   }
   return "?";
 }

@@ -53,9 +53,19 @@ enum class Invariant : std::uint8_t {
   /// (c) under kExact accounting every VM's attributed cycles equal its
   /// consumed cycles — there is nothing left to steal.
   kCycleConservation,
+  /// Cluster-wide (src/cluster/cluster_auditor.*): at every cluster event,
+  /// each admitted VM is resident — a live local VM of its unique name —
+  /// on at most one host, including mid-migration (lost VMs on zero).
+  kSingleOwnership,
+  /// Cluster-wide: credit transfers between hosts are exact. The ticket a
+  /// migration carries equals the source pool it captured, the destination
+  /// seeds exactly ticket - split/clamp residual, and the residual is
+  /// accounted — summed over per-host pools plus in-flight transfers,
+  /// nothing is minted or lost by moving a VM.
+  kClusterCreditConservation,
 };
 
-inline constexpr std::size_t kNumInvariants = 8;
+inline constexpr std::size_t kNumInvariants = 10;
 
 const char* to_string(Invariant inv);
 

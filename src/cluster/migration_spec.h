@@ -1,0 +1,67 @@
+// The legal live-migration phase transition relation — the single source
+// of truth for the cluster's migration state machine.
+//
+// Exactly one definition of this relation exists in the repository, the
+// same design as src/vmm/state_spec.h for VCPU lifecycle states. The
+// runtime FSM (src/cluster/cluster.cpp, Cluster::set_phase) consults
+// legal_migration_transition() for every phase write, and asman-lint's
+// `state-machine` check lexes THIS file at analysis time to verify every
+// statically determinable set_phase call site against the same table.
+// Editing the table below therefore changes both the runtime and the
+// static checker in one place; duplicating it anywhere else defeats the
+// design.
+//
+// asman-lint parses the initializer of kLegalMigrationTransitions
+// structurally (it has no preprocessor), so the table must stay a plain
+// constexpr array of `{MigrationPhase::kFrom, MigrationPhase::kTo}` pairs
+// — no macros, no computed entries.
+#pragma once
+
+#include <cstdint>
+
+namespace asman::cluster {
+
+/// Live-migration protocol phases (docs/MODEL.md §2.7). A migration record
+/// rests in kIdle, walks kPreCopy -> kStopAndCopy -> kCommit on success,
+/// and reaches kAbort from either active phase on link loss, host failure
+/// or an exhausted retry budget. Both terminal phases return to kIdle when
+/// their cleanup (ownership switch / rollback) completes.
+enum class MigrationPhase : std::uint8_t {
+  kIdle = 0,
+  kPreCopy,
+  kStopAndCopy,
+  kCommit,
+  kAbort,
+};
+
+struct MigrationTransition {
+  MigrationPhase from;
+  MigrationPhase to;
+};
+
+/// The protocol contract: pre-copy may only start from rest; stop-and-copy
+/// may fall back to pre-copy (downtime budget exceeded — more rounds with
+/// backoff) but a commit is atomic and irreversible (never back to copying,
+/// never into abort); abort is reachable from both active copy phases and,
+/// like commit, only ever returns to rest.
+inline constexpr MigrationTransition kLegalMigrationTransitions[] = {
+    {MigrationPhase::kIdle, MigrationPhase::kPreCopy},
+    {MigrationPhase::kPreCopy, MigrationPhase::kStopAndCopy},
+    {MigrationPhase::kPreCopy, MigrationPhase::kAbort},
+    {MigrationPhase::kStopAndCopy, MigrationPhase::kCommit},
+    {MigrationPhase::kStopAndCopy, MigrationPhase::kPreCopy},
+    {MigrationPhase::kStopAndCopy, MigrationPhase::kAbort},
+    {MigrationPhase::kCommit, MigrationPhase::kIdle},
+    {MigrationPhase::kAbort, MigrationPhase::kIdle},
+};
+
+constexpr bool legal_migration_transition(MigrationPhase from,
+                                          MigrationPhase to) {
+  for (const MigrationTransition& t : kLegalMigrationTransitions)
+    if (t.from == from && t.to == to) return true;
+  return false;
+}
+
+const char* to_string(MigrationPhase p);
+
+}  // namespace asman::cluster

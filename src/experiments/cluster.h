@@ -1,0 +1,108 @@
+// Cluster-level experiment surface: declarative fleet scenarios (hosts,
+// VM fleet, scripted admissions/retirements/migrations, host faults) and
+// a runner that builds a cluster::Cluster, drives it to the horizon and
+// collects a flat counter record.
+//
+// Everything is seeded and bit-reproducible: the churn schedule is drawn
+// up front from its own SplitMix64 stream, migration targets resolve
+// through the deterministic fleet placer, and ClusterRunResult carries a
+// fingerprint (a fold over every counter) that same-seed runs must
+// reproduce exactly — the reproducibility tests and the soak harness
+// compare fingerprints, not logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "experiments/scenario.h"
+
+namespace asman::experiments {
+
+struct ClusterChurnEvent {
+  enum class Kind : std::uint8_t {
+    kAdmit,    // fleet-level admission of `spec`
+    kRetire,   // destroy `target` cluster-wide
+    kMigrate,  // live-migrate `target` to the least-loaded other host
+  };
+  Cycles at{0};
+  Kind kind{Kind::kAdmit};
+  cluster::ClusterVmSpec spec{};  // kAdmit
+  std::string target;             // kRetire / kMigrate (VM name)
+};
+
+struct ClusterScenario {
+  std::string name{"cluster"};
+  std::uint32_t hosts{4};
+  hw::MachineConfig machine{};
+  core::SchedulerKind scheduler{core::SchedulerKind::kAsman};
+  vmm::SchedMode mode{vmm::SchedMode::kNonWorkConserving};
+  vmm::ResilienceConfig resilience{};
+  vmm::AdmissionConfig admission{};
+  cluster::RecoveryConfig recovery{};
+  cluster::MigrationModel model{};
+  /// Boot-time fleet, admitted before start().
+  std::vector<cluster::ClusterVmSpec> vms;
+  /// Scripted runtime events; targets resolve by name at fire time (a
+  /// vanished target is a silent no-op, like single-host churn).
+  std::vector<ClusterChurnEvent> churn;
+  /// Host-fault schedule (kHostCrash / kHostDegraded /
+  /// kMigrationLinkLoss specs; VCPU-level entries are ignored here).
+  faults::FaultPlan faults;
+  bool audit{false};
+  std::uint32_t audit_stride{1};
+  std::uint64_t seed{1};
+  Cycles horizon{sim::kDefaultClock.from_seconds_f(2.0)};
+};
+
+struct ClusterRunResult {
+  std::uint64_t events{0};
+  double elapsed_seconds{0};
+  std::uint64_t migrations_started{0};
+  std::uint64_t migrations_committed{0};
+  std::uint64_t migrations_aborted{0};
+  std::uint64_t migrations_retried{0};
+  std::uint64_t precopy_rounds{0};
+  std::uint64_t link_failures{0};
+  std::uint64_t phase_timeouts{0};
+  std::uint64_t tombstoned_copies{0};
+  std::uint64_t host_crashes{0};
+  std::uint64_t degraded_windows{0};
+  /// Crashed hosts' resident VMs re-admitted on survivors (vs. lost for
+  /// want of admission headroom).
+  std::uint64_t vms_replaced{0};
+  std::uint64_t vms_lost{0};
+  std::uint64_t admission_rejects{0};
+  std::uint64_t heartbeats{0};
+  std::uint64_t phase_transitions{0};
+  /// VMs still resident at the horizon.
+  std::uint64_t vms_resident{0};
+  long long residual_credit{0};
+  long long crash_credit_delta{0};
+  std::uint64_t audit_checks{0};
+  std::uint64_t audit_violations{0};
+  std::string audit_summary;
+  /// Order-sensitive fold over every counter above: two same-seed runs
+  /// must produce identical fingerprints (bit-reproducibility probe).
+  std::uint64_t fingerprint{0};
+};
+
+ClusterRunResult run_cluster_scenario(const ClusterScenario& sc);
+
+/// Canned 4-host demo fleet: a dozen mixed tenants, a few scripted
+/// migrations and one mid-run host crash.
+ClusterScenario cluster_scenario(
+    core::SchedulerKind sched = core::SchedulerKind::kAsman,
+    std::uint64_t seed = 1);
+
+/// The acceptance workload: `hosts` hosts and `n_vms` tenants under a
+/// seeded storm of admissions, retirements and migrations, with host
+/// crashes landing mid-migration, a degraded window and a link-loss
+/// window. The soak harness and bench sweep this shape.
+ClusterScenario cluster_chaos_scenario(core::SchedulerKind sched,
+                                       std::uint32_t hosts,
+                                       std::uint32_t n_vms,
+                                       std::uint64_t seed = 1);
+
+}  // namespace asman::experiments

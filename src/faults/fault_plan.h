@@ -101,19 +101,47 @@ struct VcpuFaultSpec {
   VcpuFaultKind kind{VcpuFaultKind::kCrash};
 };
 
+/// Host-level fault classes (cluster runs only; the single-host injector
+/// ignores them — src/cluster/cluster.cpp consumes the specs directly).
+enum class HostFaultKind : std::uint8_t {
+  /// The host dies at `at`: its hypervisor halts mid-event, in-flight
+  /// migrations touching it roll back, and its surviving VMs are
+  /// re-admitted elsewhere with their last-heartbeat credit.
+  kHostCrash,
+  /// The host stays up but is marked unplaceable for `duration` and loses
+  /// half its PCPUs to hotplug (restored when the window closes).
+  kHostDegraded,
+  /// The migration interconnect to/from this host is down for `duration`:
+  /// copy completions fail and the FSM retries with backoff or aborts.
+  kMigrationLinkLoss,
+};
+
+struct HostFaultSpec {
+  /// Cluster host index (cluster::HostId).
+  std::uint32_t host{0};
+  Cycles at{0};
+  /// kHostDegraded / kMigrationLinkLoss: window length (0 = to horizon).
+  /// Ignored for kHostCrash (a crashed host never comes back).
+  Cycles duration{0};
+  HostFaultKind kind{HostFaultKind::kHostCrash};
+};
+
 struct FaultPlan {
   IpiFaultSpec ipi{};
   TickJitterSpec tick{};
   std::vector<HotplugEvent> hotplug;
   std::vector<VcrdFaultSpec> vcrd;
   std::vector<VcpuFaultSpec> vcpu;
+  /// Host-level faults (consumed by the cluster layer, not the per-host
+  /// injector; a single-host run treats them as inert data).
+  std::vector<HostFaultSpec> host;
   /// Seeds the injector's private RNG streams (independent of the
   /// scenario seed, so adding faults never perturbs workload draws).
   std::uint64_t seed{0xFA177ULL};
 
   bool empty() const {
     return !ipi.active() && !tick.active() && hotplug.empty() &&
-           vcrd.empty() && vcpu.empty();
+           vcrd.empty() && vcpu.empty() && host.empty();
   }
 };
 

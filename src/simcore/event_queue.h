@@ -36,6 +36,11 @@ class EventQueue {
   /// still pending (false if already fired or cancelled).
   bool cancel(EventId id);
 
+  /// True while `id` is scheduled and neither fired nor cancelled.
+  bool pending(EventId id) const {
+    return pending_seqs_.count(id.seq) != 0;
+  }
+
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
 

@@ -48,6 +48,9 @@ class ASMAN_CAPABILITY("simulator") Simulator {
   /// Cancel a pending event; safe to call with an already-fired id.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
+  /// True while `id` is scheduled and neither fired nor cancelled.
+  bool pending(EventId id) const { return queue_.pending(id); }
+
   /// Run until the queue drains or the clock passes `deadline`.
   /// Events at exactly `deadline` still fire. Returns events processed.
   std::uint64_t run_until(Cycles deadline);

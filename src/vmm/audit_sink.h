@@ -69,6 +69,16 @@ class AuditSink {
   /// invariant is event-scoped to these instants: between relocations,
   /// members legally drift via wakes and steals. Default: ignore.
   virtual void on_relocated(VmId vm) { (void)vm; }
+
+  /// Live migration seeded `vm`'s credit from the transferred pool
+  /// (seed_credit: truncating equal split clamped to the saturation cap).
+  /// Unlike on_accounting this is not a delta against a snapshot — the
+  /// sink re-verifies the whole split from `pool`, the authoritative
+  /// amount the source host released. Default: ignore.
+  virtual void on_seeded(VmId vm, __int128 pool) {
+    (void)vm;
+    (void)pool;
+  }
 };
 
 }  // namespace asman::vmm

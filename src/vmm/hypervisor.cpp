@@ -279,7 +279,7 @@ void Hypervisor::vcpu_yield_hint(VmId id, std::uint32_t vidx) {
   // cross-checks HIGH claims against (a guest that claims heavy spin-wait
   // but never yielded is lying).
   (void)vidx;
-  if (id >= vms_.size() || !vms_[id]->alive) return;
+  if (halted_ || id >= vms_.size() || !vms_[id]->alive) return;
   Vm& v = *vms_[id];
   ++v.yield_hints;
   const Cycles now = sim_.now();
@@ -360,6 +360,7 @@ void Hypervisor::gang_watchdog_fire(VmId id) {
 
 void Hypervisor::ipi_ack_check(VmId vm_id, std::uint32_t vidx,
                                std::uint32_t attempt, bool strong) {
+  if (halted_) return;  // the ack deadline outlived the host
   Vm& v = *vms_[vm_id];
   if (!cosched_eligible(v)) return;
   if (vidx >= v.num_vcpus()) return;  // resized away while the ack was armed
@@ -606,6 +607,7 @@ void Hypervisor::charge(Vcpu& v) {
 }
 
 void Hypervisor::sample_instant(PcpuId p) {
+  if (halted_) return;  // a jittered sample armed before the crash
   PcpuRec& pc = pcpus_[p];
   pc.last_sample_at = sim_.now();
   if (pc.current != nullptr) charge(*pc.current);
@@ -861,6 +863,7 @@ Vcpu* Hypervisor::steal_for(PcpuId p, bool allow_over) {
 }
 
 void Hypervisor::dispatch(PcpuId p) {
+  if (halted_) return;  // deferred lifecycle dispatches after a crash
   PcpuRec& pc = pcpus_[p];
   if (!pc.online) return;  // hot-unplugged: holds no work, picks none
   Vcpu* cur = pc.current;
@@ -1049,6 +1052,7 @@ void Hypervisor::launch_cosched(PcpuId from, Vcpu& head) {
 }
 
 void Hypervisor::ipi_handler(PcpuId target, std::uint32_t vector) {
+  if (halted_) return;  // in-flight on the bus when the host crashed
   const VmId vm_id = vector / 2;
   const bool strong = (vector & 1u) != 0;
   // Find the gang member this IPI was aimed at; it may have been dispatched
@@ -1091,6 +1095,7 @@ void Hypervisor::ipi_handler(PcpuId target, std::uint32_t vector) {
 }
 
 void Hypervisor::pcpu_tick(PcpuId p) {
+  if (halted_) return;  // crashed host: the tick chain ends here
   in_scheduler_ = true;
   PcpuRec& pc = pcpus_[p];
   ++pc.ticks;
@@ -1143,6 +1148,7 @@ void Hypervisor::pcpu_tick(PcpuId p) {
 }
 
 void Hypervisor::accounting_event() {
+  if (halted_) return;  // crashed host: the accounting chain ends here
   in_scheduler_ = true;
   do_accounting();
   // Newly topped-up (unparked) VCPUs may be waiting while PCPUs idle.
@@ -1163,7 +1169,7 @@ void Hypervisor::do_vcrd_op(VmId id, Vcrd vcrd) {
   // counted exactly once. A guest (or the fault injector impersonating
   // one) may pass any VmId / any enum bit pattern; garbage must bounce
   // without touching scheduler state.
-  if (id >= vms_.size() || !vms_[id]->alive ||
+  if (halted_ || id >= vms_.size() || !vms_[id]->alive ||
       (vcrd != Vcrd::kLow && vcrd != Vcrd::kHigh)) {
     ++hypercall_rejects_;
     note_trace(sim::TraceCat::kMonitor,
@@ -1213,8 +1219,9 @@ void Hypervisor::do_vcrd_op(VmId id, Vcrd vcrd) {
 
 void Hypervisor::vcpu_block(VmId id, std::uint32_t vidx) {
   // A destroyed VM's guest may still have in-flight events; its hypercalls
-  // bounce here (counted) and the tombstone stays untouched.
-  if (id >= vms_.size() || !vms_[id]->alive ||
+  // bounce here (counted) and the tombstone stays untouched. A halted
+  // (crashed) host bounces everything.
+  if (halted_ || id >= vms_.size() || !vms_[id]->alive ||
       vidx >= vm(id).vcpus.size()) {
     ++hypercall_rejects_;
     return;
@@ -1254,7 +1261,7 @@ void Hypervisor::vcpu_block(VmId id, std::uint32_t vidx) {
 }
 
 void Hypervisor::vcpu_kick(VmId id, std::uint32_t vidx) {
-  if (id >= vms_.size() || !vms_[id]->alive ||
+  if (halted_ || id >= vms_.size() || !vms_[id]->alive ||
       vidx >= vm(id).vcpus.size()) {
     ++hypercall_rejects_;
     return;
@@ -1266,6 +1273,12 @@ void Hypervisor::vcpu_kick(VmId id, std::uint32_t vidx) {
   Vcpu& v = vm(id).vcpus[vidx];
   if (v.crashed) {
     ++ignored_kicks_;  // a crashed VCPU stays blocked forever
+    return;
+  }
+  if (vm(id).paused) {
+    // Stop-and-copy downtime window: the wake is latched, not enqueued;
+    // resume_vm replays it so no work is lost across the pause.
+    v.paused_pending = true;
     return;
   }
   if (v.state != VcpuState::kBlocked) return;

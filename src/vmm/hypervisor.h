@@ -118,6 +118,20 @@ struct ResilienceConfig {
   Cycles vcrd_check_window{0};
 };
 
+/// Portable VM image a live migration carries between hosts: identity,
+/// shape, and the residual credit captured from the source's VCPUs at
+/// migrate_out — widened to __int128 so the sum over any VCPU count can
+/// never wrap (the cluster auditor verifies the transfer is exact).
+struct MigrationTicket {
+  std::string name;
+  std::uint32_t weight{256};
+  std::uint32_t n_vcpus{0};
+  VmType type{VmType::kGeneral};
+  __int128 credit_pool{0};
+
+  bool valid() const { return n_vcpus > 0; }
+};
+
 class Hypervisor : public HypervisorPort {
  public:
   Hypervisor(sim::Simulator& simulation, const hw::MachineConfig& machine,
@@ -154,6 +168,45 @@ class Hypervisor : public HypervisorPort {
   /// pairwise-distinct PCPUs when coscheduled). Returns false for an
   /// unknown/dead id, n_vcpus == 0, or an admission reject.
   bool resize_vm(VmId vm, std::uint32_t n_vcpus);
+
+  // --- cluster transfer seams (src/cluster/) --------------------------------
+  // Live migration moves a VM between Hypervisor instances that share one
+  // Simulator. All state changes flow through the same audited choke
+  // points as destroy/create, so per-host auditors stay coherent and the
+  // cluster auditor can verify the credit transfer end to end.
+
+  /// Pause a live VM (stop-and-copy downtime window): every VCPU is parked
+  /// in kBlocked through the audited transition paths, boosts/watchdogs are
+  /// cancelled, and kicks latch (replayed at resume) instead of enqueueing.
+  /// Idempotent; false for an unknown or dead id.
+  bool pause_vm(VmId vm);
+  /// Undo pause_vm: VCPUs that held work at pause (or were kicked while
+  /// paused) re-enter their run queues and idle PCPUs pick them up.
+  bool resume_vm(VmId vm);
+  /// Capture a live VM's identity, shape and residual credit into a
+  /// MigrationTicket, then retire the local records exactly like
+  /// destroy_vm (audited drains, kDestroyed tombstones, id never reused).
+  /// Ownership moves with the ticket. Invalid ticket for unknown/dead ids.
+  MigrationTicket migrate_out(VmId vm);
+  /// Admit a migrated VM from a ticket: create_vm (through admission) then
+  /// seed the carried credit pool, truncating-split per VCPU and clamped to
+  /// +/-credit_cap like Algorithm 3's re-split. `seeded` (optional) reports
+  /// the total actually credited, so the caller can account the exact
+  /// split/clamp residual. Returns kInvalidVmId on admission reject
+  /// (nothing is seeded; the ticket stays valid for another host).
+  VmId migrate_in(const MigrationTicket& ticket, __int128* seeded = nullptr);
+  /// Host crash: park every VCPU in kBlocked through the audited paths,
+  /// stop the tick/accounting machinery for good, and bounce all later
+  /// hypercalls. The frozen state stays audit-clean and readable; there is
+  /// no un-halt. Idempotent.
+  void halt();
+  bool halted() const { return halted_; }
+  /// True for a live VM currently paused by pause_vm.
+  bool vm_paused(VmId id) const { return vm(id).paused; }
+
+  // --- migration / halt counters (cluster RunResult surface) ---
+  std::uint64_t vm_migrations_out() const { return vm_migrations_out_; }
+  std::uint64_t vm_migrations_in() const { return vm_migrations_in_; }
 
   /// Attach the guest kernel that will receive online/offline callbacks.
   /// Call before start() for boot-time VMs, or right after a hot
@@ -542,6 +595,16 @@ class Hypervisor : public HypervisorPort {
   /// unmap it, burning/charging as usual), emit the audited ->Destroyed
   /// transition. Appends the freed PCPU to `freed` when it was running.
   void drain_vcpu(Vcpu& w, std::vector<PcpuId>& freed);
+  /// Seed a freshly migrated-in VM's credit from the carried pool:
+  /// truncating equal split per VCPU, clamped to +/-credit_cap (the same
+  /// shape as Algorithm 3's re-split, so credit-bounds and the next
+  /// accounting pass hold). Returns the total actually credited. An
+  /// audited credit writer: asman-lint's audit-seam whitelist names it.
+  __int128 seed_credit(VmId id, __int128 pool);
+  /// Park one VCPU in kBlocked through the audited paths (pause/halt
+  /// machinery): cancels its boosts, unmaps or dequeues as needed.
+  /// Appends the freed PCPU to `freed` when it was running.
+  void park_vcpu(Vcpu& w, std::vector<PcpuId>& freed);
   /// Re-dispatch `freed` plus any idle online PCPU (post-lifecycle-op).
   void redispatch_freed(const std::vector<PcpuId>& freed);
   /// Overload governor: shed coscheduling when load crosses the shed
@@ -572,10 +635,14 @@ class Hypervisor : public HypervisorPort {
   void audit_relocated(VmId id) {
     if (audit_) audit_->on_relocated(id);
   }
+  void audit_seeded(VmId id, __int128 pool) {
+    if (audit_) audit_->on_seeded(id, pool);
+  }
 #else
   void audit_event(AuditPoint) {}
   void audit_transition(VcpuKey, VcpuState, VcpuState) {}
   void audit_minted(VmId, Credit) {}
+  void audit_seeded(VmId, __int128) {}
   void audit_created(VmId) {}
   void audit_resized(VmId) {}
   void audit_relocated(VmId) {}
@@ -605,6 +672,9 @@ class Hypervisor : public HypervisorPort {
   /// scheduling-event instant (simultaneous dispatches share one instant).
   Cycles cosched_mutex_at_{Cycles::max()};
   bool started_{false};
+  /// Crashed-host latch (halt()): the self-re-arming tick/accounting
+  /// events check it first and stop re-arming; hypercalls bounce.
+  bool halted_{false};
   bool in_scheduler_{false};  // guards against re-entrant hypercalls
   bool in_co_stop_{false};    // prevents co-stop cascades
   Strictness strictness_{Strictness::kStrict};
@@ -640,6 +710,8 @@ class Hypervisor : public HypervisorPort {
   std::uint64_t vm_creates_{0};
   std::uint64_t vm_destroys_{0};
   std::uint64_t vm_resizes_{0};
+  std::uint64_t vm_migrations_out_{0};
+  std::uint64_t vm_migrations_in_{0};
   std::uint64_t overload_sheds_{0};
   std::uint64_t overload_restores_{0};
   /// Per-accounting-period Jain fairness aggregates (see fairness_min()).

@@ -1,0 +1,222 @@
+// Cluster transfer seams: pause/resume (the stop-and-copy downtime
+// window), migrate_out/migrate_in (the audited credit hand-off between
+// hosts), and halt (host crash).
+//
+// The rules that keep every invariant intact across a transfer:
+//
+//   * credit is captured BEFORE the source records drain (drain_vcpu zeroes
+//     residuals) and is seeded on the destination through one audited
+//     writer (seed_credit), truncating-split and clamped exactly like an
+//     accounting pass — so credit-bounds holds immediately and the next
+//     accounting pass on either host sees a consistent pool,
+//   * ownership is serial: migrate_out retires the source VM (tombstones,
+//     id never reused) before migrate_in creates the destination VM, so no
+//     event boundary ever observes the VM alive on two hosts,
+//   * a paused VM is parked entirely in kBlocked through the audited
+//     transition paths (legal from both kRunning-via-unmap and kRunnable),
+//     and kicks latch instead of enqueueing — resume replays them,
+//   * a halted host freezes audit-clean: every VCPU parks in kBlocked, the
+//     self-re-arming tick/accounting events stop, hypercalls bounce
+//     (counted), and the records stay readable for collection.
+#include <cassert>
+#include <vector>
+
+#include "vmm/hypervisor.h"
+
+namespace asman::vmm {
+
+void Hypervisor::park_vcpu(Vcpu& w, std::vector<PcpuId>& freed) {
+  if (w.cosched_clear_ev.valid()) {
+    sim_.cancel(w.cosched_clear_ev);
+    w.cosched_clear_ev = {};
+  }
+  w.cosched_boost = false;
+  w.cosched_weak = false;
+  w.wake_boost = false;
+  switch (w.state) {
+    case VcpuState::kRunning: {
+      // Burn/charge through the normal unmap path (the guest sees its
+      // offline callback), then park from kRunnable.
+      const PcpuId p = w.where;
+      Vcpu* u = unmap_current(p);
+      set_state(*u, VcpuState::kBlocked);
+      freed.push_back(p);
+      break;
+    }
+    case VcpuState::kRunnable: {
+      const bool removed = dequeue(w.where, &w);
+      assert(removed);
+      (void)removed;
+      set_state(w, VcpuState::kBlocked);
+      break;
+    }
+    case VcpuState::kBlocked:
+    case VcpuState::kDestroyed:
+      break;
+  }
+}
+
+bool Hypervisor::pause_vm(VmId id) {
+  if (id >= vms_.size() || !vms_[id]->alive) return false;
+  Vm& v = *vms_[id];
+  if (v.paused) return true;
+  v.paused = true;
+  const bool was = in_scheduler_;
+  in_scheduler_ = true;
+  if (v.watchdog_ev.valid()) {
+    sim_.cancel(v.watchdog_ev);
+    v.watchdog_ev = {};
+  }
+  std::vector<PcpuId> freed;
+  for (Vcpu& w : v.vcpus) {
+    const bool held_work =
+        w.state == VcpuState::kRunning || w.state == VcpuState::kRunnable;
+    park_vcpu(w, freed);
+    if (held_work) w.paused_pending = true;
+  }
+  redispatch_freed(freed);
+  in_scheduler_ = was;
+  note_trace(sim::TraceCat::kSched, v.name + " paused");
+  audit_event(AuditPoint::kLifecycle);
+  return true;
+}
+
+bool Hypervisor::resume_vm(VmId id) {
+  if (id >= vms_.size() || !vms_[id]->alive) return false;
+  Vm& v = *vms_[id];
+  if (!v.paused) return true;
+  v.paused = false;
+  const bool was = in_scheduler_;
+  in_scheduler_ = true;
+  for (Vcpu& w : v.vcpus) {
+    const bool wake = w.paused_pending && !w.crashed;
+    w.paused_pending = false;
+    if (!wake || w.state != VcpuState::kBlocked) continue;
+    if (!pcpus_[w.where].online) {
+      // The home went offline during the pause; re-home like a wake does
+      // (credit travels with the VCPU).
+      const PcpuId stale = w.where;
+      w.where = pick_online_home(id, stale);
+      ++w.migrations;
+      ++migrations_;
+      note_migration(w, stale, w.where);
+    }
+    set_state(w, VcpuState::kRunnable);
+    enqueue(w.where, &w);
+  }
+  // A resumed gang may have drifted onto shared homes while parked.
+  if (cosched_eligible(v) &&
+      (gang_homes_collide(v) || gang_spans_excess_sockets(v)))
+    relocate_vm(v);
+  for (PcpuId q = 0; q < machine_.num_pcpus; ++q)
+    if (pcpus_[q].online && pcpus_[q].current == nullptr) dispatch(q);
+  in_scheduler_ = was;
+  note_trace(sim::TraceCat::kSched, v.name + " resumed");
+  audit_event(AuditPoint::kLifecycle);
+  return true;
+}
+
+MigrationTicket Hypervisor::migrate_out(VmId id) {
+  if (id >= vms_.size() || !vms_[id]->alive) return {};
+  Vm& v = *vms_[id];
+  MigrationTicket t;
+  t.name = v.name;
+  t.weight = v.weight;
+  t.n_vcpus = static_cast<std::uint32_t>(v.num_vcpus());
+  t.type = v.type;
+  // Capture the pool before the drains below zero the residuals; widened
+  // so the sum over any VCPU count cannot wrap.
+  for (const Vcpu& w : v.vcpus)
+    t.credit_pool += static_cast<__int128>(w.credit);
+  // Retire the local records exactly like destroy_vm: dead first (no
+  // dispatch path re-picks the VM), then audited drains into tombstones.
+  v.alive = false;
+  v.paused = false;
+  v.destroyed_at = sim_.now();
+  ++vm_migrations_out_;
+  note_trace(sim::TraceCat::kSched, v.name + " migrated out");
+  const bool was = in_scheduler_;
+  in_scheduler_ = true;
+  if (v.watchdog_ev.valid()) {
+    sim_.cancel(v.watchdog_ev);
+    v.watchdog_ev = {};
+  }
+  if (v.vcrd == Vcrd::kHigh) {  // close the HIGH interval for statistics
+    v.vcrd_high_time += sim_.now() - v.vcrd_high_since;
+    v.vcrd = Vcrd::kLow;
+  }
+  std::vector<PcpuId> freed;
+  for (Vcpu& w : v.vcpus) {
+    w.paused_pending = false;
+    drain_vcpu(w, freed);
+  }
+  v.guest = nullptr;  // after the drains, so offline callbacks reached it
+  redispatch_freed(freed);
+  maybe_restore_overload();
+  in_scheduler_ = was;
+  audit_event(AuditPoint::kLifecycle);
+  return t;
+}
+
+VmId Hypervisor::migrate_in(const MigrationTicket& t, __int128* seeded) {
+  if (seeded) *seeded = 0;
+  if (!t.valid()) return kInvalidVmId;
+  const VmId id = create_vm(t.name, t.weight, t.n_vcpus, t.type);
+  if (id == kInvalidVmId) return id;  // admission reject: nothing seeded
+  const __int128 s = seed_credit(id, t.credit_pool);
+  if (seeded) *seeded = s;
+  ++vm_migrations_in_;
+  note_trace(sim::TraceCat::kSched, vm(id).name + " migrated in");
+  audit_event(AuditPoint::kLifecycle);
+  return id;
+}
+
+__int128 Hypervisor::seed_credit(VmId id, __int128 pool) {
+  Vm& v = vm(id);
+  const auto n = static_cast<__int128>(v.num_vcpus());
+  // Truncating equal split, clamped to the saturation cap — byte for byte
+  // the shape of Algorithm 3's re-split, so credit-bounds holds at this
+  // very event and the next accounting pass redistributes consistently.
+  __int128 share = pool / n;
+  const auto cap = static_cast<__int128>(credit_cap_);
+  if (share > cap) share = cap;
+  if (share < -cap) share = -cap;
+  __int128 seeded = 0;
+  for (Vcpu& w : v.vcpus) {
+    w.credit = static_cast<Credit>(share);
+    seeded += share;
+  }
+  audit_seeded(id, pool);
+  return seeded;
+}
+
+void Hypervisor::halt() {
+  if (halted_) return;
+  halted_ = true;
+  const bool was = in_scheduler_;
+  in_scheduler_ = true;
+  std::vector<PcpuId> freed;
+  for (auto& vp : vms_) {
+    Vm& v = *vp;
+    if (v.watchdog_ev.valid()) {
+      sim_.cancel(v.watchdog_ev);
+      v.watchdog_ev = {};
+    }
+    if (!v.alive) continue;
+    for (Vcpu& w : v.vcpus) park_vcpu(w, freed);
+  }
+  // Close the idle ledgers so pcpu_idle_total stays meaningful.
+  for (PcpuId p = 0; p < machine_.num_pcpus; ++p) {
+    PcpuRec& pc = pcpus_[p];
+    assert(pc.current == nullptr);
+    if (pc.online && !pc.idle_marked) {
+      pc.idle_marked = true;
+      pc.idle_since = sim_.now();
+    }
+  }
+  in_scheduler_ = was;
+  note_trace(sim::TraceCat::kSched, "host halted");
+  audit_event(AuditPoint::kFault);
+}
+
+}  // namespace asman::vmm

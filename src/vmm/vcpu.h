@@ -42,6 +42,12 @@ struct Vcpu {
   /// forced it into kBlocked and the scheduler ignores every later kick.
   bool crashed{false};
 
+  /// Pause latch (live migration's stop-and-copy window): set when
+  /// pause_vm parked this VCPU while it held work (running/runnable), or
+  /// when a kick arrived while the VM was paused. resume_vm replays it as
+  /// a wake; cleared on resume.
+  bool paused_pending{false};
+
   /// When this VCPU last went online (for burn/online-time accounting).
   Cycles online_since{0};
   /// Start of the current round-robin timeslice (set when dispatched from
@@ -96,6 +102,10 @@ struct Vm {
   /// every scheduling decision and hypercall checks this flag first.
   bool alive{true};
   Cycles destroyed_at{0};
+  /// Paused (live migration's stop-and-copy downtime window): every VCPU
+  /// is parked in kBlocked through the audited paths and kicks are latched
+  /// (Vcpu::paused_pending) instead of enqueued until resume_vm.
+  bool paused{false};
 
   // -- graceful degradation --
   /// A degraded VM gets stock credit treatment (no gang scheduling, no

@@ -196,6 +196,45 @@ TEST(LintStateMachine, FixtureFiresOnEveryPlantedViolation) {
       << r.output;
 }
 
+// The same check also verifies the cluster live-migration FSM against its
+// own shared spec (src/cluster/migration_spec.h) — one walker, two
+// machines. All three planted illegal set_phase sites must fire.
+TEST(LintStateMachine, ClusterFixtureFiresOnEveryPlantedViolation) {
+  const LintRun r =
+      run_lint("--check state-machine " + fixture("fixture_cluster.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[state-machine]"), 3) << r.output;
+  EXPECT_NE(r.output.find("illegal MigrationPhase transition kIdle -> "
+                          "kCommit"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("illegal MigrationPhase transition kCommit -> "
+                          "kPreCopy"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("illegal MigrationPhase transition kAbort -> "
+                          "kStopAndCopy"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("kLegalMigrationTransitions, "
+                          "src/cluster/migration_spec.h"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("fixture_cluster.cpp:24"), std::string::npos);
+  EXPECT_NE(r.output.find("fixture_cluster.cpp:33"), std::string::npos);
+  EXPECT_NE(r.output.find("fixture_cluster.cpp:41"), std::string::npos);
+  // Evidence traces explain HOW the from-phase became known.
+  EXPECT_NE(r.output.find("assert established m.phase == kIdle"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("set_phase left m.phase == kCommit"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("case label established m.phase == kAbort"),
+            std::string::npos)
+      << r.output;
+}
+
 TEST(LintStateMachine, LegalChainsAndInvalidationStaySilent) {
   const LintRun r = run_lint(fixture("fixture_state_machine_clean.cpp"));
   EXPECT_EQ(r.exit_code, 0) << r.output;

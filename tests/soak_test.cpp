@@ -16,6 +16,7 @@
 #include "experiments/adversary.h"
 #include "experiments/chaos.h"
 #include "experiments/churn.h"
+#include "experiments/cluster.h"
 #include "experiments/scenario.h"
 
 namespace asman::experiments {
@@ -163,6 +164,46 @@ TEST(Soak, AdversaryTimesChurnTimesChaosHoldsFairness) {
       core::SchedulerKind::kAsman, workloads::AttackKind::kTickDodge,
       ChaosClass::kEverything, 23);
   EXPECT_EQ(fingerprint(run_scenario(sc)), fingerprint(run_scenario(sc)));
+}
+
+// The cluster lane: fleet churn (admissions, retirements, live
+// migrations) crossed with host crashes, a degraded window and link loss,
+// for every scheduler — audited to zero violations of all ten invariants
+// (including single-ownership and cluster credit conservation), no VM
+// lost to a crash, and bit-reproducible per seed.
+TEST(Soak, ClusterChurnTimesHostCrashAuditsCleanForEveryScheduler) {
+  for (const core::SchedulerKind sched : kScheds) {
+    SCOPED_TRACE(core::to_string(sched));
+    ClusterScenario sc = cluster_chaos_scenario(sched, /*hosts=*/8,
+                                                /*n_vms=*/48, /*seed=*/11);
+    sc.audit = true;
+    const ClusterRunResult rr = run_cluster_scenario(sc);
+    std::printf("[soak] %-6s cluster: events=%" PRIu64 " committed=%" PRIu64
+                " aborted=%" PRIu64 " crashes=%" PRIu64 " replaced=%" PRIu64
+                " violations=%" PRIu64 "\n",
+                core::to_string(sched), rr.events, rr.migrations_committed,
+                rr.migrations_aborted, rr.host_crashes, rr.vms_replaced,
+                rr.audit_violations);
+    EXPECT_EQ(rr.audit_violations, 0u) << rr.audit_summary;
+#ifdef ASMAN_AUDIT_ENABLED
+    EXPECT_GT(rr.audit_checks, 0u);
+#endif
+    // The storm actually happened, and recovery held: crashes landed,
+    // every resident VM of a dead host came back elsewhere.
+    EXPECT_EQ(rr.host_crashes, 2u);
+    EXPECT_GT(rr.migrations_committed, 0u);
+    EXPECT_GT(rr.vms_replaced, 0u);
+    EXPECT_EQ(rr.vms_lost, 0u);
+  }
+  // Bit-reproducibility per seed, divergence across seeds.
+  const ClusterScenario sc =
+      cluster_chaos_scenario(core::SchedulerKind::kAsman, 8, 48, 23);
+  const ClusterRunResult a = run_cluster_scenario(sc);
+  const ClusterRunResult b = run_cluster_scenario(sc);
+  EXPECT_EQ(a.fingerprint, b.fingerprint) << "cluster run is nondeterministic";
+  const ClusterRunResult c = run_cluster_scenario(
+      cluster_chaos_scenario(core::SchedulerKind::kAsman, 8, 48, 24));
+  EXPECT_NE(a.fingerprint, c.fingerprint);
 }
 
 TEST(Soak, FaultFreeChurnAuditsCleanForEveryScheduler) {

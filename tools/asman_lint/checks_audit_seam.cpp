@@ -29,7 +29,8 @@ const std::vector<std::string>& queue_writers() {
 const std::vector<std::string>& credit_writers() {
   static const std::vector<std::string> w{
       "Hypervisor::charge", "Hypervisor::do_accounting",
-      "Hypervisor::note_migration", "Hypervisor::drain_vcpu"};
+      "Hypervisor::note_migration", "Hypervisor::drain_vcpu",
+      "Hypervisor::seed_credit"};
   return w;
 }
 

@@ -14,7 +14,11 @@
 //   (c) redistribution (plain `=` from a computed pool): must sit inside
 //       an accounting window — audit_event(kAccountingBegin) dominates the
 //       write and audit_minted post-dominates it, so the runtime auditor's
-//       conservation ledger sees exactly the minted delta.
+//       conservation ledger sees exactly the minted delta. One alternative
+//       bracketing is accepted: audit_seeded post-dominating the write
+//       (migration seeding). Seeding needs no prior pool snapshot because
+//       the auditor re-verifies the whole split from the transferred pool,
+//       not from a delta against a baseline.
 //
 // When an obligation fails the finding carries the witness path, so the
 // report shows the concrete escape route, not just the mutation site.
@@ -126,6 +130,15 @@ void check_credit_flow(const AnalysisContext& ctx) {
         }
         continue;
       }
+
+      // Migration-seeding variant of shape (c): if audit_seeded
+      // post-dominates the write, the runtime auditor re-verifies the full
+      // split from the transferred pool on every exit path — no snapshot
+      // bracket required.
+      if (!path_from_avoiding(cfg, node, [&](const CfgNode& n) {
+            return node_has_ident(n, t, "audit_seeded");
+          }))
+        continue;
 
       // Shape (c): redistribution. Must be bracketed by the accounting
       // audit window on every path.

@@ -1,6 +1,11 @@
-// state-machine: static verification of VcpuState transitions against the
-// shared spec (src/vmm/state_spec.h — the same table the runtime auditor
-// compiles against, so there is exactly one definition of legality).
+// state-machine: static verification of state-machine transitions against
+// their shared specs — the same tables the runtimes compile against, so
+// there is exactly one definition of legality per machine. Two machines
+// are covered: VcpuState (src/vmm/state_spec.h, written via set_state)
+// and the cluster live-migration FSM's MigrationPhase
+// (src/cluster/migration_spec.h, written via Cluster::set_phase). The
+// walker is parameterized over the machine's surface syntax, so adding a
+// machine is a MachineSyntax entry plus its spec loader.
 //
 // A scoped symbolic walker tracks, per local variable, what the code has
 // PROVEN about its state: an assert(x.state == VcpuState::kS), a positive
@@ -8,10 +13,11 @@
 // `case VcpuState::kS:` section of a switch on x.state, or a previous
 // set_state(x, kS). Knowledge is invalidated when the variable is
 // reassigned, member-written, or passed to a call outside the audited seam
-// (assert / set_state / enqueue / dequeue), and at branch merges every
-// variable the branch mentioned is forgotten. At each set_state(x, kTo)
-// whose `from` is determinable, the (from, to) pair is checked against the
-// spec; an illegal pair is reported with the evidence trace.
+// (assert / the setter / the machine's whitelisted helpers), and at branch
+// merges every variable the branch mentioned is forgotten. At each
+// set_state(x, kTo) whose `from` is determinable, the (from, to) pair is
+// checked against the spec; an illegal pair is reported with the evidence
+// trace.
 //
 // The walker does not model aliasing (a member call could mutate a tracked
 // variable through another reference); this under-invalidation is accepted
@@ -36,9 +42,38 @@ bool is_ident(const Token& t, const char* s) {
   return t.kind == Tok::kIdent && t.text == s;
 }
 
-bool whitelisted_callee(const std::string& name) {
-  return name == "assert" || name == "set_state" || name == "enqueue" ||
-         name == "dequeue";
+/// The lexical surface of one audited state machine: the enum that names
+/// its states, the member that stores them, the setter seam that writes
+/// them, the callees that may see a tracked variable without invalidating
+/// knowledge about it, and where the shared legality table lives (for the
+/// finding message).
+struct MachineSyntax {
+  const char* enum_name;
+  const char* member;
+  const char* setter;
+  std::vector<std::string> whitelist;  // includes the setter and "assert"
+  const char* table_ident;
+  const char* spec_path;
+};
+
+const MachineSyntax& vcpu_syntax() {
+  static const MachineSyntax s{"VcpuState",
+                               "state",
+                               "set_state",
+                               {"assert", "set_state", "enqueue", "dequeue"},
+                               "kLegalVcpuTransitions",
+                               "src/vmm/state_spec.h"};
+  return s;
+}
+
+const MachineSyntax& migration_syntax() {
+  static const MachineSyntax s{"MigrationPhase",
+                               "phase",
+                               "set_phase",
+                               {"assert", "set_phase"},
+                               "kLegalMigrationTransitions",
+                               "src/cluster/migration_spec.h"};
+  return s;
 }
 
 struct Fact {
@@ -50,8 +85,9 @@ using Know = std::map<std::string, Fact>;
 
 class StateWalker {
  public:
-  StateWalker(const AnalysisContext& ctx, const TransitionSpec& spec)
-      : ctx_(ctx), spec_(spec), t_(ctx.unit.toks) {}
+  StateWalker(const AnalysisContext& ctx, const TransitionSpec& spec,
+              const MachineSyntax& syn)
+      : ctx_(ctx), spec_(spec), syn_(syn), t_(ctx.unit.toks) {}
 
   void run() {
     if (!spec_.error.empty()) return;  // reported once by the driver
@@ -89,16 +125,22 @@ class StateWalker {
     }
   }
 
-  /// `X (.|->) state == VcpuState :: kS` starting the comparison at `j`
+  bool whitelisted_callee(const std::string& name) const {
+    for (const std::string& w : syn_.whitelist)
+      if (name == w) return true;
+    return false;
+  }
+
+  /// `X (.|->) <member> == <Enum> :: kS` starting the comparison at `j`
   /// (j = index of the X ident). Fills var/state on match.
   bool match_state_cmp(std::size_t j, std::size_t end, const char* op,
                        std::string& var, std::string& state) const {
     if (j + 6 >= end) return false;
     if (t_[j].kind != Tok::kIdent) return false;
     if (!(is_punct(t_[j + 1], ".") || is_punct(t_[j + 1], "->"))) return false;
-    if (!is_ident(t_[j + 2], "state")) return false;
+    if (!is_ident(t_[j + 2], syn_.member)) return false;
     if (!is_punct(t_[j + 3], op)) return false;
-    if (!is_ident(t_[j + 4], "VcpuState")) return false;
+    if (!is_ident(t_[j + 4], syn_.enum_name)) return false;
     if (!is_punct(t_[j + 5], "::")) return false;
     if (t_[j + 6].kind != Tok::kIdent) return false;
     var = t_[j].text;
@@ -149,7 +191,7 @@ class StateWalker {
       const std::string& callee = t_[j].text;
       const std::size_t close = match_forward(t_, j + 1);
 
-      if (callee == "set_state") {
+      if (callee == syn_.setter) {
         // First argument: [*&]* ident ,   — anything else is an
         // indeterminable target.
         std::size_t a = j + 2;
@@ -162,7 +204,7 @@ class StateWalker {
           std::string to;
           for (std::size_t m = a + 2; m + 2 < close + 1 && m + 2 < t_.size();
                ++m) {
-            if (is_ident(t_[m], "VcpuState") && is_punct(t_[m + 1], "::") &&
+            if (is_ident(t_[m], syn_.enum_name) && is_punct(t_[m + 1], "::") &&
                 t_[m + 2].kind == Tok::kIdent) {
               to = t_[m + 2].text;
               break;
@@ -175,20 +217,22 @@ class StateWalker {
               f.file = ctx_.unit.display_path;
               f.line = t_[j].line;
               f.check = "state-machine";
-              f.message = "illegal VcpuState transition " +
-                          it->second.state + " -> " + to +
-                          " (not in kLegalVcpuTransitions, "
-                          "src/vmm/state_spec.h)";
+              f.message = std::string("illegal ") + syn_.enum_name +
+                          " transition " + it->second.state + " -> " + to +
+                          " (not in " + syn_.table_ident + ", " +
+                          syn_.spec_path + ")";
               f.trace.push_back({it->second.line, it->second.note});
               f.trace.push_back(
-                  {t_[j].line, "set_state(" + var + ", VcpuState::" + to +
-                                   ") with " + var + ".state == " +
+                  {t_[j].line, std::string(syn_.setter) + "(" + var + ", " +
+                                   syn_.enum_name + "::" + to + ") with " +
+                                   var + "." + syn_.member + " == " +
                                    it->second.state});
               ctx_.report(std::move(f));
             }
             updates.push_back(
                 {var, Fact{to, t_[j].line,
-                           "set_state left " + var + ".state == " + to}});
+                           std::string(syn_.setter) + " left " + var + "." +
+                               syn_.member + " == " + to}});
           }
         }
         j = close;
@@ -225,12 +269,13 @@ class StateWalker {
 
     for (Update& u : updates) k[u.var] = std::move(u.fact);
 
-    // assert(x.state == VcpuState::kS) establishes a fact.
+    // assert(x.<member> == <Enum>::kS) establishes a fact.
     if (is_ident(t_[b], "assert") && b + 1 < e && is_punct(t_[b + 1], "(")) {
       std::string var, state;
       if (match_state_cmp(b + 2, e, "==", var, state))
         k[var] = Fact{state, t_[b].line,
-                      "assert established " + var + ".state == " + state};
+                      "assert established " + var + "." + syn_.member +
+                          " == " + state};
     }
   }
 
@@ -251,14 +296,15 @@ class StateWalker {
         if (match_state_cmp(j, close, "==", var, state))
           pos.emplace_back(var,
                            Fact{state, t_[j].line,
-                                "guard established " + var + ".state == " +
-                                    state});
+                                "guard established " + var + "." +
+                                    syn_.member + " == " + state});
         if (match_state_cmp(j, close, "!=", var, state))
           neg.emplace_back(var,
                            Fact{state, t_[j].line,
-                                "guard `" + var + ".state != " + state +
-                                    "` returns, so " + var + ".state == " +
-                                    state + " after it"});
+                                "guard `" + var + "." + syn_.member + " != " +
+                                    state + "` returns, so " + var + "." +
+                                    syn_.member + " == " + state +
+                                    " after it"});
       }
     }
 
@@ -354,13 +400,14 @@ class StateWalker {
     const std::size_t body_close = match_forward(t_, body_open);
     if (body_close >= t_.size()) return end;
 
-    // switch (X.state) makes each single-label section a known-state scope.
+    // switch (X.<member>) makes each single-label section a known-state
+    // scope.
     std::string subject;
     {
       std::string var, state;
       if (i + 4 < close && t_[i + 2].kind == Tok::kIdent &&
           (is_punct(t_[i + 3], ".") || is_punct(t_[i + 3], "->")) &&
-          is_ident(t_[i + 4], "state") && i + 5 == close)
+          is_ident(t_[i + 4], syn_.member) && i + 5 == close)
         subject = t_[i + 2].text;
       (void)var;
       (void)state;
@@ -380,7 +427,7 @@ class StateWalker {
         ++labels;
         std::size_t m = j + 1;
         while (m < body_close && !is_punct(t_[m], ":")) {
-          if (is_ident(t_[m], "VcpuState") && m + 2 < body_close &&
+          if (is_ident(t_[m], syn_.enum_name) && m + 2 < body_close &&
               is_punct(t_[m + 1], "::") && t_[m + 2].kind == Tok::kIdent)
             label_state = t_[m + 2].text;
           ++m;
@@ -406,8 +453,8 @@ class StateWalker {
       if (!subject.empty() && labels == 1 && !label_state.empty())
         sec_k[subject] =
             Fact{label_state, label_line,
-                 "case label established " + subject + ".state == " +
-                     label_state};
+                 "case label established " + subject + "." + syn_.member +
+                     " == " + label_state};
       walk_seq(j, sec_end, sec_k);
       j = sec_end;
     }
@@ -455,13 +502,16 @@ class StateWalker {
 
   const AnalysisContext& ctx_;
   const TransitionSpec& spec_;
+  const MachineSyntax& syn_;
   const std::vector<Token>& t_;
 };
 
 }  // namespace
 
 void check_state_machine(const AnalysisContext& ctx) {
-  StateWalker(ctx, vcpu_transition_spec(ctx.options)).run();
+  StateWalker(ctx, vcpu_transition_spec(ctx.options), vcpu_syntax()).run();
+  StateWalker(ctx, migration_transition_spec(ctx.options), migration_syntax())
+      .run();
 }
 
 }  // namespace asman_lint

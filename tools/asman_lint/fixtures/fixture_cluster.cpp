@@ -1,0 +1,51 @@
+// Seeded violations for the state-machine check's migration-FSM coverage:
+// every set_phase call here has a statically determinable (from, to) pair
+// that is NOT in the shared legal-transition table
+// (src/cluster/migration_spec.h). tests/lint_test.cpp asserts 100%
+// detection — all three sites flagged.
+#include <cassert>
+#include <cstdint>
+
+namespace fixture {
+
+enum class MigrationPhase : std::uint8_t { kIdle, kPreCopy, kStopAndCopy,
+                                           kCommit, kAbort };
+
+struct MigrationRec {
+  MigrationPhase phase{MigrationPhase::kIdle};
+};
+
+void set_phase(MigrationRec& m, MigrationPhase to);
+
+// Violation 1: an assert proves kIdle, then the code commits directly —
+// a migration at rest must walk pre-copy and stop-and-copy first.
+void commit_from_rest(MigrationRec& m) {
+  assert(m.phase == MigrationPhase::kIdle);
+  set_phase(m, MigrationPhase::kCommit);  // flagged: kIdle -> kCommit
+}
+
+// Violation 2: sequential knowledge — the second set_phase leaves the
+// record in kCommit, and a commit is atomic and irreversible (never back
+// to copying).
+void recopy_after_commit(MigrationRec& m) {
+  set_phase(m, MigrationPhase::kStopAndCopy);
+  set_phase(m, MigrationPhase::kCommit);
+  set_phase(m, MigrationPhase::kPreCopy);  // flagged: kCommit -> kPreCopy
+}
+
+// Violation 3: a single-label case section proves kAbort; a rolled-back
+// migration only ever returns to rest, never back into the copy protocol.
+void resume_aborted_copy(MigrationRec& m) {
+  switch (m.phase) {
+    case MigrationPhase::kAbort:
+      set_phase(m, MigrationPhase::kStopAndCopy);  // flagged: kAbort ->
+      break;                                       //   kStopAndCopy
+    case MigrationPhase::kIdle:
+    case MigrationPhase::kPreCopy:
+    case MigrationPhase::kStopAndCopy:
+    case MigrationPhase::kCommit:
+      break;
+  }
+}
+
+}  // namespace fixture

@@ -432,24 +432,28 @@ bool TransitionSpec::allows(const std::string& from,
   return false;
 }
 
-const TransitionSpec& vcpu_transition_spec(const Options& options) {
-  static std::map<std::string, TransitionSpec> cache;
-  const std::string root = options.root.empty() ? "." : options.root;
-  auto it = cache.find(root);
-  if (it != cache.end()) return it->second;
+namespace {
 
+/// Lexes `<root>/<rel_path>` and extracts the (from, to) pairs from the
+/// brace initializer of `table_ident` — every `<enum_name> :: <ident>`
+/// occurrence inside it, taken pairwise. Works for any machine whose spec
+/// follows the plain-constexpr-array shape (state_spec.h documents it).
+TransitionSpec load_transition_spec(const std::string& root,
+                                    const std::string& rel_path,
+                                    const std::string& table_ident,
+                                    const std::string& enum_name) {
   TransitionSpec spec;
-  const std::string path = root + "/src/vmm/state_spec.h";
+  const std::string path = root + "/" + rel_path;
   FileUnit unit;
   std::string err;
-  if (!lex_path(path, "src/vmm/state_spec.h", unit, err)) {
+  if (!lex_path(path, rel_path, unit, err)) {
     spec.error = "cannot read transition spec " + path + ": " + err;
-    return cache.emplace(root, std::move(spec)).first->second;
+    return spec;
   }
   const std::vector<Token>& t = unit.toks;
   std::size_t table = t.size();
   for (std::size_t i = 0; i < t.size(); ++i) {
-    if (is_ident(t[i], "kLegalVcpuTransitions")) {
+    if (is_ident(t[i], table_ident.c_str())) {
       table = i;
       break;
     }
@@ -462,19 +466,19 @@ const TransitionSpec& vcpu_transition_spec(const Options& options) {
     }
   }
   if (open >= t.size()) {
-    spec.error = "kLegalVcpuTransitions initializer not found in " + path;
-    return cache.emplace(root, std::move(spec)).first->second;
+    spec.error = table_ident + " initializer not found in " + path;
+    return spec;
   }
   const std::size_t close = match_forward(t, open);
   std::vector<std::string> enums;
   for (std::size_t i = open; i < close && i + 2 < t.size(); ++i) {
-    if (is_ident(t[i], "VcpuState") && is_punct(t[i + 1], "::") &&
+    if (is_ident(t[i], enum_name.c_str()) && is_punct(t[i + 1], "::") &&
         t[i + 2].kind == Tok::kIdent)
       enums.push_back(t[i + 2].text);
   }
   if (enums.size() < 2 || enums.size() % 2 != 0) {
-    spec.error = "malformed kLegalVcpuTransitions table in " + path;
-    return cache.emplace(root, std::move(spec)).first->second;
+    spec.error = "malformed " + table_ident + " table in " + path;
+    return spec;
   }
   for (std::size_t i = 0; i + 1 < enums.size(); i += 2) {
     spec.legal.emplace_back(enums[i], enums[i + 1]);
@@ -484,7 +488,34 @@ const TransitionSpec& vcpu_transition_spec(const Options& options) {
         spec.states.push_back(e);
     }
   }
-  return cache.emplace(root, std::move(spec)).first->second;
+  return spec;
+}
+
+const TransitionSpec& cached_spec(const Options& options,
+                                  const std::string& rel_path,
+                                  const std::string& table_ident,
+                                  const std::string& enum_name) {
+  static std::map<std::string, TransitionSpec> cache;
+  const std::string root = options.root.empty() ? "." : options.root;
+  const std::string key = root + "|" + rel_path;
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  return cache
+      .emplace(key,
+               load_transition_spec(root, rel_path, table_ident, enum_name))
+      .first->second;
+}
+
+}  // namespace
+
+const TransitionSpec& vcpu_transition_spec(const Options& options) {
+  return cached_spec(options, "src/vmm/state_spec.h", "kLegalVcpuTransitions",
+                     "VcpuState");
+}
+
+const TransitionSpec& migration_transition_spec(const Options& options) {
+  return cached_spec(options, "src/cluster/migration_spec.h",
+                     "kLegalMigrationTransitions", "MigrationPhase");
 }
 
 void CallGraph::add_unit(const FileUnit& unit) {

@@ -76,11 +76,11 @@ std::vector<TraceStep> trace_of_path(const Cfg& cfg,
                                      const std::vector<std::size_t>& path,
                                      const std::vector<Token>& toks);
 
-/// The legal VcpuState transition relation, lexed from the single shared
-/// definition in <root>/src/vmm/state_spec.h (the same header the runtime
-/// auditor compiles against). `states` is the enumerator universe seen in
-/// the table. Cached per root; `error` is non-empty if the spec could not
-/// be read or parsed.
+/// A legal state-transition relation lexed from a single shared spec
+/// header (the same header the runtime compiles against, so there is
+/// exactly one definition of legality per machine). `states` is the
+/// enumerator universe seen in the table. Cached per (root, spec);
+/// `error` is non-empty if the spec could not be read or parsed.
 struct TransitionSpec {
   std::vector<std::pair<std::string, std::string>> legal;
   std::vector<std::string> states;
@@ -88,7 +88,14 @@ struct TransitionSpec {
 
   bool allows(const std::string& from, const std::string& to) const;
 };
+
+/// VcpuState relation from <root>/src/vmm/state_spec.h
+/// (kLegalVcpuTransitions — the VMM runtime auditor's table).
 const TransitionSpec& vcpu_transition_spec(const Options& options);
+
+/// MigrationPhase relation from <root>/src/cluster/migration_spec.h
+/// (kLegalMigrationTransitions — the cluster FSM's table).
+const TransitionSpec& migration_transition_spec(const Options& options);
 
 /// Cross-TU call graph keyed by function name (qualified where known),
 /// with per-function callee identifier sets and the file-scope mutable
