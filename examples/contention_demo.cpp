@@ -1,0 +1,109 @@
+// Contention demo: pressure-aware placement vs the pressure-blind
+// baseline on a memory-constrained host.
+//
+// Runs the memory-hungry fleet twice on the paper's dual-socket host with
+// finite LLC capacity (6 MiB per domain) and socket memory bandwidth
+// (8 GB/s) under ASMan — once pressure-aware, once blind. Both runs pay
+// the same contention physics (the engine prices occupancy overflow and
+// bandwidth pressure identically); only placement, steal gating and the
+// pressure balancer differ, so the degraded-cycle columns isolate what
+// awareness alone buys. Compose a chaos class on top with --class.
+//
+// Shares its CLI shape with chaos_demo, churn_demo and topology_demo:
+//
+//   $ ./contention_demo [--class=NAME] [--vms=N] [--seed=N] [--list]
+#include <cstdio>
+
+#include "demo_cli.h"
+#include "experiments/contention.h"
+#include "experiments/tables.h"
+
+using namespace asman;
+
+int main(int argc, char** argv) {
+  namespace ex = asman::experiments;
+
+  const std::string usage = examples::demo_usage(
+      "contention_demo", "compose a fault class on top (default: none)",
+      "total VMs on the host, N >= 4 (default: 6)");
+  examples::DemoOptions opt;
+  if (!examples::parse_demo_args(argc, argv, opt, usage.c_str())) return 2;
+  if (opt.list) {
+    examples::print_chaos_classes();
+    return 0;
+  }
+  bool have_chaos = false;
+  ex::ChaosClass cls = ex::ChaosClass::kEverything;
+  if (!opt.chaos.empty()) {
+    if (!examples::lookup_chaos_class(opt.chaos, cls)) {
+      std::fprintf(stderr, "unknown chaos class '%s'\n", opt.chaos.c_str());
+      examples::print_chaos_classes();
+      return 2;
+    }
+    have_chaos = true;
+  }
+  const std::uint32_t n_vms = opt.vms == 0 ? 6 : opt.vms;
+
+  const auto run = [&](bool aware) {
+    ex::Scenario sc = ex::contention_scenario(core::SchedulerKind::kAsman,
+                                              opt.seed, aware, n_vms);
+    if (have_chaos) {
+      sc.faults.seed = opt.seed ^ 0xC4A05ULL;
+      ex::apply_chaos(sc, cls);
+    }
+    sc.audit = true;  // pressure-conservation checked on every period
+    return ex::run_scenario(sc);
+  };
+  const ex::RunResult aware = run(true);
+  const ex::RunResult blind = run(false);
+
+  std::printf("contention run: ASMan on 2 sockets x 2 LLCs x 2 PCPUs, "
+              "6 MiB LLCs, 8 GB/s sockets, %s, %u VMs, seed %llu\n\n",
+              have_chaos ? ex::to_string(cls) : "fault-free", n_vms,
+              static_cast<unsigned long long>(opt.seed));
+
+  const auto frac = [](const ex::RunResult& r) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.5f",
+                  r.pressure_accounted > 0
+                      ? static_cast<double>(r.pressure_degraded) /
+                            static_cast<double>(r.pressure_accounted)
+                      : 0.0);
+    return std::string(buf);
+  };
+  ex::TextTable costs({"memory pressure", "aware", "blind"});
+  costs.add_row({"accounted cycles", std::to_string(aware.pressure_accounted),
+                 std::to_string(blind.pressure_accounted)});
+  costs.add_row({"degraded cycles", std::to_string(aware.pressure_degraded),
+                 std::to_string(blind.pressure_degraded)});
+  costs.add_row({"degraded fraction", frac(aware), frac(blind)});
+  costs.add_row({"engine periods", std::to_string(aware.pressure_periods),
+                 std::to_string(blind.pressure_periods)});
+  costs.add_row({"steals refused (pressure)",
+                 std::to_string(aware.pressure_steal_rejects),
+                 std::to_string(blind.pressure_steal_rejects)});
+  costs.add_row({"balancer swaps", std::to_string(aware.pressure_rebalances),
+                 std::to_string(blind.pressure_rebalances)});
+  std::printf("%s\n", costs.str().c_str());
+
+  ex::TextTable vms({"VM", "online rate", "accounted", "degraded"});
+  for (const ex::VmResult& v : aware.vms)
+    vms.add_row({v.name, ex::fmt_pct(v.observed_online_rate),
+                 std::to_string(v.pressure_accounted),
+                 std::to_string(v.pressure_degraded)});
+  std::printf("aware run, per VM:\n%s\n", vms.str().c_str());
+
+  if (aware.audit_checks > 0)
+    std::printf("auditor (aware run): %llu checks, %llu violation(s)\n%s",
+                static_cast<unsigned long long>(aware.audit_checks),
+                static_cast<unsigned long long>(aware.audit_violations),
+                aware.audit_violations > 0 ? aware.audit_summary.c_str() : "");
+
+  std::printf(
+      "\nBoth runs pay the same contention physics; only placement\n"
+      "differs. The aware run spreads working sets across LLC domains at\n"
+      "boot, refuses steals that deepen an overflow, and swaps the\n"
+      "heaviest tenant off a saturated socket (with hysteresis), so its\n"
+      "degraded-cycle column should undercut the blind baseline's.\n");
+  return 0;
+}

@@ -120,6 +120,8 @@ void Auditor::check_now() {
       check_gang_coherence(hv_, found);
   report_.entry(Invariant::kCycleConservation).checks +=
       check_cycle_conservation(hv_, found);
+  report_.entry(Invariant::kPressureConservation).checks +=
+      check_pressure_conservation(hv_, found);
   // Shadow consistency: the hypervisor's actual lifecycle states must match
   // what the legal transition stream implies.
   for (vmm::VmId id = 0; id < hv_.num_vms() && id < shadow_.size(); ++id) {
@@ -259,6 +261,98 @@ void Auditor::on_relocated(vmm::VmId id) {
   report_.entry(Invariant::kTopologyPlacement).checks +=
       check_topology_placement(hv_, id, found);
   for (Violation& viol : found) flag(viol.kind, std::move(viol.what));
+}
+
+void Auditor::on_contention() {
+  ++report_.events;
+  observe_time();
+  AuditReport::Entry& e = report_.entry(Invariant::kPressureConservation);
+  // Event-scoped partition half of the invariant: rebuild the engine's
+  // input from the hypervisor's authoritative public state and recompute
+  // the pass with the same shared function (one definition, two callers —
+  // the state_spec idiom), then compare against what the scheduler
+  // published. Any divergence means a home or footprint changed without
+  // flowing through the audited paths. (The pressure balancer runs after
+  // this hook precisely so placement here is still the placement the
+  // scheduler fed compute_contention.)
+  const vmm::Hypervisor& hv = hv_;
+  const hw::Topology& topo = hv.topology();
+  const hw::memsys::ContentionPass& pub = hv.pressure_last();
+  ++e.checks;
+  if (pub.vm_llc_demand.size() != hv.num_vms()) {
+    flag(Invariant::kPressureConservation,
+         "published pass covers " + std::to_string(pub.vm_llc_demand.size()) +
+             " VMs, hypervisor holds " + std::to_string(hv.num_vms()));
+    return;
+  }
+  // (a) Partition arithmetic of the published pass itself: granted is
+  // elementwise bounded by demand and the per-LLC columns sum exactly to
+  // min(capacity, demand) — a skewed occupancy cannot hide in rounding.
+  const std::uint64_t cap = hv.machine().llc_bytes;
+  for (std::uint32_t l = 0; l < topo.num_llcs(); ++l) {
+    ++e.checks;
+    std::uint64_t col_demand = 0;
+    std::uint64_t col_granted = 0;
+    for (vmm::VmId id = 0; id < hv.num_vms(); ++id) {
+      if (pub.vm_llc_granted[id][l] > pub.vm_llc_demand[id][l])
+        flag(Invariant::kPressureConservation,
+             hv.vm(id).name + " granted " +
+                 std::to_string(pub.vm_llc_granted[id][l]) +
+                 " > demanded " + std::to_string(pub.vm_llc_demand[id][l]) +
+                 " on LLC " + std::to_string(l));
+      col_demand += pub.vm_llc_demand[id][l];
+      col_granted += pub.vm_llc_granted[id][l];
+    }
+    const std::uint64_t expect = std::min(cap, col_demand);
+    if (col_demand != pub.llc_demand[l] || col_granted != pub.llc_granted[l] ||
+        (col_demand > 0 && col_granted != expect))
+      flag(Invariant::kPressureConservation,
+           "LLC " + std::to_string(l) + " occupancy not a partition: demand " +
+               std::to_string(pub.llc_demand[l]) + "/" +
+               std::to_string(col_demand) + ", granted " +
+               std::to_string(pub.llc_granted[l]) + "/" +
+               std::to_string(col_granted) + ", expected grant " +
+               std::to_string(expect));
+  }
+  // (b) Independent recomputation from authoritative placement: the
+  // published matrices must be reproducible from public state alone.
+  std::vector<hw::memsys::VmLoad> loads(hv.num_vms());
+  for (vmm::VmId id = 0; id < hv.num_vms(); ++id) {
+    const vmm::Vm& v = hv.vm(id);
+    if (!v.alive) continue;
+    const hw::memsys::MemFootprint& fp = hv.vm_footprint(id);
+    if (fp.zero()) continue;
+    loads[id].fp = &fp;
+    for (const vmm::Vcpu& c : v.vcpus) {
+      loads[id].vcpu_llc.push_back(topo.llc_of(c.where));
+      loads[id].vcpu_socket.push_back(topo.socket_of(c.where));
+    }
+  }
+  hw::memsys::ContentionPass mine;
+  hw::memsys::compute_contention(topo, cap,
+                                 hv.machine().socket_mem_bw_bytes_per_s, loads,
+                                 mine);
+  ++e.checks;
+  if (mine.llc_demand != pub.llc_demand ||
+      mine.vm_llc_demand != pub.vm_llc_demand ||
+      mine.vm_llc_granted != pub.vm_llc_granted)
+    flag(Invariant::kPressureConservation,
+         "published occupancy partition does not match independent "
+         "recomputation from authoritative placement");
+  // (c) Ledger freshness: the engine just accounted everything — every
+  // live VCPU's mark must sit exactly at its consumed-cycle meter.
+  for (vmm::VmId id = 0; id < hv.num_vms(); ++id) {
+    const vmm::Vm& v = hv.vm(id);
+    if (!v.alive) continue;
+    for (const vmm::Vcpu& c : v.vcpus) {
+      ++e.checks;
+      if (c.pressure_mark != c.total_online)
+        flag(Invariant::kPressureConservation,
+             key_str(c.key) + " pressure mark " +
+                 std::to_string(c.pressure_mark.v) + " lags total_online " +
+                 std::to_string(c.total_online.v) + " after an engine pass");
+    }
+  }
 }
 
 void Auditor::on_vm_resized(vmm::VmId id) {

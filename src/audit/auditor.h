@@ -72,6 +72,7 @@ class Auditor final : public vmm::AuditSink {
   void on_vm_created(vmm::VmId vm) override;
   void on_vm_resized(vmm::VmId vm) override;
   void on_relocated(vmm::VmId vm) override;
+  void on_contention() override;
 
  private:
   void observe_time();

@@ -39,6 +39,8 @@ const char* to_string(Invariant inv) {
       return "single-ownership";
     case Invariant::kClusterCreditConservation:
       return "cluster-credit-conservation";
+    case Invariant::kPressureConservation:
+      return "pressure-conservation";
   }
   return "?";
 }
@@ -210,6 +212,48 @@ std::uint64_t check_cycle_conservation(const vmm::Hypervisor& hv,
                            std::to_string(slot)});
     }
   }
+  return checks;
+}
+
+std::uint64_t check_pressure_conservation(const vmm::Hypervisor& hv,
+                                          std::vector<Violation>& out) {
+  // Ledger half of the invariant; the partition half is event-scoped to
+  // engine passes (Auditor::on_contention recomputes it from scratch).
+  // Integer equalities, checked exactly: tombstones keep their final
+  // ledgers, so the per-VM sums and the machine totals — maintained at the
+  // same apply_contention instants — can only diverge if someone wrote the
+  // ledger outside the audited seam.
+  std::uint64_t checks = 0;
+  std::uint64_t accounted = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t effective = 0;
+  for (vmm::VmId id = 0; id < hv.num_vms(); ++id) {
+    const vmm::Vm& v = hv.vm(id);
+    ++checks;
+    if (v.pressure_effective + v.pressure_degraded != v.pressure_accounted)
+      out.push_back({Invariant::kPressureConservation,
+                     v.name + " pressure ledger split: effective " +
+                         std::to_string(v.pressure_effective) +
+                         " + degraded " + std::to_string(v.pressure_degraded) +
+                         " != accounted " +
+                         std::to_string(v.pressure_accounted)});
+    accounted += v.pressure_accounted;
+    degraded += v.pressure_degraded;
+    effective += v.pressure_effective;
+  }
+  ++checks;
+  if (accounted != hv.pressure_accounted_total() ||
+      degraded != hv.pressure_degraded_total() ||
+      effective != hv.pressure_effective_total())
+    out.push_back({Invariant::kPressureConservation,
+                   "machine pressure totals diverge from per-VM sums: "
+                   "accounted " +
+                       std::to_string(hv.pressure_accounted_total()) + "/" +
+                       std::to_string(accounted) + ", degraded " +
+                       std::to_string(hv.pressure_degraded_total()) + "/" +
+                       std::to_string(degraded) + ", effective " +
+                       std::to_string(hv.pressure_effective_total()) + "/" +
+                       std::to_string(effective)});
   return checks;
 }
 

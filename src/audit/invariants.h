@@ -63,9 +63,17 @@ enum class Invariant : std::uint8_t {
   /// accounted — summed over per-host pools plus in-flight transfers,
   /// nothing is minted or lost by moving a VM.
   kClusterCreditConservation,
+  /// Memory-pressure ledger (docs/MODEL.md §2.8): per VM and machine-wide,
+  /// effective + degraded == accounted cycles exactly — the contention
+  /// engine splits, never invents or loses, busy time. At every engine
+  /// pass (Auditor::on_contention) the published occupancy is additionally
+  /// a true partition of resident footprints: granted <= demand
+  /// elementwise and Σ granted per LLC == min(capacity, Σ demand),
+  /// recomputed independently from authoritative placement state.
+  kPressureConservation,
 };
 
-inline constexpr std::size_t kNumInvariants = 10;
+inline constexpr std::size_t kNumInvariants = 11;
 
 const char* to_string(Invariant inv);
 
@@ -90,5 +98,7 @@ std::uint64_t check_topology_placement(const vmm::Hypervisor& hv,
                                        std::vector<Violation>& out);
 std::uint64_t check_cycle_conservation(const vmm::Hypervisor& hv,
                                        std::vector<Violation>& out);
+std::uint64_t check_pressure_conservation(const vmm::Hypervisor& hv,
+                                          std::vector<Violation>& out);
 
 }  // namespace asman::audit

@@ -48,11 +48,20 @@ std::vector<HostId> Cluster::host_order(HostId exclude) const {
     if (!hosts_[h].alive || hosts_[h].degraded) continue;
     order.push_back(h);
   }
-  // Least weighted VCPU load first, index breaking ties — the load is a
-  // pure function of deterministic state, so the order is reproducible.
+  // Least weighted VCPU load first, memory pressure folded in (a host
+  // losing a fifth of its cycles to contention effectively has a fifth
+  // fewer PCPUs, so its score is scaled up by the degraded fraction),
+  // index breaking ties. Both inputs are pure functions of deterministic
+  // state — and pressure_score() is exactly 0.0 on hosts whose contention
+  // engine is inert — so the order is reproducible and bit-identical to
+  // the pre-pressure sort in footprint-free clusters.
   std::sort(order.begin(), order.end(), [this](HostId a, HostId b) {
-    const double la = hosts_[a].hv->weighted_vcpu_load();
-    const double lb = hosts_[b].hv->weighted_vcpu_load();
+    const auto score = [this](HostId h) {
+      const vmm::Hypervisor& hv = *hosts_[h].hv;
+      return hv.weighted_vcpu_load() * (1.0 + hv.pressure_score());
+    };
+    const double la = score(a);
+    const double lb = score(b);
     if (la != lb) return la < lb;
     return a < b;
   });

@@ -1,0 +1,79 @@
+#include "experiments/contention.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "experiments/chaos.h"
+#include "hw/memsys/footprint.h"
+#include "workloads/synthetic.h"
+
+namespace asman::experiments {
+
+namespace {
+
+Cycles us(std::uint64_t n) { return sim::kDefaultClock.from_us(n); }
+
+std::uint64_t mib(std::uint64_t n) { return n << 20; }
+
+}  // namespace
+
+Scenario contention_scenario(core::SchedulerKind sched, std::uint64_t seed,
+                             bool pressure_aware, std::uint32_t n_vms) {
+  using hw::memsys::make_footprint;
+  if (n_vms < 4) n_vms = 4;
+  Scenario sc = chaos_base_scenario(sched, seed, /*n_vms=*/3);
+  sc.machine.num_pcpus = 8;
+  sc.machine.topology = hw::Topology::paper();
+  sc.machine.llc_bytes = kContentionLlcBytes;
+  sc.machine.socket_mem_bw_bytes_per_s = kContentionSocketBw;
+  sc.pressure_aware = pressure_aware;
+
+  // Footprints for the chaos-base tenants. The gang candidate is a
+  // synchronization-heavy code with a moderate shared structure; the base
+  // hog becomes a cache-hungry analytics tenant.
+  sc.vms[1].workload = [](sim::Simulator&, std::uint64_t s) {
+    auto w = std::make_unique<workloads::LockHammerWorkload>(
+        4, 1'000'000, us(120), us(15), s);
+    w->set_footprint(make_footprint(mib(3), 2'000'000'000ull, 600));
+    return w;
+  };
+  sc.vms[2].workload = [](sim::Simulator&, std::uint64_t s) {
+    auto w = std::make_unique<workloads::CpuHogWorkload>(2, us(200), s);
+    w->set_footprint(make_footprint(mib(4), 3'000'000'000ull, 400));
+    return w;
+  };
+
+  // The streaming tenant: its 8 MiB working set overflows any single
+  // 6 MiB LLC, but split across two domains its 4 MiB per-VCPU shares
+  // fit — contention here is entirely a placement outcome, which is what
+  // the aware-vs-blind comparison measures.
+  VmSpec stream;
+  stream.name = "Stream";
+  stream.weight = 256;
+  stream.vcpus = 2;
+  stream.workload = [](sim::Simulator&, std::uint64_t s) {
+    auto w = std::make_unique<workloads::CpuHogWorkload>(2, us(200), s);
+    w->set_footprint(make_footprint(mib(8), 5'000'000'000ull, 200));
+    return w;
+  };
+  sc.vms.push_back(std::move(stream));
+
+  // Extra background hogs with small-but-nonzero footprints: enough VMs
+  // that LLC domains fill and the placer's spread decision matters.
+  for (std::uint32_t i = 4; i < n_vms; ++i) {
+    VmSpec extra;
+    extra.name = "Hog" + std::to_string(i - 2);
+    extra.weight = 64;
+    extra.vcpus = 1;
+    extra.workload = [](sim::Simulator&, std::uint64_t s) {
+      auto w = std::make_unique<workloads::CpuHogWorkload>(1, us(200), s);
+      w->set_footprint(make_footprint(mib(2), 1'500'000'000ull, 500));
+      return w;
+    };
+    sc.vms.push_back(std::move(extra));
+  }
+  return sc;
+}
+
+}  // namespace asman::experiments

@@ -1,0 +1,38 @@
+// Contention scenarios: the paper's dual-socket host under memory-system
+// pressure (docs/MODEL.md §2.8).
+//
+// contention_scenario() is the chaos-base fleet on hw::Topology::paper()
+// with finite memory capacities (6 MiB shared LLC per dual-core die,
+// Harpertown-style, and ~8 GB/s of bus bandwidth per socket) and a
+// memory-hungry footprint installed on every tenant. The `pressure_aware`
+// knob selects pressure-aware placement/stealing/balancing or the
+// pressure-blind baseline; both pay exactly the same contention physics,
+// so bench_contention attributes any degraded-cycle delta to placement
+// alone — the same equal-cost discipline bench_topology uses.
+#pragma once
+
+#include <cstdint>
+
+#include "experiments/scenario.h"
+
+namespace asman::experiments {
+
+/// Shared-LLC capacity the contention scenarios declare: 6 MiB, one
+/// Harpertown dual-core die's L2.
+inline constexpr std::uint64_t kContentionLlcBytes = 6ull << 20;
+
+/// Per-socket memory bandwidth the contention scenarios declare (~8 GB/s,
+/// one FSB's worth).
+inline constexpr std::uint64_t kContentionSocketBw = 8'000'000'000ull;
+
+/// The consolidated dual-socket host under memory pressure: idle Dom0, the
+/// 4-VCPU gang candidate with a moderate footprint, a streaming tenant
+/// whose working set alone overflows one LLC, and cache-hungry background
+/// hogs. `n_vms` as in chaos_scenario (minimum 4 here; extras are 1-VCPU
+/// hogs with small footprints). `pressure_aware` false keeps the identical
+/// contention physics but places/steals/balances pressure-blind.
+Scenario contention_scenario(core::SchedulerKind sched, std::uint64_t seed = 1,
+                             bool pressure_aware = true,
+                             std::uint32_t n_vms = 6);
+
+}  // namespace asman::experiments

@@ -40,6 +40,7 @@ RunResult run_scenario(const Scenario& sc) {
   hv->set_resilience(sc.resilience);
   hv->set_admission(sc.admission);
   hv->set_topology_aware(sc.topology_aware);
+  hv->set_pressure_aware(sc.pressure_aware);
 
   // Attach the fault injector only when the plan names a fault: an empty
   // plan leaves no seam installed, so the run is bit-identical to builds
@@ -103,6 +104,10 @@ RunResult run_scenario(const Scenario& sc) {
       rt.kernel->set_observer(rt.monitor.get());
     }
     rt.workload = spec.workload(simulation, sstream.next());
+    // Register the workload's memory footprint before it runs: the
+    // contention engine prices occupancy from creation on (churn-created
+    // VMs register here too). Zero footprints keep the engine inert.
+    hv->set_vm_footprint(rt.id, rt.workload->footprint());
     rt.workload->deploy(*rt.kernel);
     // Hypervisor-facing hookup (adversary models hypercall directly);
     // through the injector wrapper like every other guest-origin call.
@@ -218,6 +223,13 @@ RunResult run_scenario(const Scenario& sc) {
   rr.cross_socket_migrations = hv->cross_socket_migrations();
   rr.migration_penalty_cycles = hv->migration_penalty_cycles().v;
   rr.topology_steal_rejects = hv->topology_steal_rejects();
+  rr.pressure_accounted = hv->pressure_accounted_total();
+  rr.pressure_degraded = hv->pressure_degraded_total();
+  rr.pressure_effective = hv->pressure_effective_total();
+  rr.pressure_periods = hv->pressure_periods();
+  rr.pressure_steal_rejects = hv->pressure_steal_rejects();
+  rr.pressure_rebalances = hv->pressure_rebalances();
+  rr.footprint_config_errors = hv->footprint_config_errors();
   rr.boost_grants = hv->boost_grants();
   rr.boost_denials = hv->boost_denials();
   rr.dodged_samples = hv->dodged_samples();
@@ -292,6 +304,9 @@ RunResult run_scenario(const Scenario& sc) {
     res.cross_llc_migrations = v.cross_llc_migrations;
     res.cross_socket_migrations = v.cross_socket_migrations;
     res.migration_penalty_cycles = v.migration_penalty.v;
+    res.pressure_accounted = v.pressure_accounted;
+    res.pressure_degraded = v.pressure_degraded;
+    res.pressure_effective = v.pressure_effective;
     rr.vms.push_back(std::move(res));
   }
   return rr;

@@ -102,6 +102,12 @@ struct Scenario {
   /// scheduler still pays the migration cost model but places like the
   /// flat scheduler (the bench's topology-blind baseline).
   bool topology_aware{true};
+  /// Pressure-aware placement (hypervisor::set_pressure_aware). Only
+  /// meaningful when the contention engine is live (multi-domain topology,
+  /// machine.llc_bytes > 0 and at least one workload with a footprint);
+  /// with it false the run still pays the same contention slowdowns but
+  /// places, steals and balances pressure-blind (the bench's baseline).
+  bool pressure_aware{true};
 };
 
 struct VmResult {
@@ -145,6 +151,12 @@ struct VmResult {
   std::uint64_t boost_grants{0};
   std::uint64_t boost_denials{0};
   std::uint64_t implausible_vcrds{0};
+  // Memory-pressure ledger (docs/MODEL.md §2.8; all zero while the
+  // contention engine is inert): busy cycles the engine accounted for this
+  // VM and their exact effective/degraded split.
+  std::uint64_t pressure_accounted{0};
+  std::uint64_t pressure_degraded{0};
+  std::uint64_t pressure_effective{0};
 
   /// Mean of the first `n` rounds (or all, if fewer) in seconds.
   double mean_round_seconds(std::size_t n) const;
@@ -200,6 +212,14 @@ struct RunResult {
   std::uint64_t dodged_samples{0};
   std::uint64_t implausible_vcrds{0};
   std::uint64_t theft_cycles{0};
+  // Memory-system contention (all zero while the engine is inert).
+  std::uint64_t pressure_accounted{0};
+  std::uint64_t pressure_degraded{0};
+  std::uint64_t pressure_effective{0};
+  std::uint64_t pressure_periods{0};
+  std::uint64_t pressure_steal_rejects{0};
+  std::uint64_t pressure_rebalances{0};
+  std::uint64_t footprint_config_errors{0};
   // Jain fairness index over per-accounting-period weighted consumption
   // (1.0 = perfectly fair; fairness_periods = number of scored periods).
   double fairness_min{1.0};

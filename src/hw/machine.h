@@ -49,6 +49,15 @@ struct MachineConfig {
   /// How long (in slots) a VCPU's last PCPU counts as cache-warm after it
   /// stops running there.
   std::uint32_t warm_cache_slots{2};
+  /// Capacity of each shared last-level cache domain in bytes. Zero
+  /// (default) disables the memory-contention engine entirely — runs stay
+  /// bit-identical to pre-contention builds. The paper's Harpertown parts
+  /// share a 6 MB L2 per dual-core die.
+  std::uint64_t llc_bytes{0};
+  /// Memory bandwidth available to each socket in bytes per second. Zero
+  /// models an unconstrained bus: the LLC occupancy model still runs (if
+  /// llc_bytes > 0) but the bandwidth-stall term stays zero.
+  std::uint64_t socket_mem_bw_bytes_per_s{0};
 
   sim::ClockDomain clock() const { return sim::ClockDomain{freq_hz}; }
   Cycles slot_cycles() const { return clock().from_ms(slot_ms); }

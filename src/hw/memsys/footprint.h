@@ -1,0 +1,90 @@
+// Memory footprint of a workload: working-set size plus a piecewise
+// miss-rate curve (docs/MODEL.md §2.8).
+//
+// The contention engine needs exactly two facts about a VM's memory
+// behaviour: how many LLC bytes its working set wants, and how its miss
+// rate responds when it gets less than all of them. Both are captured
+// here as plain integers — the curve is five miss-rate samples (permille)
+// at 0/25/50/75/100 % working-set residency, linearly interpolated with
+// integer arithmetic — so every downstream computation is deterministic
+// and draws no RNG. A default-constructed (zero) footprint keeps the
+// contention engine inert for that VM; an all-zero fleet keeps the engine
+// inert machine-wide, bit-identical to the pre-contention simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace asman::hw::memsys {
+
+struct MemFootprint {
+  /// Bytes of last-level cache the workload wants resident. Zero means
+  /// "no memory-system behaviour modeled" — the VM neither occupies LLC
+  /// nor suffers contention slowdown.
+  std::uint64_t working_set_bytes{0};
+
+  /// Memory-bus traffic the workload would generate at a 100 % miss rate,
+  /// in bytes per second. Actual demand scales with the achieved miss
+  /// rate, so a fully cache-resident workload touches the bus lightly.
+  std::uint64_t bandwidth_bytes_per_s{0};
+
+  /// Miss rate (permille of accesses) sampled at 0, 25, 50, 75 and 100 %
+  /// of the working set resident in LLC. Monotonically non-increasing for
+  /// any physical workload; miss_permille[4] is the standalone (fully
+  /// resident) baseline the contention delta is measured against.
+  std::array<std::uint16_t, 5> miss_permille{{0, 0, 0, 0, 0}};
+
+  bool zero() const { return working_set_bytes == 0; }
+
+  /// Miss rate at `resident_permille` (0..1000) of the working set held
+  /// in LLC: integer linear interpolation between the curve samples.
+  std::uint32_t miss_at(std::uint32_t resident_permille) const {
+    if (resident_permille >= 1000) return miss_permille[4];
+    const std::uint32_t seg = resident_permille / 250;   // 0..3
+    const std::uint32_t within = resident_permille % 250;
+    const auto lo = static_cast<std::int32_t>(miss_permille[seg]);
+    const auto hi = static_cast<std::int32_t>(miss_permille[seg + 1]);
+    const std::int32_t v =
+        lo + (hi - lo) * static_cast<std::int32_t>(within) / 250;
+    return static_cast<std::uint32_t>(v < 0 ? 0 : v);
+  }
+
+  /// Extra misses (permille) caused by running at partial residency,
+  /// relative to the standalone fully-resident baseline.
+  std::uint32_t extra_miss_at(std::uint32_t resident_permille) const {
+    const std::uint32_t now = miss_at(resident_permille);
+    const std::uint32_t base = miss_permille[4];
+    return now > base ? now - base : 0;
+  }
+};
+
+/// Calibrated curve builder. `locality_permille` describes how strongly
+/// the workload reuses its working set: 1000 = perfectly cache-friendly
+/// (misses explode as residency shrinks), 0 = pure streaming (misses high
+/// regardless, so eviction costs little extra). The generated curve is
+/// monotone by construction.
+inline MemFootprint make_footprint(std::uint64_t working_set_bytes,
+                                   std::uint64_t bandwidth_bytes_per_s,
+                                   std::uint32_t locality_permille) {
+  MemFootprint f;
+  f.working_set_bytes = working_set_bytes;
+  f.bandwidth_bytes_per_s = bandwidth_bytes_per_s;
+  if (working_set_bytes == 0) return f;
+  if (locality_permille > 1000) locality_permille = 1000;
+  // Baseline (fully resident) miss rate: streaming workloads miss a lot
+  // even with the whole set resident; cache-friendly ones barely miss.
+  const std::uint32_t base = 50 + (1000 - locality_permille) * 700 / 1000;
+  // Fully evicted miss rate: cache-friendly sets pay the most for losing
+  // residency.
+  const std::uint32_t worst = base + locality_permille * 850 / 1000;
+  f.miss_permille[4] = static_cast<std::uint16_t>(base);
+  // Convex decay from worst to base as residency grows (quarter steps).
+  const std::uint32_t span = worst - base;
+  f.miss_permille[0] = static_cast<std::uint16_t>(worst);
+  f.miss_permille[1] = static_cast<std::uint16_t>(base + span * 9 / 16);
+  f.miss_permille[2] = static_cast<std::uint16_t>(base + span * 4 / 16);
+  f.miss_permille[3] = static_cast<std::uint16_t>(base + span * 1 / 16);
+  return f;
+}
+
+}  // namespace asman::hw::memsys

@@ -32,6 +32,10 @@ const char* to_string(ConfigError e) {
       return "zero-timeslice";
     case ConfigError::kTopologyLeafMismatch:
       return "topology-leaf-mismatch";
+    case ConfigError::kZeroLlcCapacity:
+      return "zero-llc-capacity";
+    case ConfigError::kZeroMemBandwidth:
+      return "zero-mem-bandwidth";
   }
   return "?";
 }
@@ -83,6 +87,25 @@ std::vector<ConfigIssue> validate_config(const MachineConfig& m) {
                           std::to_string(m.topology.num_pcpus()) +
                           " PCPUs but num_pcpus is " +
                           std::to_string(m.num_pcpus)});
+  return issues;
+}
+
+std::vector<ConfigIssue> validate_footprint_config(const MachineConfig& m,
+                                                   bool footprint_declared) {
+  std::vector<ConfigIssue> issues;
+  if (!footprint_declared) return issues;
+  if (m.resolved_topology().is_flat()) return issues;  // engine inert by contract
+  if (m.llc_bytes == 0)
+    issues.push_back(
+        {ConfigError::kZeroLlcCapacity,
+         "a workload declares a nonzero memory footprint but llc_bytes is 0; "
+         "the contention engine would be silently disabled"});
+  if (m.socket_mem_bw_bytes_per_s == 0)
+    issues.push_back(
+        {ConfigError::kZeroMemBandwidth,
+         "a workload declares a nonzero memory footprint but "
+         "socket_mem_bw_bytes_per_s is 0; bandwidth pressure would be "
+         "silently unmodeled"});
   return issues;
 }
 

@@ -96,6 +96,8 @@ enum class ConfigError : std::uint8_t {
   kZeroAccounting,         // slots_per_accounting == 0
   kZeroTimeslice,          // slots_per_timeslice == 0
   kTopologyLeafMismatch,   // topology leaf count != num_pcpus
+  kZeroLlcCapacity,        // footprints declared but llc_bytes == 0
+  kZeroMemBandwidth,       // footprints declared but socket bandwidth == 0
 };
 
 const char* to_string(ConfigError e);
@@ -108,5 +110,14 @@ struct ConfigIssue {
 /// Validate a MachineConfig: one ConfigIssue per defect (empty = valid).
 /// An unspecified topology is always valid (it resolves to flat).
 std::vector<ConfigIssue> validate_config(const MachineConfig& m);
+
+/// Validate the memory-system capacity fields against a declared workload
+/// footprint. On a non-flat topology a nonzero footprint with zero
+/// `llc_bytes` (or zero socket bandwidth) would silently disable the
+/// contention engine; these are reported as counted typed errors instead
+/// (the hypervisor surfaces them via `footprint_config_errors`). Vacuous
+/// on flat topologies, where the engine is inert by contract.
+std::vector<ConfigIssue> validate_footprint_config(const MachineConfig& m,
+                                                   bool footprint_declared);
 
 }  // namespace asman::hw

@@ -70,6 +70,13 @@ class AuditSink {
   /// members legally drift via wakes and steals. Default: ignore.
   virtual void on_relocated(VmId vm) { (void)vm; }
 
+  /// The contention engine just finished an accounting-period pass: every
+  /// VCPU's busy cycles up to now are split into effective + degraded and
+  /// the per-LLC occupancy partition in Hypervisor::pressure_last() is
+  /// current. Sinks recompute the partition from authoritative state and
+  /// compare (pressure-conservation invariant). Default: ignore.
+  virtual void on_contention() {}
+
   /// Live migration seeded `vm`'s credit from the transferred pool
   /// (seed_credit: truncating equal split clamped to the saturation cap).
   /// Unlike on_accounting this is not a delta against a snapshot — the

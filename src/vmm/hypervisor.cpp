@@ -618,6 +618,12 @@ void Hypervisor::do_accounting() {
   // if load has fallen) before credit is assigned, so relocation hooks in
   // on_accounting see the final eligibility for this period.
   maybe_restore_overload();
+  // Memory-system contention pass (docs/MODEL.md §2.8): split the closing
+  // period's busy cycles into effective + degraded and let the pressure
+  // balancer swap homes — before the audit pool snapshot below, because
+  // the balancer's note_migration debits credit exactly like the
+  // relocations the overload restore may trigger.
+  apply_contention();
   // Active set (work-conserving mode only, like Xen's csched_acct): credit
   // is divided among VMs that actually consumed CPU last period. Without
   // this, an idle VM's share is minted, capped away, and effectively
@@ -843,6 +849,28 @@ Vcpu* Hypervisor::steal_for(PcpuId p, bool allow_over) {
       if (by_distance && would_be_penalty(*v, p) >= slot_len_) {
         ++topology_steal_rejects_;
         continue;
+      }
+      // Pressure gate: refuse a raid only when it makes contention
+      // strictly worse — the destination LLC would end up deeper past
+      // saturation than the candidate's current domain already is. Mere
+      // fullness is not a reason: blocking every steal into a busy domain
+      // pins the whole fleet to its boot homes and costs far more in lost
+      // work conservation than the occupancy it saves. The demand view is
+      // the engine's last published pass; same-LLC pulls move no occupancy.
+      if (pressure_place_active() && !pass_.llc_demand.empty()) {
+        const std::uint64_t share = vcpu_llc_share(*v);
+        const std::uint32_t dest_llc = topo_.llc_of(p);
+        const std::uint32_t src_llc = topo_.llc_of(v->where);
+        if (share > 0 && dest_llc != src_llc) {
+          const std::uint64_t cap = machine_.llc_bytes;
+          const std::uint64_t dst_after = pass_.llc_demand[dest_llc] + share;
+          const std::uint64_t src_now = pass_.llc_demand[src_llc];
+          if (dst_after > cap &&
+              dst_after - cap > (src_now > cap ? src_now - cap : 0)) {
+            ++pressure_steal_rejects_;
+            continue;
+          }
+        }
       }
       if (best == nullptr || dist < best_dist ||
           (dist == best_dist && RunQueue::better(v, best))) {

@@ -25,6 +25,7 @@
 
 #include "hw/ipi.h"
 #include "hw/machine.h"
+#include "hw/memsys/contention.h"
 #include "simcore/rng.h"
 #include "vmm/admission.h"
 #include "simcore/simulator.h"
@@ -247,6 +248,25 @@ class Hypervisor : public HypervisorPort {
   /// The resolved processor topology this scheduler runs on.
   const hw::Topology& topology() const { return topo_; }
 
+  /// Enable/disable the pressure-aware placement policy (default on).
+  /// With it off the contention engine still *degrades* effective cycles
+  /// wherever footprints and finite capacities are declared — aware and
+  /// blind runs face the same physics — but boot spread, the steal gate
+  /// and the pressure balancer are disabled. With no declared footprints,
+  /// llc_bytes == 0, or a flat topology the engine itself is inert and
+  /// scheduling is bit-identical to pre-contention builds (the same two-
+  /// gate discipline as the topology cost model). Set before create_vm.
+  void set_pressure_aware(bool aware) { pressure_aware_ = aware; }
+  bool pressure_aware() const { return pressure_aware_; }
+  /// Declare `vm`'s memory footprint (from its workload model; callable
+  /// any time, takes effect at the next accounting period). A nonzero
+  /// footprint on a multi-domain machine whose MachineConfig left
+  /// llc_bytes or socket_mem_bw_bytes_per_s zero is a counted, reported
+  /// configuration error (hw::validate_footprint_config) rather than a
+  /// silent mismodel; see footprint_config_errors().
+  void set_vm_footprint(VmId id, const hw::memsys::MemFootprint& fp);
+  const hw::memsys::MemFootprint& vm_footprint(VmId id) const;
+
   // --- fault-injection surface (src/faults/) --------------------------------
   // These entry points model substrate faults; production scheduling never
   // calls them. They keep every invariant the auditor checks: state changes
@@ -347,6 +367,52 @@ class Hypervisor : public HypervisorPort {
   std::uint64_t topology_steal_rejects() const {
     return topology_steal_rejects_;
   }
+
+  // --- memory-pressure counters & views (RunResult surface) ---
+  /// True when the contention engine runs: multi-domain topology, finite
+  /// LLC capacity, and at least one declared nonzero footprint.
+  bool pressure_engine_active() const { return pressure_cost_active(); }
+  /// The engine's published occupancy/bandwidth result for the most recent
+  /// accounting period (empty while the engine is inert).
+  const hw::memsys::ContentionPass& pressure_last() const { return pass_; }
+  /// Machine-wide contention ledger: busy cycles accounted by the engine
+  /// and their exact split (accounted == degraded + effective at every
+  /// accounting instant — the pressure-conservation invariant).
+  std::uint64_t pressure_accounted_total() const {
+    return pressure_accounted_total_;
+  }
+  std::uint64_t pressure_degraded_total() const {
+    return pressure_degraded_total_;
+  }
+  std::uint64_t pressure_effective_total() const {
+    return pressure_effective_total_;
+  }
+  /// Accounting periods the engine has run (0 while inert).
+  std::uint64_t pressure_periods() const { return pressure_periods_; }
+  /// Steals refused because the raid would push the destination LLC past
+  /// saturation.
+  std::uint64_t pressure_steal_rejects() const {
+    return pressure_steal_rejects_;
+  }
+  /// VM home-socket swaps performed by the periodic pressure balancer.
+  std::uint64_t pressure_rebalances() const { return pressure_rebalances_; }
+  /// Zero-capacity configuration errors reported by set_vm_footprint.
+  std::uint64_t footprint_config_errors() const {
+    return footprint_config_errors_;
+  }
+  /// Host-level pressure score for cluster placement: fraction of engine-
+  /// accounted cycles lost to contention so far, in [0, 1). Exactly 0.0
+  /// while the engine is inert, so pressure-blind hosts sort untouched.
+  double pressure_score() const {
+    return pressure_accounted_total_ > 0
+               ? static_cast<double>(pressure_degraded_total_) /
+                     static_cast<double>(pressure_accounted_total_)
+               : 0.0;
+  }
+  /// Mutable pressure-partition access: a fault-injection seam for the
+  /// auditor's seeded-violation tests (skewing the published occupancy
+  /// partition); production code must never use it.
+  hw::memsys::ContentionPass& mutable_pressure() { return pass_; }
   /// True when this gang spans more sockets than the minimal packing its
   /// running members allow (the topology-placement invariant; only
   /// meaningful right after relocate_vm, members drift legally between
@@ -558,6 +624,37 @@ class Hypervisor : public HypervisorPort {
   /// minimal packing would use (relocation trigger + audit invariant).
   bool gang_spans_excess_sockets(const Vm& v) const;
 
+  // --- memory-system contention (docs/MODEL.md §2.8, pressure-gated) ---------
+  /// Engine (cost side) active: multi-domain topology, finite LLC
+  /// capacity, and at least one VM declared a nonzero footprint. Mirrors
+  /// topo_cost_active(): blind runs pay the same physics as aware runs.
+  bool pressure_cost_active() const {
+    return !topo_flat_ && footprints_seen_ && machine_.llc_bytes > 0;
+  }
+  /// Policy side active: engine running and pressure-aware placement on.
+  bool pressure_place_active() const {
+    return pressure_aware_ && pressure_cost_active();
+  }
+  /// Once per accounting period: recompute the occupancy partition and
+  /// bandwidth pressure from authoritative placement (compute_contention),
+  /// then split every VCPU's busy cycles since its pressure_mark into
+  /// effective + degraded. The only writer of the pressure ledger
+  /// (audit-seam rule); fires audit_contention() when done.
+  void apply_contention();
+  /// Periodic pressure balancer: when measured per-socket pressure
+  /// diverges past a hysteresis band (and the cooldown expired), move one
+  /// footprint-heavy VM from the hottest to the coolest socket through the
+  /// audited relocation seams.
+  void maybe_rebalance_pressure();
+  /// Re-home every movable VCPU of `v` onto PCPUs of `socket` (running
+  /// members stay; queued/blocked members move through dequeue/enqueue +
+  /// note_migration, exactly like relocate_vm_topo). Returns true when any
+  /// member actually moved; fires audit_relocated.
+  bool rebalance_vm_to_socket(Vm& v, std::uint32_t socket);
+  /// Working-set bytes `v` would park on the LLC of `p` (the steal gate's
+  /// saturation test; 0 for zero-footprint VMs or inactive policy).
+  std::uint64_t vcpu_llc_share(const Vcpu& v) const;
+
   // --- graceful degradation --------------------------------------------------
   /// Least-loaded online PCPU (tie: lowest id), preferring homes free of
   /// gang siblings and (under topology-aware placement) close to `near`,
@@ -589,8 +686,10 @@ class Hypervisor : public HypervisorPort {
     return admission_.max_vcpus_per_pcpu > 0.0;
   }
   /// Pick a home for a fresh VCPU: round-robin over online PCPUs, offset
-  /// like boot-time placement so sibling VCPUs spread out.
-  PcpuId place_new_vcpu(VmId id, std::uint32_t vidx) const;
+  /// like boot-time placement so sibling VCPUs spread out. `self` is the
+  /// VM under construction (create_vm builds it before it joins vms_, so
+  /// the pressure spread reads already-placed sibling homes from it).
+  PcpuId place_new_vcpu(VmId id, std::uint32_t vidx, const Vm& self) const;
   /// Retire one VCPU record: cancel boosts, drain it from its queue (or
   /// unmap it, burning/charging as usual), emit the audited ->Destroyed
   /// transition. Appends the freed PCPU to `freed` when it was running.
@@ -638,6 +737,9 @@ class Hypervisor : public HypervisorPort {
   void audit_seeded(VmId id, __int128 pool) {
     if (audit_) audit_->on_seeded(id, pool);
   }
+  void audit_contention() {
+    if (audit_) audit_->on_contention();
+  }
 #else
   void audit_event(AuditPoint) {}
   void audit_transition(VcpuKey, VcpuState, VcpuState) {}
@@ -646,6 +748,7 @@ class Hypervisor : public HypervisorPort {
   void audit_created(VmId) {}
   void audit_resized(VmId) {}
   void audit_relocated(VmId) {}
+  void audit_contention() {}
 #endif
 
   hw::MachineConfig machine_;
@@ -694,6 +797,28 @@ class Hypervisor : public HypervisorPort {
   std::uint64_t cross_socket_migrations_{0};
   Cycles migration_penalty_cycles_{0};
   std::uint64_t topology_steal_rejects_{0};
+
+  // --- memory-system contention state (docs/MODEL.md §2.8) ---
+  bool pressure_aware_{true};
+  /// Latched by the first nonzero set_vm_footprint (never cleared: a
+  /// tombstone's past occupancy already shaped history).
+  bool footprints_seen_{false};
+  /// Declared footprint per VmId (zero entries for undeclared VMs).
+  std::vector<hw::memsys::MemFootprint> footprints_;
+  /// The engine's published result for the last accounting period; also
+  /// the cached demand view the steal gate and placement spread consult
+  /// between periods.
+  hw::memsys::ContentionPass pass_;
+  std::uint64_t pressure_accounted_total_{0};
+  std::uint64_t pressure_degraded_total_{0};
+  std::uint64_t pressure_effective_total_{0};
+  std::uint64_t pressure_periods_{0};
+  std::uint64_t pressure_steal_rejects_{0};
+  std::uint64_t pressure_rebalances_{0};
+  std::uint64_t footprint_config_errors_{0};
+  /// Balancer hysteresis: last period (pressure_periods_ value) a swap
+  /// fired; the cooldown keeps home assignments from ping-ponging.
+  std::uint64_t last_pressure_rebalance_period_{0};
   std::uint64_t strong_launches_{0};
   std::uint64_t weak_launches_{0};
   std::uint64_t co_stops_{0};

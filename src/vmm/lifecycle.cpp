@@ -44,7 +44,8 @@ double Hypervisor::prospective_load(double extra) const {
 
 double Hypervisor::weighted_vcpu_load() const { return prospective_load(0.0); }
 
-PcpuId Hypervisor::place_new_vcpu(VmId id, std::uint32_t vidx) const {
+PcpuId Hypervisor::place_new_vcpu(VmId id, std::uint32_t vidx,
+                                  const Vm& self) const {
   const std::uint32_t n = machine_.num_pcpus;
   if (topo_place_active()) {
     // Socket-locality-preserving round robin: walk the PCPUs socket-major
@@ -59,6 +60,45 @@ PcpuId Hypervisor::place_new_vcpu(VmId id, std::uint32_t vidx) const {
       for (const PcpuId p : topo_.pcpus_in_socket((id + k) % ns))
         order.push_back(p);
     const std::uint32_t at = vidx % n;
+    if (pressure_place_active()) {
+      // Pressure spread: among the same socket-major candidate order, pick
+      // the first online PCPU on the LLC with the fewest of this VM's
+      // already-placed sibling VCPUs and, among those, the least working-
+      // set demand already registered (earlier VMs' footprints; this VM's
+      // own footprint arrives after create_vm, so the sibling key is what
+      // keeps a multi-VCPU streamer from stacking its whole working set on
+      // whichever domain happens to look emptiest). With no registered
+      // demand and no siblings every LLC ties and the first online
+      // candidate wins — exactly the topology path, so zero-footprint runs
+      // are bit-identical (the engine gates this branch off entirely).
+      std::vector<std::uint64_t> demand(topo_.num_llcs(), 0);
+      for (const auto& mp : vms_) {
+        const Vm& m = *mp;
+        if (!m.alive || vm_footprint(m.id).zero()) continue;
+        for (const Vcpu& c : m.vcpus)
+          demand[topo_.llc_of(c.where)] += vcpu_llc_share(c);
+      }
+      std::vector<std::uint32_t> siblings(topo_.num_llcs(), 0);
+      for (std::uint32_t i = 0; i < vidx && i < self.vcpus.size(); ++i)
+        ++siblings[topo_.llc_of(self.vcpus[i].where)];
+      PcpuId pick = n;
+      std::uint32_t best_sib = 0;
+      std::uint64_t best = 0;
+      for (std::uint32_t step = 0; step < n; ++step) {
+        const PcpuId p = order[(at + step) % n];
+        if (!pcpus_[p].online) continue;
+        const std::uint32_t sib = siblings[topo_.llc_of(p)];
+        const std::uint64_t d = demand[topo_.llc_of(p)];
+        if (pick == n || sib < best_sib ||
+            (sib == best_sib && d < best)) {
+          pick = p;
+          best_sib = sib;
+          best = d;
+        }
+      }
+      if (pick != n) return pick;
+      return order[at];  // unreachable: the last online PCPU refuses to die
+    }
     for (std::uint32_t step = 0; step < n; ++step) {
       const PcpuId p = order[(at + step) % n];
       if (pcpus_[p].online) return p;
@@ -110,7 +150,7 @@ VmId Hypervisor::create_vm(std::string name, std::uint32_t weight,
     // state write happens outside the audited seam. Spread VCPUs
     // round-robin over (online) PCPUs, offset per VM so equally sized VMs
     // do not all pile onto the low-numbered queues.
-    c.where = place_new_vcpu(id, i);
+    c.where = place_new_vcpu(id, i, *v);
     enqueue(c.where, &c);
   }
   vms_.push_back(std::move(v));
@@ -248,7 +288,7 @@ bool Hypervisor::resize_vm(VmId id, std::uint32_t n_vcpus) {
       v.vcpus.emplace_back();  // born kRunnable via Vcpu's default init
       Vcpu& c = v.vcpus.back();
       c.key = VcpuKey{id, i};
-      c.where = place_new_vcpu(id, i);
+      c.where = place_new_vcpu(id, i, v);
       enqueue(c.where, &c);
     }
     audit_resized(id);

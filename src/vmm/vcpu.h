@@ -75,6 +75,10 @@ struct Vcpu {
   std::uint64_t migrations{0};
   std::uint64_t cross_llc_migrations{0};
   std::uint64_t cross_socket_migrations{0};
+  /// total_online up to which the contention engine has already split this
+  /// VCPU's busy cycles into effective + degraded (docs/MODEL.md §2.8).
+  /// Only Hypervisor::apply_contention may advance it (audit-seam rule).
+  Cycles pressure_mark{0};
 
   PrioClass prio_class() const {
     if (cosched_boost)
@@ -162,6 +166,16 @@ struct Vm {
   /// VCRD HIGH claims rejected by the plausibility clamp.
   std::uint64_t implausible_vcrds{0};
   std::uint64_t yield_hints{0};
+  // -- memory-system contention ledger (docs/MODEL.md §2.8) --
+  /// Busy cycles the contention engine has accounted for this VM, and
+  /// their exact partition into full-speed and contention-degraded parts:
+  /// pressure_effective + pressure_degraded == pressure_accounted at every
+  /// accounting instant (the pressure-conservation invariant). Per-VM
+  /// aggregates like cycles_attributed: they survive VCPU shrink and VM
+  /// destruction. Only Hypervisor::apply_contention writes them.
+  std::uint64_t pressure_accounted{0};
+  std::uint64_t pressure_degraded{0};
+  std::uint64_t pressure_effective{0};
 
   std::size_t num_vcpus() const { return vcpus.size(); }
 };

@@ -76,6 +76,14 @@ struct AdversaryTuning {
   Cycles flood_work{0};  // 0 = 20 us
   Cycles flood_nap{0};   // 0 = 30 us
 
+  /// Memory footprint the attacker drags along (docs/MODEL.md §2.8): a
+  /// cycle thief that also thrashes the shared LLC steals twice. Zero
+  /// working set (the default) means no footprint — the contention engine
+  /// never sees this tenant — so resolved() leaves these fields alone.
+  std::uint64_t footprint_ws_bytes{0};
+  std::uint64_t footprint_bw_bytes_per_s{0};
+  std::uint32_t footprint_locality_permille{200};
+
   /// Resolve every zero field to its default.
   AdversaryTuning resolved() const;
 };
@@ -95,6 +103,12 @@ class AdversaryModel : public Workload {
   AttackKind kind() const { return kind_; }
   std::string name() const override { return to_string(kind_); }
   bool finite() const override { return false; }
+  hw::memsys::MemFootprint footprint() const override {
+    if (tune_.footprint_ws_bytes == 0) return {};
+    return hw::memsys::make_footprint(tune_.footprint_ws_bytes,
+                                      tune_.footprint_bw_bytes_per_s,
+                                      tune_.footprint_locality_permille);
+  }
 
  protected:
   sim::Simulator& sim_;

@@ -28,6 +28,12 @@ struct KernbenchParams {
   /// the others wait at the join).
   Cycles link_cost{sim::kDefaultClock.from_us(40'000)};
   std::uint64_t passes{3};
+  /// Memory footprint for the contention engine. Default: each compile
+  /// job streams sources, ASTs and objects through ~1.5 MB per worker
+  /// with little cross-job reuse — a bandwidth-heavy, cache-indifferent
+  /// profile.
+  hw::memsys::MemFootprint footprint{
+      hw::memsys::make_footprint(4ULL * 1536 * 1024, 3'000'000'000ULL, 300)};
 };
 
 class KernbenchWorkload final : public Workload {
@@ -42,6 +48,9 @@ class KernbenchWorkload final : public Workload {
   std::vector<Cycles> round_times() const override;
   /// Jobs compiled so far.
   std::uint64_t work_units() const override;
+  hw::memsys::MemFootprint footprint() const override {
+    return params_.footprint;
+  }
 
   struct Shared;
 

@@ -34,6 +34,8 @@ NpbBenchmark npb_from_name(std::string_view name) {
 PhaseParams npb_params(NpbBenchmark b, std::uint32_t threads,
                        std::uint64_t rounds) {
   const auto us = [](std::uint64_t n) { return sim::kDefaultClock.from_us(n); };
+  const auto mib = [](std::uint64_t n) { return n * 1024 * 1024; };
+  const auto kib = [](std::uint64_t n) { return n * 1024; };
   PhaseParams p;
   p.threads = threads;
   p.rounds = rounds;
@@ -42,37 +44,55 @@ PhaseParams npb_params(NpbBenchmark b, std::uint32_t threads,
   p.global_pure_spin = true;
   // Work per round is ~2.5 virtual seconds of single-run CPU time at 100%
   // online rate for every benchmark; they differ in how finely that work is
-  // chopped by synchronization.
+  // chopped by synchronization. Footprints are calibrated against a 6 MB
+  // Harpertown L2 domain: the hot working set the solver cycles through and
+  // how strongly it reuses it (docs/MODEL.md §2.8), scaled per thread.
   switch (b) {
     case NpbBenchmark::kEP:
       p.steps = 10;
       p.compute_mean = us(250'000);
       p.compute_cv = 0.05;
+      // Embarrassingly parallel RNG batches: a few tables, all resident.
+      p.footprint = hw::memsys::make_footprint(kib(128) * threads,
+                                               500'000'000ULL, 900);
       break;
     case NpbBenchmark::kFT:
       p.steps = 60;
       p.compute_mean = us(40'000);
       p.compute_cv = 0.12;
+      // 3-D FFT transposes stream whole planes through the cache.
+      p.footprint = hw::memsys::make_footprint(mib(3) * threads,
+                                               4'000'000'000ULL, 250);
       break;
     case NpbBenchmark::kBT:
       p.steps = 400;
       p.compute_mean = us(6'200);
       p.compute_cv = 0.15;
+      p.footprint = hw::memsys::make_footprint(mib(2) * threads,
+                                               2'500'000'000ULL, 500);
       break;
     case NpbBenchmark::kMG:
       p.steps = 520;
       p.compute_mean = us(4'800);
       p.compute_cv = 0.25;
+      // Multigrid sweeps touch every level each V-cycle: big, streaming.
+      p.footprint = hw::memsys::make_footprint(mib(3) * threads,
+                                               3'500'000'000ULL, 300);
       break;
     case NpbBenchmark::kSP:
       p.steps = 900;
       p.compute_mean = us(2'750);
       p.compute_cv = 0.18;
+      p.footprint = hw::memsys::make_footprint(mib(2) * threads,
+                                               2'500'000'000ULL, 450);
       break;
     case NpbBenchmark::kCG:
       p.steps = 1'800;
       p.compute_mean = us(1'380);
       p.compute_cv = 0.20;
+      // Irregular sparse matrix-vector products: modest set, poor reuse.
+      p.footprint = hw::memsys::make_footprint(mib(1) * threads,
+                                               3'000'000'000ULL, 350);
       break;
     case NpbBenchmark::kLU:
       p.sync = PhaseParams::Sync::kNeighborChain;
@@ -80,6 +100,9 @@ PhaseParams npb_params(NpbBenchmark b, std::uint32_t threads,
       p.steps = 3'600;
       p.compute_mean = us(690);
       p.compute_cv = 0.22;
+      // Wavefront tiles reuse a small band of the grid intensely.
+      p.footprint = hw::memsys::make_footprint(kib(768) * threads,
+                                               1'500'000'000ULL, 750);
       break;
   }
   return p;

@@ -52,6 +52,10 @@ struct PhaseParams {
   /// Rounds to repeat (>=1). Round boundaries always end with a global
   /// barrier; the completion time of each round is recorded.
   std::uint64_t rounds{1};
+
+  /// Memory footprint for the contention engine (zero by default; the
+  /// NPB table in npb.cpp fills in calibrated per-benchmark values).
+  hw::memsys::MemFootprint footprint{};
 };
 
 class PhaseWorkload final : public Workload {
@@ -64,6 +68,9 @@ class PhaseWorkload final : public Workload {
   std::string name() const override { return name_; }
   std::uint64_t rounds_completed() const override;
   std::vector<Cycles> round_times() const override;
+  hw::memsys::MemFootprint footprint() const override {
+    return params_.footprint;
+  }
   const PhaseParams& params() const { return params_; }
 
   struct Shared;  // implementation detail shared by the thread programs

@@ -11,6 +11,11 @@ SpecCpuParams spec_gcc_params(std::uint64_t rounds) {
   SpecCpuParams p;
   p.work_per_copy = sim::kDefaultClock.from_seconds_f(2.2);
   p.rounds = rounds;
+  // 176.gcc chases pointers over IR trees: ~1.5 MB hot set per copy with
+  // decent reuse once resident.
+  p.footprint = hw::memsys::make_footprint(
+      static_cast<std::uint64_t>(p.copies) * 1536 * 1024, 2'000'000'000ULL,
+      650);
   return p;
 }
 
@@ -18,6 +23,11 @@ SpecCpuParams spec_bzip2_params(std::uint64_t rounds) {
   SpecCpuParams p;
   p.work_per_copy = sim::kDefaultClock.from_seconds_f(2.8);
   p.rounds = rounds;
+  // 256.bzip2 streams ~900 KB blocks per copy through sort buffers: large
+  // effective set, weak reuse across blocks.
+  p.footprint = hw::memsys::make_footprint(
+      static_cast<std::uint64_t>(p.copies) * 2048 * 1024, 3'000'000'000ULL,
+      400);
   return p;
 }
 

@@ -25,6 +25,10 @@ struct SpecCpuParams {
   Cycles chunk{sim::kDefaultClock.from_us(2'000)};
   double chunk_cv{0.05};
   std::uint64_t rounds{1};
+  /// Memory footprint for the contention engine; the canonical parameter
+  /// sets below fill in calibrated values (gcc: pointer-chasing over a
+  /// moderate set; bzip2: block-streaming).
+  hw::memsys::MemFootprint footprint{};
 };
 
 /// Canonical parameter sets for the two benchmarks used in the paper.
@@ -42,6 +46,9 @@ class SpecCpuRateWorkload final : public Workload {
   std::string name() const override { return name_; }
   std::uint64_t rounds_completed() const override;
   std::vector<Cycles> round_times() const override;
+  hw::memsys::MemFootprint footprint() const override {
+    return params_.footprint;
+  }
 
   struct Shared;
 

@@ -46,6 +46,14 @@ struct SpecJbbParams {
   std::uint32_t daemons{2};
   Cycles daemon_period{sim::kDefaultClock.from_ms(15)};
   Cycles daemon_work{sim::kDefaultClock.from_us(250)};
+
+  /// Memory footprint for the contention engine. Default: ~2 MB of hot
+  /// per-warehouse B-tree and allocation-buffer state per warehouse with
+  /// JVM-heap reuse characteristics (a live-set far larger than LLC, but
+  /// the transaction loop re-touches the warehouse tree constantly).
+  hw::memsys::MemFootprint footprint{
+      hw::memsys::make_footprint(4ULL * 2 * 1024 * 1024, 2'500'000'000ULL,
+                                 550)};
 };
 
 class SpecJbbWorkload final : public Workload {
@@ -59,6 +67,9 @@ class SpecJbbWorkload final : public Workload {
   bool finite() const override { return false; }
   /// Transactions completed so far across all warehouses.
   std::uint64_t work_units() const override;
+  hw::memsys::MemFootprint footprint() const override {
+    return params_.footprint;
+  }
 
   struct Shared;  // defined in the .cpp; shared by warehouse programs
 

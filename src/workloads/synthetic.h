@@ -60,11 +60,17 @@ class CpuHogWorkload final : public Workload {
   }
   std::string name() const override { return "cpu-hog"; }
   bool finite() const override { return false; }
+  /// Optional memory footprint (zero by default: the hog is cache-resident
+  /// and exerts no memory-system pressure). Tests and benches that want a
+  /// cache-hungry tenant install one explicitly.
+  void set_footprint(hw::memsys::MemFootprint fp) { footprint_ = fp; }
+  hw::memsys::MemFootprint footprint() const override { return footprint_; }
 
  private:
   std::uint32_t threads_;
   Cycles chunk_;
   std::uint64_t seed_;
+  hw::memsys::MemFootprint footprint_{};
 };
 
 /// `threads` threads hammer one shared futex-backed mutex: a synchronization
@@ -108,6 +114,9 @@ class LockHammerWorkload final : public Workload {
     }
   }
   std::string name() const override { return "lock-hammer"; }
+  /// Optional memory footprint (zero by default; see CpuHogWorkload).
+  void set_footprint(hw::memsys::MemFootprint fp) { footprint_ = fp; }
+  hw::memsys::MemFootprint footprint() const override { return footprint_; }
 
  private:
   std::uint32_t threads_;
@@ -115,6 +124,7 @@ class LockHammerWorkload final : public Workload {
   Cycles compute_;
   Cycles hold_;
   std::uint64_t seed_;
+  hw::memsys::MemFootprint footprint_{};
 };
 
 /// Producer/consumer pairs communicating through counting semaphores

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "guest/guest_kernel.h"
+#include "hw/memsys/footprint.h"
 #include "simcore/time.h"
 #include "vmm/ports.h"
 
@@ -51,6 +52,12 @@ class Workload {
 
   /// Throughput-style counters (SPECjbb transactions etc.).
   virtual std::uint64_t work_units() const { return 0; }
+
+  /// Memory footprint for the contention engine (docs/MODEL.md §2.8):
+  /// working-set bytes plus a piecewise miss-rate curve. The default —
+  /// a zero footprint — keeps the engine inert for this VM, so existing
+  /// workloads are bit-compatible until they opt in.
+  virtual hw::memsys::MemFootprint footprint() const { return {}; }
 };
 
 }  // namespace asman::workloads

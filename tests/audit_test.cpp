@@ -7,6 +7,7 @@
 
 #include "core/schedulers.h"
 #include "experiments/scenario.h"
+#include "hw/memsys/footprint.h"
 #include "simcore/simulator.h"
 #include "vmm/hypervisor.h"
 
@@ -389,6 +390,108 @@ TEST(Auditor, ScenarioRunnerAttachesAuditorOnRequest) {
   const experiments::RunResult rr_off = experiments::run_scenario(off);
   EXPECT_EQ(rr_off.audit_checks, 0u);
   EXPECT_TRUE(rr_off.audit_summary.empty());
+}
+
+// ------------------------- pressure-conservation seeded violations --------
+// These live here, not in contention_test.cpp: that binary runs in the
+// audited-fatal `contention` lane, where a deliberately planted violation
+// would abort the process instead of being counted.
+
+constexpr std::uint64_t kMiB = 1ull << 20;
+
+hw::MachineConfig pressured_machine() {
+  hw::MachineConfig m;
+  m.num_pcpus = 8;
+  m.topology = hw::Topology::paper();
+  m.llc_bytes = 2 * kMiB;
+  m.socket_mem_bw_bytes_per_s = 1'000'000'000ull;
+  return m;
+}
+
+/// Two footprinted VMs on the pressured paper host, auditor attached.
+/// Footprints overflow the 2 MiB LLCs, so every engine pass rations.
+struct PressureRig {
+  sim::Simulator sim;
+  core::AdaptiveScheduler hv;
+  VmId v0, v1;
+  Auditor auditor;
+
+  PressureRig()
+      : hv(sim, pressured_machine(), vmm::SchedMode::kNonWorkConserving),
+        v0(hv.create_vm("V0", 256, 2)),
+        v1(hv.create_vm("V1", 128, 3)),
+        auditor(sim, hv, {}) {
+    hv.set_vm_footprint(v0, hw::memsys::make_footprint(
+                                4 * kMiB, 2'000'000'000ull, 600));
+    hv.set_vm_footprint(v1, hw::memsys::make_footprint(
+                                6 * kMiB, 3'000'000'000ull, 300));
+    hv.start();
+  }
+};
+
+std::uint64_t conservation_violations(const Auditor& a) {
+  return a.report().entry(Invariant::kPressureConservation).violations;
+}
+
+TEST(ContentionSeeded, CleanPressuredRigAuditsClean) {
+  PressureRig r;
+  r.sim.run_until(seconds(0.5));
+  r.auditor.check_now();
+  EXPECT_GT(r.hv.pressure_periods(), 0u);
+  EXPECT_GT(r.hv.pressure_degraded_total(), 0u);
+  EXPECT_GT(
+      r.auditor.report().entry(Invariant::kPressureConservation).checks, 0u);
+  EXPECT_EQ(conservation_violations(r.auditor), 0u)
+      << r.auditor.report().summary();
+}
+
+TEST(ContentionSeeded, DetectsALedgerWriteOutsideTheSeam) {
+  // The bug class the full-scan half exists for: someone adjusts a VM's
+  // degraded total without going through apply_contention.
+  PressureRig r;
+  r.sim.run_until(seconds(0.3));
+  r.hv.vm(r.v1).pressure_degraded += 12'345;
+  r.auditor.check_now();
+  EXPECT_GE(conservation_violations(r.auditor), 1u);
+  EXPECT_NE(r.auditor.report()
+                .entry(Invariant::kPressureConservation)
+                .first_offender.find("V1"),
+            std::string::npos)
+      << r.auditor.report().summary();
+}
+
+TEST(ContentionSeeded, DetectsMachineTotalsDriftingFromTheVmSums) {
+  PressureRig r;
+  r.sim.run_until(seconds(0.3));
+  // Corrupt both halves of one VM's split so the per-VM identity still
+  // holds but the machine totals no longer match the sums.
+  r.hv.vm(r.v0).pressure_degraded += 1'000;
+  r.hv.vm(r.v0).pressure_effective -= 1'000;
+  r.auditor.check_now();
+  EXPECT_GE(conservation_violations(r.auditor), 1u);
+}
+
+TEST(ContentionSeeded, DetectsACorruptedOccupancyPartition) {
+  // The event-scoped half: the published grant matrix stops being an
+  // exact partition (here: one LLC's granted total inflated), caught at
+  // the next contention hook.
+  PressureRig r;
+  r.sim.run_until(seconds(0.3));
+  ASSERT_GT(r.hv.pressure_periods(), 0u);
+  r.hv.mutable_pressure().llc_granted[0] += 64 * 1024;
+  r.auditor.on_contention();
+  EXPECT_GE(conservation_violations(r.auditor), 1u)
+      << r.auditor.report().summary();
+}
+
+TEST(ContentionSeeded, DetectsAGrantExceedingDemand) {
+  PressureRig r;
+  r.sim.run_until(seconds(0.3));
+  ASSERT_GT(r.hv.pressure_periods(), 0u);
+  auto& pass = r.hv.mutable_pressure();
+  pass.vm_llc_granted[r.v0][0] = pass.vm_llc_demand[r.v0][0] + 4096;
+  r.auditor.on_contention();
+  EXPECT_GE(conservation_violations(r.auditor), 1u);
 }
 
 using AuditorDeathTest = ::testing::Test;

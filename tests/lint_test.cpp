@@ -156,6 +156,29 @@ TEST(LintCreditFlow, FixtureFiresOnEveryPlantedViolation) {
   EXPECT_GE(count_of(r.output, "function exit"), 2) << r.output;
 }
 
+TEST(LintContention, FixtureFiresOnEveryPlantedViolation) {
+  const LintRun r = run_lint(fixture("fixture_contention.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Three un-audited pressure-ledger writes (the float charge is one of
+  // them), one float reaching the slowdown math, one hash-order loop whose
+  // order escapes into the grant vector.
+  EXPECT_EQ(count_of(r.output, "[audit-seam]"), 3) << r.output;
+  EXPECT_EQ(count_of(r.output, "[integer-credit]"), 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[ordered-iteration]"), 1) << r.output;
+  EXPECT_NE(r.output.find("direct pressure-ledger write in "
+                          "'fixture::Hypervisor::rogue_degrade'"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("'fixture::Hypervisor::rogue_forgive'"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("floating point reaching credit store "
+                          "'pressure_degraded'"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("'llc_demand_'"), std::string::npos) << r.output;
+}
+
 TEST(LintCreditFlow, TrickyLegalShapesStaySilent) {
   const LintRun r = run_lint(fixture("fixture_credit_flow_clean.cpp"));
   EXPECT_EQ(r.exit_code, 0) << r.output;

@@ -33,6 +33,14 @@ const std::vector<std::string>& credit_writers() {
       "Hypervisor::seed_credit"};
   return w;
 }
+// The pressure ledger (PR-9): accounted/degraded/effective splits and the
+// per-VCPU pressure mark may only move inside the contention pass — the
+// pressure-conservation invariant recomputes the split from published
+// engine state, so a write anywhere else is drift it cannot explain.
+const std::vector<std::string>& pressure_writers() {
+  static const std::vector<std::string> w{"Hypervisor::apply_contention"};
+  return w;
+}
 
 bool whitelisted(const AnalysisContext& ctx, std::size_t tok,
                  const std::vector<std::string>& writers) {
@@ -107,6 +115,32 @@ void check_audit_seam(const AnalysisContext& ctx) {
                        "conservation auditor cannot reconcile it");
       continue;
     }
+
+    // (4) Pressure ledger store: `<x>.pressure_degraded <op>= ...` (and
+    // the accounted/effective legs plus the per-VCPU mark). The contention
+    // pass is the only writer; the pressure-conservation invariant
+    // recomputes the split and would flag the drift anyway — this makes
+    // the bypass a build-time error instead of a runtime violation. The
+    // ledger legs only ever *accumulate* inside the seam, so plain `=` is
+    // exempt for them (results harvesting copies these names field-by-
+    // field); the mark is a plain store, so every assignment op counts.
+    const bool ledger_leg = t[i].text == "pressure_accounted" ||
+                            t[i].text == "pressure_degraded" ||
+                            t[i].text == "pressure_effective";
+    if ((ledger_leg || t[i].text == "pressure_mark") && i > 0 &&
+        member_access(t[i - 1]) && i + 1 < t.size() &&
+        t[i + 1].kind == Tok::kPunct &&
+        ((!ledger_leg && t[i + 1].text == "=") || t[i + 1].text == "+=" ||
+         t[i + 1].text == "-=" || t[i + 1].text == "*=" ||
+         t[i + 1].text == "/=")) {
+      if (!whitelisted(ctx, i, pressure_writers()))
+        ctx.report(t[i].line, "audit-seam",
+                   "direct pressure-ledger write in '" + fn_name(ctx, i) +
+                       "' bypasses the contention pass; the "
+                       "pressure-conservation invariant cannot "
+                       "reconcile it");
+      continue;
+    }
   }
 }
 
@@ -119,7 +153,8 @@ void check_audit_seam_cross_tu(const Options& options,
   // only (explicit file lists, e.g. fixtures, are partial views).
   if (!options.files.empty()) return;
   std::vector<std::string> required;
-  for (const auto* group : {&state_writers(), &queue_writers()})
+  for (const auto* group :
+       {&state_writers(), &queue_writers(), &pressure_writers()})
     for (const std::string& w : *group) required.push_back(w);
   for (const std::string& req : required) {
     bool seen = false;

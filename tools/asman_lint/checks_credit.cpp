@@ -20,6 +20,17 @@ bool credit_ident(const std::string& s) {
          s.find("Credit") != std::string::npos;
 }
 
+// The pressure ledger (PR-9) is integer fixed-point exactly like credit:
+// slowdown math is parts-per-million over __int128 and the conservation
+// invariant re-adds the split, so floating point reaching one of these
+// stores is the same exactness bug as it is for credit. (Only the store
+// pattern uses this — harvest code legitimately casts the totals to
+// double for reporting.)
+bool pressure_ident(const std::string& s) {
+  return s == "pressure_accounted" || s == "pressure_degraded" ||
+         s == "pressure_effective" || s == "pressure_mark";
+}
+
 bool is_assign_op(const Token& t) {
   return t.kind == Tok::kPunct &&
          (t.text == "=" || t.text == "+=" || t.text == "-=" ||
@@ -89,9 +100,10 @@ void check_integer_credit(const AnalysisContext& ctx) {
     }
 
     // (2) Floating point reaching a credit store: `<x>.credit <op>= ...`
-    // (or any credit-named lvalue) with a float literal or float/double
-    // type in the statement.
-    if (t[i].kind == Tok::kIdent && credit_ident(t[i].text) &&
+    // (or any credit-named lvalue, or a pressure-ledger leg) with a float
+    // literal or float/double type in the statement.
+    if (t[i].kind == Tok::kIdent &&
+        (credit_ident(t[i].text) || pressure_ident(t[i].text)) &&
         i + 1 < t.size() && is_assign_op(t[i + 1])) {
       const StmtRange r = statement_around(t, i);
       bool fp = false;

@@ -1,0 +1,59 @@
+// Seeded-violation fixture for the contention subsystem's lint coverage:
+// pressure-ledger writes outside Hypervisor::apply_contention, floating
+// point reaching the slowdown math, and unordered iteration over a per-LLC
+// map whose order escapes into the grant vector. Never compiled into any
+// target. Expected: 3 audit-seam, 1 integer-credit, 1 ordered-iteration.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Cycles {
+  std::uint64_t v{0};
+};
+
+struct Vcpu {
+  Cycles total_online{};
+  Cycles pressure_mark{};
+};
+
+struct Vm {
+  std::uint64_t pressure_accounted{0};
+  std::uint64_t pressure_degraded{0};
+  std::uint64_t pressure_effective{0};
+  std::vector<Vcpu> vcpus;
+};
+
+struct Hypervisor {
+  std::vector<Vm> vms_;
+  std::unordered_map<std::uint32_t, std::uint64_t> llc_demand_;
+  std::vector<std::uint64_t> llc_granted_;
+
+  // planted: occupancy charge mutated outside the contention pass — the
+  // pressure-conservation invariant would see a split it cannot explain.
+  void rogue_degrade(Vm& m, std::uint64_t extra) {
+    m.pressure_degraded += extra;
+  }
+
+  // planted: resetting the per-VCPU mark outside the pass silently
+  // forgives every cycle accrued since the last engine period.
+  void rogue_forgive(Vcpu& c) { c.pressure_mark = c.total_online; }
+
+  // planted x2: floating-point slowdown math reaching the ledger store
+  // (integer-credit), which is itself an un-audited write (audit-seam).
+  void rogue_float_charge(Vm& m, std::uint64_t busy) {
+    m.pressure_degraded +=
+        static_cast<std::uint64_t>(static_cast<double>(busy) * 0.4);
+  }
+
+  // planted: hash-order iteration over the per-LLC demand map escaping
+  // into the published grant vector — replay order would depend on bucket
+  // history, not the seed.
+  void rogue_partition() {
+    for (const auto& [llc, demand] : llc_demand_)
+      llc_granted_.push_back(demand / 2);
+  }
+};
+
+}  // namespace fixture
