@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/bounds_spec.h"
 #include "hw/memsys/footprint.h"
 #include "hw/topology.h"
 
@@ -40,6 +41,18 @@ inline constexpr std::uint32_t kSlowdownPpmPerExtraMissPermille = 400;
 /// Ceiling on the combined (LLC + bandwidth) slowdown: even a thrashing
 /// VCPU keeps at least 20 % of its cycles effective.
 inline constexpr std::uint32_t kMaxSlowdownPpm = 800'000;
+
+// Both constants are pinned as (exact) bounds-spec entries so the
+// value-range proof prices ppm math with the real values.
+static_assert(
+    core::bounds_of(core::field::kSlowdownPpmPerExtraMissPermille)->lo ==
+        kSlowdownPpmPerExtraMissPermille &&
+    core::bounds_of(core::field::kSlowdownPpmPerExtraMissPermille)->hi ==
+        kSlowdownPpmPerExtraMissPermille);
+static_assert(core::bounds_of(core::field::kMaxSlowdownPpm)->lo ==
+                  kMaxSlowdownPpm &&
+              core::bounds_of(core::field::kMaxSlowdownPpm)->hi ==
+                  kMaxSlowdownPpm);
 
 /// One VM's placement as the engine sees it. `fp == nullptr` (or a zero
 /// footprint) contributes nothing; vcpu_llc/vcpu_socket are the home

@@ -1,5 +1,6 @@
 #include "hw/topology.h"
 
+#include "core/bounds_spec.h"
 #include "hw/machine.h"
 
 namespace asman::hw {
@@ -36,9 +37,32 @@ const char* to_string(ConfigError e) {
       return "zero-llc-capacity";
     case ConfigError::kZeroMemBandwidth:
       return "zero-mem-bandwidth";
+    case ConfigError::kOutOfBounds:
+      return "out-of-bounds";
   }
   return "?";
 }
+
+namespace {
+
+/// Bounds-spec range check for one config field. Zero is exempt here: the
+/// lo >= 1 fields already carry a dedicated typed zero-error above, and
+/// for lo == 0 fields zero is legal ("feature off").
+void check_bounds(const char* fld, std::uint64_t v,
+                  std::vector<ConfigIssue>& issues) {
+  const core::FieldBounds* b = core::bounds_of(fld);
+  if (b == nullptr || v == 0) return;
+  if (v < static_cast<std::uint64_t>(b->lo) ||
+      v > static_cast<std::uint64_t>(b->hi))
+    issues.push_back(
+        {ConfigError::kOutOfBounds,
+         std::string(fld) + " = " + std::to_string(v) +
+             " is outside the bounds-spec interval [" + std::to_string(b->lo) +
+             ", " + std::to_string(b->hi) +
+             "] (src/core/bounds_spec.h) the value-range proof covers"});
+}
+
+}  // namespace
 
 Topology Topology::flat(std::uint32_t num_pcpus) {
   return symmetric(1, 1, num_pcpus);
@@ -87,6 +111,22 @@ std::vector<ConfigIssue> validate_config(const MachineConfig& m) {
                           std::to_string(m.topology.num_pcpus()) +
                           " PCPUs but num_pcpus is " +
                           std::to_string(m.num_pcpus)});
+  check_bounds(core::field::num_pcpus, m.num_pcpus, issues);
+  check_bounds(core::field::freq_hz, m.freq_hz, issues);
+  check_bounds(core::field::slot_ms, m.slot_ms, issues);
+  check_bounds(core::field::slots_per_accounting, m.slots_per_accounting,
+               issues);
+  check_bounds(core::field::slots_per_timeslice, m.slots_per_timeslice,
+               issues);
+  check_bounds(core::field::ipi_latency_us, m.ipi_latency_us, issues);
+  check_bounds(core::field::cross_llc_penalty_us, m.cross_llc_penalty_us,
+               issues);
+  check_bounds(core::field::cross_socket_penalty_us, m.cross_socket_penalty_us,
+               issues);
+  check_bounds(core::field::warm_cache_slots, m.warm_cache_slots, issues);
+  check_bounds(core::field::llc_bytes, m.llc_bytes, issues);
+  check_bounds(core::field::socket_mem_bw_bytes_per_s,
+               m.socket_mem_bw_bytes_per_s, issues);
   return issues;
 }
 

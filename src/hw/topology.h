@@ -98,6 +98,7 @@ enum class ConfigError : std::uint8_t {
   kTopologyLeafMismatch,   // topology leaf count != num_pcpus
   kZeroLlcCapacity,        // footprints declared but llc_bytes == 0
   kZeroMemBandwidth,       // footprints declared but socket bandwidth == 0
+  kOutOfBounds,            // field outside core/bounds_spec.h's interval
 };
 
 const char* to_string(ConfigError e);
@@ -108,7 +109,11 @@ struct ConfigIssue {
 };
 
 /// Validate a MachineConfig: one ConfigIssue per defect (empty = valid).
-/// An unspecified topology is always valid (it resolves to flat).
+/// An unspecified topology is always valid (it resolves to flat). Beyond
+/// the structural zero/mismatch checks, every numeric field is held to its
+/// core/bounds_spec.h interval — the same interval asman-verify's
+/// value-range proof assumes — so a config the proof did not cover cannot
+/// construct a hypervisor.
 std::vector<ConfigIssue> validate_config(const MachineConfig& m);
 
 /// Validate the memory-system capacity fields against a declared workload

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "core/bounds_spec.h"
 #include "simcore/time.h"
 
 namespace asman::vmm {
@@ -22,6 +23,11 @@ namespace asman::vmm {
 /// Weight that counts as exactly 1.0 VCPU of load per VCPU (Xen's default
 /// VM weight). A weight-128 VM's VCPUs each contribute 0.5.
 inline constexpr std::uint32_t kReferenceWeight = 256;
+// Pinned as an (exact) bounds-spec entry; see src/core/bounds_spec.h.
+static_assert(core::bounds_of(core::field::kReferenceWeight)->lo ==
+                  kReferenceWeight &&
+              core::bounds_of(core::field::kReferenceWeight)->hi ==
+                  kReferenceWeight);
 
 struct AdmissionConfig {
   /// Hard cap on weighted VCPUs per *online* PCPU (0 = admission control

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/bounds_spec.h"
+
 namespace asman::vmm {
 
 namespace {
@@ -94,7 +96,10 @@ void Hypervisor::attach_guest(VmId id, GuestPort* guest) {
 void Hypervisor::start() {
   assert(!started_);
   started_ = true;
-  // Resolve the resilience knobs the caller left at "derive from machine".
+  // Resolve the resilience knobs the caller left at "derive from machine",
+  // then hold every count knob to its core/bounds_spec.h interval — the
+  // same interval the value-range proof assumed, so no caller can push the
+  // credit/boost arithmetic outside the proved space.
   if (resilience_.ipi_ack_timeout.v == 0)
     resilience_.ipi_ack_timeout = Cycles{machine_.ipi_latency().v * 8};
   if (resilience_.gang_watchdog.v == 0)
@@ -111,6 +116,31 @@ void Hypervisor::start() {
     resilience_.vcrd_check_window = Cycles{slot_len_.v * 5};
   if (admission_.restore_backoff.v == 0)
     admission_.restore_backoff = Cycles{slot_len_.v * 12};
+  resilience_.ipi_max_retries = core::clamp_to_bounds(
+      core::field::ipi_max_retries, resilience_.ipi_max_retries);
+  resilience_.watchdog_demote_after = core::clamp_to_bounds(
+      core::field::watchdog_demote_after, resilience_.watchdog_demote_after);
+  resilience_.flap_limit =
+      core::clamp_to_bounds(core::field::flap_limit, resilience_.flap_limit);
+  resilience_.boost_limit =
+      core::clamp_to_bounds(core::field::boost_limit, resilience_.boost_limit);
+  resilience_.vcrd_min_yields = core::clamp_to_bounds(
+      core::field::vcrd_min_yields, resilience_.vcrd_min_yields);
+  if (admission_enabled()) {
+    const core::FieldBounds* lb =
+        core::bounds_of(core::field::max_vcpus_per_pcpu);
+    if (admission_.max_vcpus_per_pcpu > static_cast<double>(lb->hi))
+      admission_.max_vcpus_per_pcpu = static_cast<double>(lb->hi);
+    const core::FieldBounds* sb = core::bounds_of(core::field::shed_level_ppm);
+    const core::FieldBounds* rb =
+        core::bounds_of(core::field::restore_level_ppm);
+    admission_.shed_level =
+        std::clamp(admission_.shed_level, static_cast<double>(sb->lo) / 1e6,
+                   static_cast<double>(sb->hi) / 1e6);
+    admission_.restore_level =
+        std::clamp(admission_.restore_level, static_cast<double>(rb->lo) / 1e6,
+                   static_cast<double>(rb->hi) / 1e6);
+  }
   in_scheduler_ = true;
   maybe_shed_overload();  // a boot-time fleet may already exceed the level
   do_accounting();

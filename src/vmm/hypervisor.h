@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bounds_spec.h"
 #include "hw/ipi.h"
 #include "hw/machine.h"
 #include "hw/memsys/contention.h"
@@ -130,7 +131,18 @@ struct MigrationTicket {
   VmType type{VmType::kGeneral};
   __int128 credit_pool{0};
 
-  bool valid() const { return n_vcpus > 0; }
+  /// A ticket is restorable when its shape is inside the shared bounds
+  /// spec: the destination's create_vm clamps weight and refuses an
+  /// out-of-spec VCPU count anyway, but a corrupted ticket should be
+  /// refused before any audit event fires on the target host.
+  bool valid() const {
+    return n_vcpus >=
+               static_cast<std::uint32_t>(
+                   core::bounds_of(core::field::n_vcpus)->lo) &&
+           n_vcpus <= static_cast<std::uint32_t>(
+                          core::bounds_of(core::field::n_vcpus)->hi) &&
+           weight > 0;
+  }
 };
 
 class Hypervisor : public HypervisorPort {

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/bounds_spec.h"
 #include "vmm/hypervisor.h"
 
 namespace asman::vmm {
@@ -119,6 +120,19 @@ PcpuId Hypervisor::place_new_vcpu(VmId id, std::uint32_t vidx,
 VmId Hypervisor::create_vm(std::string name, std::uint32_t weight,
                            std::uint32_t n_vcpus, VmType type) {
   assert(weight > 0 && n_vcpus > 0);
+  // Hold per-VM quantities to the shared bounds spec: weight is clamped
+  // (a too-heavy VM still boots, at the heaviest proved weight), an absurd
+  // VCPU count is refused outright — a 5000-VCPU VM is a config bug, not a
+  // scheduling problem, and admitting it would leave the value-range
+  // proof's assumptions behind.
+  weight = core::clamp_to_bounds(core::field::weight, weight);
+  if (n_vcpus >
+      static_cast<std::uint32_t>(core::bounds_of(core::field::n_vcpus)->hi)) {
+    note_trace(sim::TraceCat::kSched,
+               name + " rejected: n_vcpus " + std::to_string(n_vcpus) +
+                   " outside the bounds spec");
+    return kInvalidVmId;
+  }
   if (admission_enabled()) {
     const double extra =
         static_cast<double>(n_vcpus) *

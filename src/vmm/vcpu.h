@@ -5,6 +5,7 @@
 #include <deque>
 #include <string>
 
+#include "core/bounds_spec.h"
 #include "simcore/event_queue.h"
 #include "vmm/ports.h"
 #include "vmm/types.h"
@@ -16,6 +17,12 @@ namespace asman::vmm {
 /// the fairness tests without floating-point drift.)
 using Credit = std::int64_t;
 inline constexpr Credit kCreditPerSlot = 100'000;
+// The bounds spec pins this constant as an (exact) entry so the
+// value-range proof uses the real value; a drift here is a build error.
+static_assert(core::bounds_of(core::field::kCreditPerSlot)->lo ==
+                  kCreditPerSlot &&
+              core::bounds_of(core::field::kCreditPerSlot)->hi ==
+                  kCreditPerSlot);
 
 struct Vcpu {
   VcpuKey key;

@@ -1,0 +1,172 @@
+// Round-trip between src/core/bounds_spec.h and hw::validate_config():
+// the gate must accept EXACTLY the admissible config space the value-range
+// proof assumes — each numeric MachineConfig field's spec endpoints pass,
+// one past the top endpoint is rejected as kOutOfBounds, and nothing else
+// sneaks in. If this drifts, the static proof covers a space the runtime
+// does not enforce (or vice versa), which is the exact bug the shared
+// table exists to prevent.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/bounds_spec.h"
+#include "hw/machine.h"
+#include "hw/topology.h"
+
+namespace {
+
+using asman::core::bounds_of;
+using asman::core::clamp_to_bounds;
+using asman::hw::ConfigError;
+using asman::hw::ConfigIssue;
+using asman::hw::MachineConfig;
+using asman::hw::validate_config;
+
+int out_of_bounds_count(const std::vector<ConfigIssue>& issues) {
+  int n = 0;
+  for (const ConfigIssue& i : issues)
+    if (i.kind == ConfigError::kOutOfBounds) ++n;
+  return n;
+}
+
+// One row per bounds-checked MachineConfig field: the spec leaf name and a
+// setter. u64-valued so a +1 past any spec hi still fits the field type.
+struct FieldRow {
+  const char* name;
+  std::function<void(MachineConfig&, std::uint64_t)> set;
+};
+
+const std::vector<FieldRow>& machine_fields() {
+  namespace f = asman::core::field;
+  static const std::vector<FieldRow> rows{
+      {f::num_pcpus,
+       [](MachineConfig& m, std::uint64_t v) {
+         m.num_pcpus = static_cast<std::uint32_t>(v);
+       }},
+      {f::freq_hz, [](MachineConfig& m, std::uint64_t v) { m.freq_hz = v; }},
+      {f::slot_ms, [](MachineConfig& m, std::uint64_t v) { m.slot_ms = v; }},
+      {f::slots_per_accounting,
+       [](MachineConfig& m, std::uint64_t v) {
+         m.slots_per_accounting = static_cast<std::uint32_t>(v);
+       }},
+      {f::slots_per_timeslice,
+       [](MachineConfig& m, std::uint64_t v) {
+         m.slots_per_timeslice = static_cast<std::uint32_t>(v);
+       }},
+      {f::ipi_latency_us,
+       [](MachineConfig& m, std::uint64_t v) { m.ipi_latency_us = v; }},
+      {f::cross_llc_penalty_us,
+       [](MachineConfig& m, std::uint64_t v) { m.cross_llc_penalty_us = v; }},
+      {f::cross_socket_penalty_us,
+       [](MachineConfig& m, std::uint64_t v) {
+         m.cross_socket_penalty_us = v;
+       }},
+      {f::warm_cache_slots,
+       [](MachineConfig& m, std::uint64_t v) {
+         m.warm_cache_slots = static_cast<std::uint32_t>(v);
+       }},
+      {f::llc_bytes,
+       [](MachineConfig& m, std::uint64_t v) { m.llc_bytes = v; }},
+      {f::socket_mem_bw_bytes_per_s,
+       [](MachineConfig& m, std::uint64_t v) {
+         m.socket_mem_bw_bytes_per_s = v;
+       }},
+  };
+  return rows;
+}
+
+TEST(BoundsRoundTrip, DefaultConfigIsInsideTheProvedSpace) {
+  EXPECT_TRUE(validate_config(MachineConfig{}).empty());
+}
+
+TEST(BoundsRoundTrip, EverySpecEndpointIsAccepted) {
+  for (const FieldRow& row : machine_fields()) {
+    const asman::core::FieldBounds* b = bounds_of(row.name);
+    ASSERT_NE(b, nullptr) << row.name << " missing from bounds_spec.h";
+    MachineConfig lo = MachineConfig{};
+    row.set(lo, static_cast<std::uint64_t>(b->lo));
+    // lo == 0 fields use zero as "feature off"; both legal either way.
+    EXPECT_EQ(out_of_bounds_count(validate_config(lo)), 0)
+        << row.name << " = " << b->lo << " (spec lo) must validate";
+    MachineConfig hi = MachineConfig{};
+    row.set(hi, static_cast<std::uint64_t>(b->hi));
+    EXPECT_EQ(out_of_bounds_count(validate_config(hi)), 0)
+        << row.name << " = " << b->hi << " (spec hi) must validate";
+  }
+}
+
+TEST(BoundsRoundTrip, OnePastTheTopEndpointIsRejected) {
+  for (const FieldRow& row : machine_fields()) {
+    const asman::core::FieldBounds* b = bounds_of(row.name);
+    ASSERT_NE(b, nullptr) << row.name;
+    MachineConfig m = MachineConfig{};
+    row.set(m, static_cast<std::uint64_t>(b->hi) + 1);
+    const std::vector<ConfigIssue> issues = validate_config(m);
+    EXPECT_EQ(out_of_bounds_count(issues), 1)
+        << row.name << " = " << (b->hi + 1) << " must be out of bounds";
+    bool names_field = false;
+    bool names_spec = false;
+    for (const ConfigIssue& i : issues) {
+      if (i.kind != ConfigError::kOutOfBounds) continue;
+      names_field = i.what.find(row.name) != std::string::npos;
+      names_spec = i.what.find("bounds_spec.h") != std::string::npos;
+    }
+    EXPECT_TRUE(names_field) << row.name << ": issue must name the field";
+    EXPECT_TRUE(names_spec) << row.name << ": issue must cite the spec";
+  }
+}
+
+TEST(BoundsRoundTrip, BelowANonzeroLowEndpointIsRejected) {
+  // Fields with lo >= 1 reject lo - 1: num_pcpus etc. hit their dedicated
+  // zero-error at 0, so use a field whose lo - 1 is still nonzero when one
+  // exists; for lo == 1 fields assert the typed zero error fires instead.
+  for (const FieldRow& row : machine_fields()) {
+    const asman::core::FieldBounds* b = bounds_of(row.name);
+    ASSERT_NE(b, nullptr) << row.name;
+    if (b->lo == 0) continue;  // zero is "feature off": nothing below it
+    MachineConfig m = MachineConfig{};
+    row.set(m, static_cast<std::uint64_t>(b->lo) - 1);
+    EXPECT_FALSE(validate_config(m).empty())
+        << row.name << " = " << (b->lo - 1) << " must be rejected";
+  }
+  // freq_hz is the one MachineConfig field with lo > 1: below-lo nonzero
+  // values are out of bounds, not a zero-error.
+  MachineConfig m = MachineConfig{};
+  m.freq_hz = 999'999;
+  EXPECT_EQ(out_of_bounds_count(validate_config(m)), 1);
+}
+
+TEST(BoundsClamp, KnobResolutionClampsIntoTheProvedSpace) {
+  namespace f = asman::core::field;
+  // The VMM's knob paths ride clamp_to_bounds: a caller can never push a
+  // count knob past what the value-range proof assumed.
+  EXPECT_EQ(clamp_to_bounds<std::uint32_t>(f::weight, 0), 1u);
+  EXPECT_EQ(clamp_to_bounds<std::uint32_t>(f::weight, 70'000), 65'536u);
+  EXPECT_EQ(clamp_to_bounds<std::uint32_t>(f::weight, 256), 256u);
+  EXPECT_EQ(clamp_to_bounds<std::uint32_t>(f::ipi_max_retries, 99), 16u);
+  EXPECT_EQ(clamp_to_bounds<std::uint32_t>(f::flap_limit, 0), 1u);
+  EXPECT_EQ(clamp_to_bounds<std::uint64_t>(f::shed_level_ppm, 2'000'000),
+            1'000'000u);
+  // Unbounded names pass through untouched.
+  EXPECT_EQ(clamp_to_bounds<std::uint64_t>("no_such_knob", 1234u), 1234u);
+  EXPECT_EQ(bounds_of("no_such_knob"), nullptr);
+}
+
+TEST(BoundsSpec, ExactConstantsPinTheCompiledValues) {
+  // The (exact) rows double as cross-checks that the spec matches the
+  // compiled constants the proof substitutes for them.
+  namespace f = asman::core::field;
+  const asman::core::FieldBounds* cps = bounds_of(f::kCreditPerSlot);
+  ASSERT_NE(cps, nullptr);
+  EXPECT_EQ(cps->lo, cps->hi);
+  EXPECT_EQ(cps->lo, 100'000);
+  const asman::core::FieldBounds* rw = bounds_of(f::kReferenceWeight);
+  ASSERT_NE(rw, nullptr);
+  EXPECT_EQ(rw->lo, 256);
+  EXPECT_EQ(rw->hi, 256);
+}
+
+}  // namespace

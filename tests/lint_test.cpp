@@ -53,7 +53,7 @@ int count_of(const std::string& haystack, const std::string& needle) {
   return count;
 }
 
-TEST(LintCli, ListsAllEightChecks) {
+TEST(LintCli, ListsAllNineChecks) {
   const LintRun r = run_lint("--list-checks");
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("determinism"), std::string::npos);
@@ -64,6 +64,7 @@ TEST(LintCli, ListsAllEightChecks) {
   EXPECT_NE(r.output.find("state-machine"), std::string::npos);
   EXPECT_NE(r.output.find("thread-safety"), std::string::npos);
   EXPECT_NE(r.output.find("rng-discipline"), std::string::npos);
+  EXPECT_NE(r.output.find("value-range"), std::string::npos);
 }
 
 TEST(LintCli, RejectsUnknownCheck) {
@@ -319,6 +320,93 @@ TEST(LintAdversary, FixtureFiresOnEveryPlantedViolation) {
       << r.output;
 }
 
+TEST(LintValueRange, FixtureFiresOnEveryPlantedViolation) {
+  const LintRun r =
+      run_lint("--check value-range " + fixture("fixture_value_range.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[value-range]"), 4) << r.output;
+  // (a) decl-initializer overflow of int64: the full product of the
+  // credit-pool sizing at the admissible corner, witness per leaf.
+  EXPECT_NE(r.output.find("fixture_value_range.cpp:20"), std::string::npos);
+  EXPECT_NE(r.output.find("proved interval [100000000000, "
+                          "64000000000000000000]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("witness config: freq_hz = 10000000000"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("witness config: slots_per_accounting = 64"),
+            std::string::npos)
+      << r.output;
+  // (b) static_cast<int> narrowing: weight * kCreditPerSlot = 6.5536e9.
+  EXPECT_NE(r.output.find("fixture_value_range.cpp:27"), std::string::npos);
+  EXPECT_NE(r.output.find("witness config: weight = 65536"),
+            std::string::npos)
+      << r.output;
+  // (c) u32 wrap at 2^36.
+  EXPECT_NE(r.output.find("fixture_value_range.cpp:34"), std::string::npos);
+  EXPECT_NE(r.output.find("[1024, 68719476736]"), std::string::npos)
+      << r.output;
+  // (d) plain assignment into a declared int32.
+  EXPECT_NE(r.output.find("fixture_value_range.cpp:43"), std::string::npos);
+  EXPECT_NE(r.output.find("witness config: shed_level_ppm = 1000000"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("witness config: n_vcpus = 4096"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(LintValueRange, TrickyLegalShapesStaySilent) {
+  // Guard-refined products, std::min clamps, the __int128 widen-then-
+  // divide ratio (the contention.cpp shape that once false-positived when
+  // the saturation rail leaked through division), loop accumulation, and
+  // the saturating_sub discipline: all provably fine or unknowable — zero
+  // findings. Scoped to value-range: integer-credit's lexical heuristic
+  // still flags the clamped mint here, which is exactly the
+  // heuristic-vs-proof gap docs/MODEL.md 5.1 describes.
+  const LintRun r = run_lint("--check value-range " +
+                             fixture("fixture_value_range_clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 error(s), 0 suppression(s)"), std::string::npos)
+      << r.output;
+}
+
+TEST(LintValueRange, InterproceduralSummaryCarriesTheOverflow) {
+  const LintRun r = run_lint("--check value-range " +
+                             fixture("fixture_value_range_interproc.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Exactly one: at the call-site cast. The helper itself fits in i64, and
+  // the small-grant control through the same summary machinery is clean.
+  EXPECT_EQ(count_of(r.output, "[value-range]"), 1) << r.output;
+  EXPECT_NE(r.output.find("fixture_value_range_interproc.cpp:22"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("mint_for"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("witness config: weight = 65536"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("witness config: slots_per_accounting = 64"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(LintValueRange, JoinAtMergeFindsOneBranchOverflow) {
+  const LintRun r = run_lint("--check value-range " +
+                             fixture("fixture_value_range_flow.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // One finding: the unguarded boost path survives the join. The guarded
+  // twin is silent because `weight < 20'000` refines the multiplier input.
+  EXPECT_EQ(count_of(r.output, "[value-range]"), 1) << r.output;
+  EXPECT_NE(r.output.find("fixture_value_range_flow.cpp:19"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[1, 6553600000]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("witness config: weight = 65536"),
+            std::string::npos)
+      << r.output;
+}
+
 TEST(LintCleanFixture, TrickyLegalConstructsStaySilent) {
   const LintRun r = run_lint(fixture("fixture_clean.cpp"));
   EXPECT_EQ(r.exit_code, 0) << r.output;
@@ -367,6 +455,8 @@ TEST(LintTree, ShippedTreeIsCleanUnderAllChecks) {
   EXPECT_EQ(count_of(r.output, "suppressed by allow("), 2) << r.output;
   EXPECT_EQ(count_of(r.output, "host wall-clock measures the harness"), 2)
       << r.output;
+  // The suppression budget is actual + 2: a new escape can't hide in slack.
+  EXPECT_NE(r.output.find("(budget 4)"), std::string::npos) << r.output;
   EXPECT_EQ(r.output.find("audit arming is host config"), std::string::npos)
       << r.output;
 }
@@ -388,13 +478,38 @@ TEST(LintSarif, EmitsResultsWithCodeFlows) {
   std::remove(out.c_str());
   EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
   EXPECT_NE(sarif.find("\"asman-lint\""), std::string::npos);
-  // All eight rules are declared; three results with witness codeFlows.
+  // All nine rules are declared; three results with witness codeFlows.
   EXPECT_NE(sarif.find("\"id\": \"credit-flow\""), std::string::npos);
   EXPECT_NE(sarif.find("\"id\": \"thread-safety\""), std::string::npos);
   EXPECT_NE(sarif.find("\"id\": \"rng-discipline\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\": \"value-range\""), std::string::npos);
   EXPECT_EQ(count_of(sarif, "\"ruleId\": \"state-machine\""), 3) << sarif;
   EXPECT_EQ(count_of(sarif, "\"codeFlows\""), 3) << sarif;
   EXPECT_NE(sarif.find("fixture_state_machine.cpp"), std::string::npos);
+}
+
+// value-range findings ride the same SARIF channel, witness configs as
+// codeFlow steps — the CI upload needs no special-casing for the new rule.
+TEST(LintSarif, ValueRangeFindingsCarryWitnessCodeFlows) {
+  const std::string out =
+      std::string(::testing::TempDir()) + "lint_vr_test.sarif";
+  const LintRun r = run_lint("--check value-range --sarif " + out + " " +
+                             fixture("fixture_value_range.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  FILE* f = std::fopen(out.c_str(), "r");
+  ASSERT_NE(f, nullptr) << "SARIF file not written: " << out;
+  std::string sarif;
+  std::array<char, 4096> buf;
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), f)) > 0)
+    sarif.append(buf.data(), n);
+  std::fclose(f);
+  std::remove(out.c_str());
+  EXPECT_EQ(count_of(sarif, "\"ruleId\": \"value-range\""), 4) << sarif;
+  EXPECT_EQ(count_of(sarif, "\"codeFlows\""), 4) << sarif;
+  EXPECT_NE(sarif.find("witness config: freq_hz = 10000000000"),
+            std::string::npos)
+      << sarif;
 }
 
 }  // namespace

@@ -1,0 +1,222 @@
+// Interval-domain abstract interpretation over the token stream: the
+// engine behind the `value-range` rule (asman-prove).
+//
+// Where the lexical `integer-credit` rule asks "did you widen?", this
+// layer asks "is the widened expression actually safe for every config
+// the runtime admits?" and answers with a proof or a counterexample. The
+// admissible config space comes from src/core/bounds_spec.h — the SAME
+// table hw::validate_config() and the VMM's knob clamps compile against —
+// lexed structurally exactly like the state/migration transition specs.
+//
+// The domain is intervals over __int128, saturated at +/-kAbsInf; an
+// endpoint at the saturation rail means "unbounded" and the value is
+// demoted to unknown, so the checker only ever reports violations it has
+// PROVED reachable inside the spec space. Every abstract value carries the
+// witness assignment (config leaf -> concrete endpoint) that produces its
+// extremes, so a finding can print the exact configuration that triggers
+// the overflow — the value-range analogue of credit-flow's path witness.
+//
+// Deliberate approximations (each errs toward silence, never toward a
+// false proof of violation):
+//   * unsigned subtraction that could go negative is assumed guarded
+//     (clamped at 0): the codebase routes such math through
+//     saturating_sub, and reporting the pattern would drown the proof in
+//     the idiom,
+//   * values derived from runtime state are unknown (top) unless a
+//     refinement or a single-return summary bounds them,
+//   * member fields (trailing '_') are bounded only when every textual
+//     write to them evaluates to a known interval (ValueModel);
+//     any compound or unknown write poisons the field to top.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model.h"
+#include "token.h"
+
+namespace asman_lint {
+
+using Wide = __int128;
+
+/// Saturation rail: past this magnitude an interval endpoint means
+/// "unbounded" and proofs involving it are abandoned, not reported.
+inline constexpr Wide kAbsInf = static_cast<Wide>(1) << 110;
+
+/// Approximate static type of an expression, enough to know its value
+/// range and the usual-arithmetic-conversions result. kOther covers
+/// floating point, class types and anything unrecognized — no range
+/// checking is done there (float discipline is integer-credit's rule).
+enum class NumWidth : std::uint8_t {
+  kBool,
+  kI8,
+  kU8,
+  kI16,
+  kU16,
+  kI32,
+  kU32,
+  kI64,
+  kU64,
+  kI128,
+  kOther,
+};
+
+const char* width_name(NumWidth w);
+Wide width_min(NumWidth w);
+Wide width_max(NumWidth w);
+bool width_is_unsigned(NumWidth w);
+std::string wide_str(Wide v);
+
+/// True when the identifier's name marks it as credit / pressure /
+/// contention vocabulary — the lexical half of the value-range taint seed.
+bool taints_value(const std::string& ident);
+
+/// One leaf of a witness assignment: a config quantity pinned to the
+/// concrete value that produces the interval endpoint.
+struct WitnessBinding {
+  std::string name;
+  long long value;
+};
+
+/// A proved range violation inside an expression: the sub-expression's
+/// interval escapes its static type for some admissible config.
+struct RangeViolation {
+  std::string expr;     // offending sub-expression (token snippet)
+  NumWidth width{NumWidth::kI64};  // the static type it escapes
+  Wide lo{0}, hi{0};    // the proved interval of the sub-expression
+  bool narrowing{false};  // cast/store narrowing vs in-type arithmetic
+  std::vector<WitnessBinding> witness;  // config corner reaching the escape
+  int line{0};
+};
+
+/// Abstract value: an interval with witness corners, or top (!known).
+struct AbsVal {
+  bool known{false};
+  Wide lo{0};
+  Wide hi{0};
+  NumWidth width{NumWidth::kI64};
+  bool tainted{false};
+  std::vector<WitnessBinding> wit_lo, wit_hi;
+  /// First violation proved while evaluating this value (bottom-up).
+  std::optional<RangeViolation> viol;
+
+  static AbsVal top(NumWidth w = NumWidth::kOther) {
+    AbsVal v;
+    v.width = w;
+    return v;
+  }
+  static AbsVal exact(Wide x, NumWidth w) {
+    AbsVal v;
+    v.known = true;
+    v.lo = v.hi = x;
+    v.width = w;
+    return v;
+  }
+  bool same_range(const AbsVal& o) const {
+    return known == o.known && (!known || (lo == o.lo && hi == o.hi));
+  }
+};
+
+/// The bounds table lexed from src/core/bounds_spec.h. `error` is
+/// non-empty when the spec could not be read or parsed — the caller must
+/// fail loudly, not verify vacuously (same contract as TransitionSpec).
+struct BoundsSpec {
+  std::map<std::string, std::pair<long long, long long>> fields;
+  std::string error;
+
+  const std::pair<long long, long long>* find(const std::string& f) const {
+    auto it = fields.find(f);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+/// Cached per root, like vcpu_transition_spec.
+const BoundsSpec& bounds_spec(const Options& options);
+
+/// Cross-TU value model: single-`return expr;` function summaries (used to
+/// evaluate interprocedural calls with argument substitution) and member-
+/// field facts (the join of every textual write to a trailing-underscore
+/// member across the scanned units).
+class ValueModel {
+ public:
+  struct Summary {
+    const FileUnit* unit{nullptr};
+    std::size_t expr_begin{0}, expr_end{0};  // the returned expression
+    std::vector<std::string> params;         // positional parameter names
+    bool ambiguous{false};  // same simple name, different bodies
+  };
+
+  void add_unit(const FileUnit& unit);
+  /// Evaluate the member-field facts (needs the spec; call once, after
+  /// every unit was added).
+  void finalize(const BoundsSpec& spec);
+
+  const Summary* summary(const std::string& simple_name) const;
+  const AbsVal* field_fact(const std::string& member_name) const;
+
+ private:
+  struct FieldWrite {
+    const FileUnit* unit;
+    std::size_t rhs_begin, rhs_end;
+    bool compound;  // += etc: poisons the field to top
+  };
+  std::map<std::string, Summary> summaries_;
+  std::map<std::string, std::vector<FieldWrite>> field_writes_;
+  std::map<std::string, AbsVal> field_facts_;
+};
+
+/// Variable environment at a program point. `unreachable` marks an env
+/// produced by an infeasible branch refinement (empty intersection).
+struct Env {
+  std::map<std::string, AbsVal> vars;
+  bool unreachable{false};
+
+  bool same_ranges(const Env& o) const;
+};
+
+/// Join (least upper bound): variables missing on either side drop to top.
+Env join_envs(const Env& a, const Env& b);
+
+/// Expression evaluator + transfer functions over a token range.
+class Evaluator {
+ public:
+  Evaluator(const BoundsSpec& spec, const ValueModel& model)
+      : spec_(spec), model_(model) {}
+
+  /// Evaluate the expression in [b, e) under `env`. Never throws; an
+  /// unparseable expression is top.
+  AbsVal eval(const std::vector<Token>& t, std::size_t b, std::size_t e,
+              const Env& env) const;
+
+  /// Apply one statement's effect (declaration / assignment / compound
+  /// assignment / ++ / --) to `env`. Returns the statement's evaluated
+  /// value so the caller can harvest violations and taint.
+  AbsVal transfer_stmt(const std::vector<Token>& t, std::size_t b,
+                       std::size_t e, Env& env) const;
+
+  /// Refine `env` in place assuming the condition in [b, e) evaluated to
+  /// `taken`. Sets env.unreachable when the refinement is infeasible.
+  void refine(const std::vector<Token>& t, std::size_t b, std::size_t e,
+              bool taken, Env& env) const;
+
+ private:
+  friend class ExprParser;
+  /// Store-side range check shared by declarations, assignments and the
+  /// parser's cast handling: records a violation when `v` provably escapes
+  /// `w` under the spec, then clamps so evaluation continues.
+  AbsVal store_check(AbsVal v, NumWidth w, const std::vector<Token>& t,
+                     std::size_t b, std::size_t e) const;
+  const BoundsSpec& spec_;
+  const ValueModel& model_;
+};
+
+/// Width of a declaration/cast type spelled by the tokens in [b, e).
+/// `known` is false when no recognized arithmetic type was found.
+NumWidth width_of_type_tokens(const std::vector<Token>& t, std::size_t b,
+                              std::size_t e, bool& known);
+
+}  // namespace asman_lint

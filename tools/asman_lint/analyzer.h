@@ -74,7 +74,8 @@ struct AnalysisContext {
 };
 
 // The project checks (checks_*.cpp). The first four are lexical/structural;
-// credit-flow, state-machine and thread-safety are flow-sensitive (flow.h).
+// credit-flow, state-machine and thread-safety are flow-sensitive (flow.h),
+// and value-range is the abstract interpreter (absint.h).
 void check_determinism(const AnalysisContext& ctx);
 void check_ordered_iteration(const AnalysisContext& ctx);
 void check_integer_credit(const AnalysisContext& ctx);
@@ -82,6 +83,17 @@ void check_audit_seam(const AnalysisContext& ctx);
 void check_credit_flow(const AnalysisContext& ctx);
 void check_state_machine(const AnalysisContext& ctx);
 void check_thread_safety(const AnalysisContext& ctx);
+
+/// value-range (asman-prove): interval abstract interpretation seeded from
+/// src/core/bounds_spec.h. `model` is the cross-TU value model built from
+/// every in-scope unit before the per-file passes run.
+class ValueModel;
+void check_value_range(const AnalysisContext& ctx, const ValueModel& model);
+
+/// The audited credit/pressure writer whitelists (owned by audit-seam),
+/// shared with value-range's taint scoping: arithmetic inside these seams
+/// is always in scope for the overflow proof.
+const std::vector<std::string>& audited_value_seams();
 
 /// Cross-TU half of thread-safety: follows calls out of pool-worker lambdas
 /// through the whole-scope call graph and reports reachable writes to

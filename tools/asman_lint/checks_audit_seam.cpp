@@ -176,4 +176,18 @@ void check_audit_seam_cross_tu(const Options& options,
   }
 }
 
+const std::vector<std::string>& audited_value_seams() {
+  // The credit and pressure writer whitelists, concatenated: the seams
+  // where mis-priced arithmetic would corrupt the very ledgers this check
+  // guards the writes of. value-range blanket-taints statements inside
+  // them so the overflow proof always covers the accounting hot paths.
+  static const std::vector<std::string> w = [] {
+    std::vector<std::string> v = credit_writers();
+    const std::vector<std::string>& p = pressure_writers();
+    v.insert(v.end(), p.begin(), p.end());
+    return v;
+  }();
+  return w;
+}
+
 }  // namespace asman_lint

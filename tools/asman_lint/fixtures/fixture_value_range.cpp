@@ -1,0 +1,47 @@
+// Seeded violations for the value-range check: each expression here is
+// PROVABLY unsafe for at least one configuration that src/core/
+// bounds_spec.h admits, so the abstract interpreter must flag all four and
+// name a concrete witness config for each. Parameters are named after
+// bounds-spec leaves: the analyzer binds them to the admissible intervals
+// of the shared table, exactly how config-derived values enter real code.
+// tests/lint_test.cpp asserts 100% detection.
+#include <cstdint>
+
+namespace fixture {
+
+constexpr long long kCreditPerSlot = 100'000;
+
+// (a) i64 overflow in credit-pool sizing: at the admissible corner
+// freq_hz = 1e10, slot_ms = 1000, slots_per_accounting = 64 the product
+// reaches 6.4e21 — the store to long long is flagged.
+long long credit_pool(long long freq_hz, long long slot_ms,
+                      long long slots_per_accounting) {
+  const long long pool_credit =
+      kCreditPerSlot * freq_hz * slot_ms * slots_per_accounting;
+  return pool_credit;
+}
+
+// (b) narrowing cast: weight tops out at 65536, so the mint reaches
+// 6.5536e9 — static_cast<int> provably truncates.
+int weighted_mint(long long weight) {
+  return static_cast<int>(weight * kCreditPerSlot);
+}
+
+// (c) u32 wrap: 1024 pcpus * weight 65536 * 1024 = 2^36 escapes the
+// declared std::uint32_t.
+std::uint32_t weight_table_bytes(long long num_pcpus, long long weight) {
+  const std::uint32_t total_weight_bytes =
+      static_cast<std::uint32_t>(num_pcpus * weight * 1024);
+  return total_weight_bytes;
+}
+
+// (d) overflow through a plain assignment (no cast to blame): the shed
+// threshold ppm times the VCPU population reaches 4.096e9, past INT32_MAX,
+// and the assignment target was declared std::int32_t two lines up.
+std::int32_t pressure_budget(long long shed_level_ppm, long long n_vcpus) {
+  std::int32_t contention_budget = 0;
+  contention_budget = shed_level_ppm * n_vcpus;
+  return contention_budget;
+}
+
+}  // namespace fixture

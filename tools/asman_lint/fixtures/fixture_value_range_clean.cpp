@@ -1,0 +1,68 @@
+// Tricky-but-LEGAL shapes for the value-range check: every expression here
+// stays inside its static type for EVERY admissible config, or is guarded /
+// clamped / widened in a way the interpreter must understand. Zero findings
+// expected — a report against this file is a false positive.
+#include <algorithm>
+#include <cstdint>
+
+namespace fixture {
+
+constexpr long long kCreditPerSlot = 100'000;
+
+std::uint64_t saturating_sub(std::uint64_t a, std::uint64_t b);
+
+// (1) Guard-refined product: weight alone reaches 65536, but the branch
+// constrains it to <= 4096, so the shifted value tops out at 2^22.
+std::uint32_t boosted_weight(long long weight) {
+  if (weight <= 4096) {
+    const std::uint32_t boosted = static_cast<std::uint32_t>(weight * 1024);
+    return boosted;
+  }
+  return 0;
+}
+
+// (2) Clamp via std::min: the raw mint reaches 6.5536e9 in 64-bit, but the
+// min caps the stored value at 2e9 < INT32_MAX.
+std::int32_t clamped_mint(long long weight) {
+  const long long mint_raw = weight * kCreditPerSlot;
+  return static_cast<std::int32_t>(std::min(mint_raw, 2'000'000'000LL));
+}
+
+// (3) Widen-then-divide ratio (the contention.cpp shape): the numerator is
+// unbounded above — demand is runtime state — so the saturation rail must
+// propagate through -, * and / instead of manufacturing a finite "provable"
+// bound. Interval arithmetic cannot see that the ratio is < 1e6; it must
+// stay silent, not report [0, 2^109].
+std::uint32_t bw_pressure_ppm(long long socket_mem_bw_bytes_per_s,
+                              long long demand) {
+  if (socket_mem_bw_bytes_per_s <= 0) return 0;
+  if (demand <= socket_mem_bw_bytes_per_s) return 0;
+  const __int128 pressure_excess =
+      static_cast<__int128>(demand) - socket_mem_bw_bytes_per_s;
+  return static_cast<std::uint32_t>(pressure_excess * 1'000'000 / demand);
+}
+
+// (4) Loop accumulation: the widening pass pushes the accumulator to the
+// rail after a few iterations; an unbounded sum is unknown, not an error.
+long long accumulated_credit(long long n_vcpus, long long weight) {
+  long long credit_acc = 0;
+  for (long long i = 0; i < n_vcpus; ++i) credit_acc += weight * 25;
+  return credit_acc;
+}
+
+// (5) Unsigned subtraction rides the saturating_sub discipline: the
+// checker assumes the guarded idiom and clamps the low end at 0 rather
+// than reporting every `a - b` on unsigned operands.
+std::uint32_t hysteresis_gap_ppm(long long restore_level_ppm,
+                                 long long shed_level_ppm) {
+  const std::uint32_t gap_ppm =
+      static_cast<std::uint32_t>(restore_level_ppm - shed_level_ppm);
+  return gap_ppm;
+}
+
+std::uint64_t llc_headroom(std::uint64_t llc_bytes,
+                           std::uint64_t footprint_bytes) {
+  return saturating_sub(llc_bytes, footprint_bytes);
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Flow-sensitive seeded violation for the value-range check: the overflow
+// is reachable through ONE branch only, so the proof needs the join at the
+// merge point — a path-insensitive scan of either assignment alone would
+// miss it or double-report. Exactly ONE finding expected (boost_credit);
+// the guarded twin below it is clean because the branch refinement caps
+// the multiplier's input.
+#include <cstdint>
+
+namespace fixture {
+
+constexpr long long kCreditPerSlot = 100'000;
+
+// FLAGGED at the cast: on the boosted path bonus_credit reaches
+// 65536 * 1e5 = 6.5536e9; the join with the plain path keeps that upper
+// bound, and INT32_MAX is 2.147e9.
+std::int32_t boost_credit(long long weight, bool boosted) {
+  long long bonus_credit = weight;
+  if (boosted) bonus_credit = weight * kCreditPerSlot;
+  return static_cast<std::int32_t>(bonus_credit);
+}
+
+// Clean: the same shape, but the boosted branch is entered only when
+// weight < 20000, so the refined product tops out at 1.9999e9 < INT32_MAX.
+std::int32_t guarded_boost_credit(long long weight, bool boosted) {
+  long long bonus_credit = weight;
+  if (boosted && weight < 20'000) bonus_credit = weight * kCreditPerSlot;
+  return static_cast<std::int32_t>(bonus_credit);
+}
+
+}  // namespace fixture

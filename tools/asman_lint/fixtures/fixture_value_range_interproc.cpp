@@ -1,0 +1,33 @@
+// Interprocedural seeded violation for the value-range check: the overflow
+// is only visible through a single-`return expr;` function summary with
+// argument substitution. Exactly ONE finding expected — at the call-site
+// cast, not inside the helper (the helper's own i64 arithmetic fits).
+#include <cstdint>
+
+namespace fixture {
+
+constexpr long long kCreditPerSlot = 100'000;
+
+// Summarizable: body is a single `return expr;`. In i64 this tops out at
+// 65536 * 1e5 * 64 = 4.2e11 — fine for the helper itself.
+inline long long mint_for(long long weight, long long slots_per_accounting) {
+  return weight * kCreditPerSlot * slots_per_accounting;
+}
+
+// FLAGGED: the summary's interval escapes std::int32_t at the cast. The
+// witness must name the config corner (weight = 65536,
+// slots_per_accounting = 64) that reaches it.
+std::int32_t minted_this_period(long long weight,
+                                long long slots_per_accounting) {
+  return static_cast<std::int32_t>(mint_for(weight, slots_per_accounting));
+}
+
+// Clean control through the same machinery: a small per-slot grant stays
+// inside i32 for every admissible weight (65536 * 4 = 262144).
+inline long long per_slot_grant(long long weight) { return weight * 4; }
+
+std::int32_t small_grant(long long weight) {
+  return static_cast<std::int32_t>(per_slot_grant(weight));
+}
+
+}  // namespace fixture

@@ -155,6 +155,7 @@ class CfgBuilder {
     if (close >= end) return {end, preds};
     // `if constexpr (...)`: the keyword sits between if and '('.
     const std::size_t cond = new_node(i, close + 1);
+    cfg_.nodes[cond].kind = CfgNodeKind::kBranch;
     link_all(preds, cond);
     Parsed then = parse_stmt(close + 1, end, {cond});
     std::vector<std::size_t> exits = then.exits;
@@ -175,6 +176,7 @@ class CfgBuilder {
     std::size_t close = match_forward(t_, i + 1);
     if (close >= end) return {end, preds};
     const std::size_t cond = new_node(i, close + 1);
+    cfg_.nodes[cond].kind = CfgNodeKind::kBranch;
     link_all(preds, cond);
     loops_.push_back({{}, cond, false});
     Parsed body = parse_stmt(close + 1, end, {cond});
@@ -191,6 +193,7 @@ class CfgBuilder {
     std::size_t close = match_forward(t_, i + 1);
     if (close >= end) return {end, preds};
     const std::size_t head = new_node(i, close + 1);
+    cfg_.nodes[head].kind = CfgNodeKind::kForHead;
     link_all(preds, head);
     loops_.push_back({{}, head, false});
     Parsed body = parse_stmt(close + 1, end, {head});

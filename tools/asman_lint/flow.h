@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -24,12 +25,21 @@
 
 namespace asman_lint {
 
+/// What a node is, where the abstract interpreter needs to know. kBranch
+/// marks if/while condition nodes and kForHead for-loop headers: for both,
+/// succ[0] is the true/body edge (by construction order in CfgBuilder) and
+/// every later successor is a false/after edge. do-while and switch
+/// conditions stay kPlain — their successor order carries no branch
+/// orientation, so value-range refinement must not trust it.
+enum class CfgNodeKind : std::uint8_t { kPlain, kBranch, kForHead };
+
 struct CfgNode {
   std::size_t tok_begin{0};  // [tok_begin, tok_end) in the unit's tokens
   std::size_t tok_end{0};
   int line{0};
   bool is_entry{false};
   bool is_exit{false};
+  CfgNodeKind kind{CfgNodeKind::kPlain};
   std::vector<std::size_t> succ;
 };
 

@@ -18,7 +18,8 @@ out against the fleet. (Pass --absolute to gate on raw ratios instead,
 e.g. when current and baseline come from the same machine.) Labels new in
 the current run (no baseline yet) are listed and skipped; labels that
 disappeared fail the run — a silently dropped point is how a perf gate
-rots.
+rots. A whole BENCH_*.json emission with no committed baseline also fails:
+a new bench must land together with its baseline or it rides unguarded.
 
 Usage:
   tools/bench_diff.py --current build-noaudit/bench --baseline bench/baselines
@@ -131,10 +132,28 @@ def main():
         benches.append((name, fname, ratios, lines))
         all_ok = all_ok and ok
 
+    # Current emissions with NO committed baseline fail the run. Skipping
+    # them would let a brand-new bench ride unguarded forever — the perf
+    # gate must grow with the bench suite, so the author of a new bench
+    # records its baseline in the same change.
+    base_names = {os.path.basename(bf) for bf in base_files}
+    for cf in sorted(glob.glob(os.path.join(args.current, "BENCH_*.json"))):
+        fname = os.path.basename(cf)
+        if fname in base_names:
+            continue
+        name, _ = load_points(cf)
+        if args.only and name not in args.only:
+            continue
+        print(f"{name}: FAIL {fname} has no committed baseline under "
+              f"{args.baseline}; record one (copy the emission there after "
+              f"verifying the run) so the new bench is gated from day one",
+              file=sys.stderr)
+        all_ok = False
+
     if not benches:
         print("bench_diff: nothing compared (check --only / paths)",
               file=sys.stderr)
-        return 2
+        return 2 if all_ok else 1
 
     # Machine factor: the median label ratio across every compared bench.
     # A runner uniformly 2x slower than the baseline machine moves every

@@ -8,8 +8,10 @@
 #
 #   1. asman-lint — the flow-sensitive discipline checker
 #      (tools/asman_lint): determinism, ordered-iteration, integer-credit,
-#      audit-seam, credit-flow, state-machine, thread-safety and
-#      rng-discipline. Uses the binary built in <build-dir>; skipped with a
+#      audit-seam, credit-flow, state-machine, thread-safety,
+#      rng-discipline and value-range (the interval-domain overflow proof
+#      seeded from src/core/bounds_spec.h). Uses the binary built in
+#      <build-dir>; skipped with a
 #      note when it has not been built yet (configure alone does not build
 #      it). --sarif <path> forwards to the binary and writes a SARIF 2.1.0
 #      report (this is what CI uploads to code scanning), and requires the
